@@ -1,0 +1,63 @@
+"""Benchmark: Ablation D — identifier-scheme orthogonality (§6).
+
+Relabeling cost of sequential store ids, ORDPATH, Dewey and pre/post
+labels under repeated middle-sibling insertion.  Writes
+``bench_results/id_schemes.csv``.
+"""
+
+from repro.bench.reporting import format_csv
+from repro.bench.sweeps import run_id_scheme_comparison
+
+from conftest import write_artifact
+
+
+def test_id_scheme_relabeling(benchmark, results_dir):
+    results = benchmark.pedantic(
+        run_id_scheme_comparison,
+        kwargs={"siblings": 500, "middle_inserts": 100},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            r.scheme,
+            r.inserts,
+            r.labels_changed,
+            str(r.supports_order),
+            str(r.supports_ancestry),
+        )
+        for r in results
+    ]
+    write_artifact(
+        results_dir,
+        "id_schemes.csv",
+        format_csv(
+            ["scheme", "inserts", "labels_changed", "order", "ancestry"], rows
+        ),
+    )
+    by_scheme = {r.scheme: r for r in results}
+    for r in results:
+        benchmark.extra_info[r.scheme] = r.labels_changed
+    # shape (§6): the store's scheme and ORDPATH never relabel; the
+    # gap-free schemes pay per insert, pre/post the most on flat trees
+    assert by_scheme["sequential (store)"].labels_changed == 0
+    assert by_scheme["ordpath"].labels_changed == 0
+    assert by_scheme["dewey"].labels_changed > 0
+    assert by_scheme["prepost"].labels_changed > 0
+
+
+def test_ordpath_label_growth(benchmark):
+    """The price ORDPATH pays instead: labels grow under adversarial
+    repeated careting (never relabeling is not free)."""
+    from repro.ids.ordpath import OrdpathScheme
+
+    def run():
+        scheme = OrdpathScheme()
+        left, right = (1, 1), (1, 3)
+        for _ in range(200):
+            right = scheme.between(left, right)
+        return right
+
+    label = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["final_label_components"] = len(label)
+    assert len(label) > 2  # grew beyond a plain sibling ordinal

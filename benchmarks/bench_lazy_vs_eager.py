@@ -1,0 +1,58 @@
+"""Benchmark: Ablation C — lazy vs. eager segment indexing (§8).
+
+The Catania et al. comparison: eagerly indexing the content of inserted
+segments degrades "especially as the segments increase in number", while
+the lazy store indexes only on demand.  Writes
+``bench_results/lazy_vs_eager.csv``.
+"""
+
+from repro.bench.reporting import format_csv
+from repro.bench.sweeps import run_lazy_vs_eager
+
+from conftest import write_artifact
+
+SEGMENT_COUNTS = (10, 25, 50, 100)
+
+
+def test_lazy_vs_eager(benchmark, results_dir):
+    points = benchmark.pedantic(
+        run_lazy_vs_eager,
+        kwargs={"segment_counts": SEGMENT_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            p.segments,
+            round(p.lazy_insert.kb_per_second, 2),
+            round(p.eager_memory_insert.kb_per_second, 2),
+            round(p.eager_full_insert.kb_per_second, 2),
+            round(p.lazy_advantage, 2),
+        )
+        for p in points
+    ]
+    write_artifact(
+        results_dir,
+        "lazy_vs_eager.csv",
+        format_csv(
+            [
+                "segments",
+                "lazy_kb_s",
+                "eager_memory_kb_s",
+                "eager_full_kb_s",
+                "lazy_advantage",
+            ],
+            rows,
+        ),
+    )
+    for p in points:
+        benchmark.extra_info[str(p.segments)] = {
+            "lazy": round(p.lazy_insert.kb_per_second, 2),
+            "eager_full": round(p.eager_full_insert.kb_per_second, 2),
+            "advantage": round(p.lazy_advantage, 2),
+        }
+    # shape: lazy always wins, and the advantage grows with segment count
+    for p in points:
+        assert p.lazy_insert.kb_per_second > p.eager_full_insert.kb_per_second
+    advantages = [p.lazy_advantage for p in points]
+    assert advantages[-1] > advantages[0]

@@ -1,0 +1,53 @@
+"""Benchmark: Ablation B — partial-index capacity and skew (§5).
+
+Writes ``bench_results/partial_capacity.csv``.  Expected shape: random
+reads improve with capacity until the hot set fits, then flatten; hit
+rate grows monotonically with capacity.
+"""
+
+from repro.bench.reporting import format_csv
+from repro.bench.sweeps import run_partial_capacity_sweep
+
+from conftest import write_artifact
+
+CAPACITIES = (0, 8, 32, 128, None)
+
+
+def test_partial_capacity_sweep(benchmark, results_dir):
+    points = benchmark.pedantic(
+        run_partial_capacity_sweep,
+        kwargs={
+            "capacities": CAPACITIES,
+            "base_orders": 120,
+            "reads": 300,
+            "hot_fraction": 0.1,
+            "pool_capacity": 16,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            str(p.capacity),
+            round(p.hit_rate, 3),
+            round(p.random_reads.kb_per_second, 2),
+        )
+        for p in points
+    ]
+    write_artifact(
+        results_dir,
+        "partial_capacity.csv",
+        format_csv(["capacity", "hit_rate", "random_read_kb_s"], rows),
+    )
+    for p in points:
+        benchmark.extra_info[str(p.capacity)] = {
+            "hit_rate": round(p.hit_rate, 3),
+            "reads": round(p.random_reads.kb_per_second, 2),
+        }
+    # shape: capacity 0 (no partial index) is the floor; unbounded the
+    # ceiling; hit rates grow monotonically with capacity
+    speeds = [p.random_reads.kb_per_second for p in points]
+    assert speeds[0] == min(speeds)
+    assert max(speeds) == speeds[-1] or max(speeds) == speeds[-2]
+    hit_rates = [p.hit_rate for p in points]
+    assert hit_rates == sorted(hit_rates)

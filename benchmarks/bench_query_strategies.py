@@ -1,0 +1,67 @@
+"""Benchmark: query evaluation strategies (§1's motivating comparison).
+
+Navigational XPath evaluation vs. the stack-based structural join over
+containment labels [1] for ``//a//d`` patterns.  Writes
+``bench_results/query_strategies.csv``.  Expected shape: the structural
+join wins on containment patterns over recursive data (it touches each
+candidate once, merge-style), while both return identical answers.
+"""
+
+import pytest
+
+from repro.core.store import XMLStore
+from repro.bench.reporting import format_csv
+from repro.xpath.structural_join import containment_query
+from repro.workloads.xmark import xmark_document
+
+from conftest import write_artifact
+
+
+def build_auction_store():
+    store = XMLStore.open()
+    store.load_document(xmark_document(items_per_region=6, people=20, auctions=15))
+    return store
+
+
+def test_navigational_descendant_query(benchmark):
+    store = build_auction_store()
+
+    def run():
+        return store.xpath("//open_auction//personref")
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results
+    benchmark.extra_info["matches"] = len(results)
+
+
+def test_structural_join_query(benchmark):
+    store = build_auction_store()
+
+    def run():
+        return containment_query(store, "open_auction", "personref")
+
+    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert pairs
+    benchmark.extra_info["matches"] = len(pairs)
+
+
+def test_strategies_agree(benchmark, results_dir):
+    store = build_auction_store()
+
+    def run():
+        navigational = {
+            n.node_id for n in store.xpath("//open_auction//personref")
+        }
+        joined = {d for _, d in containment_query(store, "open_auction", "personref")}
+        return navigational, joined
+
+    navigational, joined = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert navigational == joined
+    write_artifact(
+        results_dir,
+        "query_strategies.csv",
+        format_csv(
+            ["strategy", "matches"],
+            [("navigational", len(navigational)), ("structural-join", len(joined))],
+        ),
+    )

@@ -1,0 +1,60 @@
+"""Benchmark: Ablation A — range granularity sweep (§9, variable-sized
+ranges as the logical unit).
+
+Writes ``bench_results/granularity.csv`` with insert and random-read
+throughput per range size.  Expected shape: random reads degrade as
+ranges grow (longer scans per lookup); inserts mildly prefer coarse
+ranges (fewer index entries).
+"""
+
+from repro.bench.reporting import format_csv
+from repro.bench.sweeps import run_granularity_sweep
+
+from conftest import write_artifact
+
+RANGE_SIZES = (32, 128, 512, 2048, None)
+
+
+def test_granularity_sweep(benchmark, results_dir):
+    points = benchmark.pedantic(
+        run_granularity_sweep,
+        kwargs={
+            "range_sizes": RANGE_SIZES,
+            "base_orders": 120,
+            "insert_orders": 12,
+            "reads": 150,
+            "pool_capacity": 16,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            str(p.max_range_tokens),
+            p.ranges,
+            round(p.insert.kb_per_second, 2),
+            round(p.random_reads.kb_per_second, 2),
+        )
+        for p in points
+    ]
+    write_artifact(
+        results_dir,
+        "granularity.csv",
+        format_csv(
+            ["max_range_tokens", "ranges", "insert_kb_s", "random_read_kb_s"], rows
+        ),
+    )
+    for p in points:
+        benchmark.extra_info[str(p.max_range_tokens)] = {
+            "ranges": p.ranges,
+            "insert": round(p.insert.kb_per_second, 2),
+            "reads": round(p.random_reads.kb_per_second, 2),
+        }
+    # shape: the coarsest configuration must have the slowest random reads
+    coarsest = points[-1]
+    finest = points[0]
+    assert coarsest.ranges == 1
+    assert finest.random_reads.kb_per_second > coarsest.random_reads.kb_per_second
+    # and granularity must actually vary the number of ranges monotonically
+    range_counts = [p.ranges for p in points]
+    assert range_counts == sorted(range_counts, reverse=True)

@@ -1,0 +1,98 @@
+"""Benchmark: storage overhead (paper §2 requirement 6, §4.1 claim (b)).
+
+"a full index has two main disadvantages: (a) inserts are expensive, and
+(b) storage requirements are very high."  We measure device bytes per XML
+byte for each indexing policy, split into data blocks vs index blocks,
+and the effect of range compaction on a fragmented store.  Writes
+``bench_results/storage_overhead.csv``.
+"""
+
+import pytest
+
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+from repro.bench.reporting import format_csv
+from repro.workloads.generator import purchase_orders_document
+
+from conftest import write_artifact
+
+POLICIES = [
+    IndexingPolicy.FULL,
+    IndexingPolicy.RANGE,
+    IndexingPolicy.RANGE_PLUS_PARTIAL,
+]
+
+
+def measure_policy(policy):
+    store = XMLStore.open(StoreConfig(policy=policy, buffer_pool_capacity=256))
+    document = purchase_orders_document(150, items_per_order=5, seed=3)
+    store.load_document(document)
+    store.pool.flush_all()
+    xml_bytes = len(document.encode("utf-8"))
+    data_blocks = store.layout.chain.num_blocks
+    total_blocks = store.device.num_blocks
+    index_blocks = total_blocks - data_blocks
+    page = store.config.page_size
+    return {
+        "xml_bytes": xml_bytes,
+        "data_bytes": data_blocks * page,
+        "index_bytes": index_blocks * page,
+        "overhead": (total_blocks * page) / xml_bytes,
+        "partial_entries": len(store.partial_index) if store.partial_index else 0,
+    }
+
+
+def test_storage_overhead(benchmark, results_dir):
+    def run():
+        return {policy: measure_policy(policy) for policy in POLICIES}
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            policy.value,
+            m["xml_bytes"],
+            m["data_bytes"],
+            m["index_bytes"],
+            round(m["overhead"], 3),
+        )
+        for policy, m in measured.items()
+    ]
+    write_artifact(
+        results_dir,
+        "storage_overhead.csv",
+        format_csv(
+            ["policy", "xml_bytes", "data_bytes", "index_bytes", "overhead"], rows
+        ),
+    )
+    for policy, m in measured.items():
+        benchmark.extra_info[policy.value] = round(m["overhead"], 3)
+    full = measured[IndexingPolicy.FULL]
+    coarse = measured[IndexingPolicy.RANGE]
+    partial = measured[IndexingPolicy.RANGE_PLUS_PARTIAL]
+    # shape: the full index costs several times the range index's blocks
+    assert full["index_bytes"] > 3 * coarse["index_bytes"]
+    # the partial index costs no disk at all — it is memory-resident
+    assert partial["index_bytes"] == coarse["index_bytes"]
+    # the lazy store never indexed anything it was not asked about
+    assert partial["partial_entries"] == 0
+
+
+def test_compaction_shrinks_range_index(benchmark):
+    """After a fragmenting append workload, compaction merges ranges and
+    shrinks the Range Index (the §9 maintenance optimization)."""
+
+    def run():
+        store = XMLStore.open(StoreConfig(policy=IndexingPolicy.RANGE))
+        root = store.load_document("<log/>")
+        for index in range(120):
+            store.insert_into_last(root, f"<e n='{index}'/>")
+        entries_before = len(store.range_index)
+        report = store.compact()
+        return store, entries_before, report
+
+    store, entries_before, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["entries_before"] = entries_before
+    benchmark.extra_info["entries_after"] = len(store.range_index)
+    assert report.removed > 100
+    assert len(store.range_index) < entries_before / 10
+    store.check_integrity()

@@ -1,0 +1,95 @@
+"""Benchmark: Table 5 — lazy indexing vs. the full-index strawman.
+
+Regenerates the paper's only experimental table.  Each (approach, phase)
+cell is one pytest-benchmark measurement; the final test assembles the
+whole table, asserts the paper's qualitative shape, and writes
+``bench_results/table5.txt``.
+"""
+
+import pytest
+
+from repro.bench.harness import insert_phase, random_read_phase, sequential_scan_phase
+from repro.bench.reporting import format_table5
+from repro.bench.table5 import (
+    APPROACHES,
+    Table5Config,
+    Table5Row,
+    build_store,
+    check_shape,
+    run_row,
+    sample_read_ids,
+)
+from repro.workloads.generator import purchase_order_stream
+
+from conftest import write_artifact
+
+CONFIG = Table5Config.small()
+IDS = ["full", "granular", "coarse", "coarse+partial"]
+
+
+@pytest.mark.parametrize(("approach", "policy", "granularity"), APPROACHES, ids=IDS)
+def test_insert_throughput(benchmark, approach, policy, granularity):
+    def setup():
+        store, root = build_store(policy, granularity, CONFIG)
+        fragments = list(
+            purchase_order_stream(
+                CONFIG.insert_orders,
+                CONFIG.items_per_order,
+                seed=CONFIG.seed + 1,
+                start_no=CONFIG.base_orders,
+            )
+        )
+        return (store, root, fragments), {}
+
+    result = benchmark.pedantic(insert_phase, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["simulated_kb_per_s"] = round(result.kb_per_second, 2)
+    assert result.operations == CONFIG.insert_orders
+
+
+@pytest.mark.parametrize(("approach", "policy", "granularity"), APPROACHES, ids=IDS)
+def test_sequential_scan_throughput(benchmark, approach, policy, granularity):
+    def setup():
+        store, _ = build_store(policy, granularity, CONFIG)
+        return (store,), {}
+
+    result = benchmark.pedantic(
+        sequential_scan_phase, setup=setup, rounds=1, iterations=1
+    )
+    benchmark.extra_info["simulated_kb_per_s"] = round(result.kb_per_second, 2)
+    assert result.xml_bytes > 0
+
+
+@pytest.mark.parametrize(("approach", "policy", "granularity"), APPROACHES, ids=IDS)
+def test_random_read_throughput(benchmark, approach, policy, granularity):
+    def setup():
+        store, _ = build_store(policy, granularity, CONFIG)
+        read_ids = sample_read_ids(store, CONFIG)
+        return (store, read_ids), {}
+
+    result = benchmark.pedantic(
+        random_read_phase, setup=setup, rounds=1, iterations=1
+    )
+    benchmark.extra_info["simulated_kb_per_s"] = round(result.kb_per_second, 2)
+    assert result.operations == CONFIG.random_reads
+
+
+def test_table5_shape(benchmark, results_dir):
+    """The whole table, with the paper's qualitative claims asserted."""
+
+    def run():
+        return [
+            run_row(approach, policy, granularity, CONFIG)
+            for approach, policy, granularity in APPROACHES
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table5(rows)
+    write_artifact(results_dir, "table5.txt", table)
+    for row in rows:
+        benchmark.extra_info[row.approach] = {
+            "insert": round(row.insert.kb_per_second, 2),
+            "seq_scan": round(row.seq_scan.kb_per_second, 2),
+            "random_reads": round(row.random_reads.kb_per_second, 2),
+        }
+    violated = check_shape(rows)
+    assert not violated, f"paper shape violated: {violated}\n{table}"

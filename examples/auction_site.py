@@ -1,0 +1,64 @@
+"""Auction site: an XMark-style mixed workload on the adaptive store.
+
+Demonstrates the ADAPTIVE policy switching between read- and
+update-optimized modes as the workload's phase changes (paper §2.1), plus
+the two query strategies (navigational XPath vs. structural join).
+
+Run:  python examples/auction_site.py
+"""
+
+from repro import IndexingPolicy, StoreConfig, XMLStore
+from repro.workloads.xmark import bidder_fragment, xmark_document
+from repro.xpath.structural_join import containment_query
+
+
+def main() -> None:
+    store = XMLStore.open(
+        StoreConfig(policy=IndexingPolicy.ADAPTIVE, adaptive_window=32)
+    )
+    store.load_document(
+        xmark_document(items_per_region=4, people=15, auctions=10)
+    )
+    assert store.adaptive is not None
+
+    # --- phase 1: browsing (read-heavy) -----------------------------------
+    auctions = store.xpath("//open_auction")
+    for _ in range(40):
+        for auction in auctions[:4]:
+            store.read(auction.node_id)
+    print("after browsing phase:")
+    print("  mode:", "read-optimized" if store.adaptive.read_optimized
+          else "update-optimized")
+    print("  partial index entries:", len(store.partial_index or []))
+
+    # --- phase 2: bidding storm (update-heavy) ----------------------------
+    for round_no in range(60):
+        auction = auctions[round_no % len(auctions)]
+        store.insert_into_last(auction.node_id, bidder_fragment(15, seed=round_no))
+    print("after bidding phase:")
+    print("  mode:", "read-optimized" if store.adaptive.read_optimized
+          else "update-optimized")
+    print("  mode switches:", len(store.adaptive.decisions))
+
+    # --- queries: two evaluation strategies agree -------------------------
+    navigational = store.xpath("//open_auction//personref")
+    joined = containment_query(store, "open_auction", "personref")
+    assert {n.node_id for n in navigational} == {d for _, d in joined}
+    print()
+    print(f"personrefs inside auctions: {len(navigational)} "
+          f"(navigational == structural join)")
+
+    # --- a business question ----------------------------------------------
+    busy = store.xpath("//open_auction[count(bidder) > 6]")
+    print(f"auctions with more than 6 bids: {len(busy)}")
+    top = store.xpath("//open_auction[1]/current")
+    if top:
+        print("current price of the first auction:", top[0].string_value)
+
+    store.check_integrity()
+    print()
+    print(store.stats.summary())
+
+
+if __name__ == "__main__":
+    main()

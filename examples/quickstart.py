@@ -1,0 +1,50 @@
+"""Quickstart: the store's Table-1 interface in two minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import IndexingPolicy, StoreConfig, XMLStore
+
+
+def main() -> None:
+    # An adaptive store: coarse Range Index + lazy Partial Index (the
+    # paper's recommended configuration).
+    store = XMLStore.open(
+        StoreConfig(policy=IndexingPolicy.RANGE_PLUS_PARTIAL, page_size=4096)
+    )
+
+    # --- load a document (the paper's Figure 1) --------------------------
+    root = store.load_document(
+        "<ticket><hour>15</hour><name>Paul</name></ticket>"
+    )
+    print("root node id:", root)                      # -> 1
+    print("whole document:", store.read())
+    print("node 2 (hour):", store.read(2))            # ids follow Figure 1
+    print("node 5 (text):", store.read(5))
+
+    # --- update operations (XUpdate, Table 1) ----------------------------
+    store.insert_into_last(root, "<seat>12A</seat>")
+    store.insert_before(2, "<flight>LX318</flight>")  # new sibling before <hour>
+    store.replace_content(2, "16")                    # ids are stable: hour == 2
+    print("after updates:", store.read())
+
+    # --- node identifiers are stable -------------------------------------
+    print("hour is still node 2:", store.read(2))
+
+    # --- XPath queries -----------------------------------------------------
+    for node in store.xpath("/ticket/*"):
+        print("child:", node.name, "=", node.string_value)
+    hits = store.xpath("/ticket[hour > 10]/name/text()")
+    print("query result:", [h.string_value for h in hits])
+
+    # --- what the store did under the hood --------------------------------
+    print()
+    print("range snapshot (RangeId, BlockId, StartId, EndId):")
+    for row in store.range_snapshot():
+        print("  ", row)
+    print()
+    print(store.stats.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Transactions on the store: strict 2PL isolation + abort-undo (§9).
+
+Run:  python examples/transactions.py
+"""
+
+from repro import XMLStore
+from repro.concurrency.transactions import TransactionManager
+from repro.errors import ConcurrencyError
+
+
+def main() -> None:
+    store = XMLStore.open()
+    store.load_document(
+        "<accounts>"
+        "<account owner='ada'><balance>100</balance></account>"
+        "<account owner='bob'><balance>40</balance></account>"
+        "</accounts>"
+    )
+    manager = TransactionManager(store)
+
+    # --- a committed transfer ----------------------------------------------
+    ada = store.xpath("//account[@owner='ada']/balance")[0]
+    bob = store.xpath("//account[@owner='bob']/balance")[0]
+    with manager.begin() as txn:
+        txn.replace_content(ada.node_id, "70")
+        txn.replace_content(bob.node_id, "70")
+    print("after committed transfer:", store.read())
+
+    # --- an aborted transaction rolls back ----------------------------------
+    txn = manager.begin()
+    txn.replace_content(ada.node_id, "0")
+    txn.insert_into_last(1, "<account owner='eve'><balance>70</balance></account>")
+    print("inside txn: ", store.read())
+    txn.abort()
+    print("after abort: ", store.read())
+    assert "eve" not in store.read()
+    assert "<balance>70</balance>" in store.read()
+
+    # --- isolation: conflicting writers fail fast ----------------------------
+    writer = manager.begin()
+    writer.replace_content(ada.node_id, "120")
+    rival = manager.begin()
+    try:
+        rival.replace_content(ada.node_id, "0")
+    except ConcurrencyError as error:
+        print("rival writer blocked:", error)
+    writer.commit()
+    rival.abort()
+    print("final:", store.read())
+    store.check_integrity()
+
+
+if __name__ == "__main__":
+    main()

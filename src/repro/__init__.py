@@ -1,0 +1,38 @@
+"""repro: an adaptive, lazy XML store.
+
+Reproduction of *"Adaptive XML Storage or The Importance of Being Lazy"*
+(Cristian Duda and Donald Kossmann, ETH Zurich, SIGMOD 2005).
+
+Quickstart::
+
+    from repro import XMLStore, StoreConfig, IndexingPolicy
+
+    store = XMLStore.open(StoreConfig(policy=IndexingPolicy.RANGE_PLUS_PARTIAL))
+    root = store.load_document("<orders/>")
+    store.insert_into_last(root, "<order><sku>x-1</sku></order>")
+    print(store.read())
+"""
+
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+from repro.errors import (
+    InvalidOperationError,
+    NodeNotFoundError,
+    ReproError,
+    StoreError,
+    XMLSyntaxError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IndexingPolicy",
+    "InvalidOperationError",
+    "NodeNotFoundError",
+    "ReproError",
+    "StoreConfig",
+    "StoreError",
+    "XMLStore",
+    "XMLSyntaxError",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Benchmark harness: phases, Table-5 runner, ablations, reporting."""
+
+from repro.bench.harness import (
+    PhaseResult,
+    insert_phase,
+    make_cold,
+    random_read_phase,
+    run_phase,
+    sequential_scan_phase,
+)
+from repro.bench.reporting import format_csv, format_table, format_table5
+from repro.bench.table5 import (
+    APPROACHES,
+    Table5Config,
+    Table5Row,
+    check_shape,
+    run_table5,
+)
+
+__all__ = [
+    "APPROACHES",
+    "PhaseResult",
+    "Table5Config",
+    "Table5Row",
+    "check_shape",
+    "format_csv",
+    "format_table",
+    "format_table5",
+    "insert_phase",
+    "make_cold",
+    "random_read_phase",
+    "run_phase",
+    "run_table5",
+    "sequential_scan_phase",
+]

@@ -1,0 +1,72 @@
+"""Plain-text table/CSV rendering for benchmark results."""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Sequence, Tuple, Union
+
+Cell = Union[str, int, float]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned monospace table (numbers right-aligned, 2dp)."""
+    rendered_rows: List[List[str]] = []
+    numeric = [True] * len(headers)
+    for row in rows:
+        cells = []
+        for index, cell in enumerate(row):
+            if isinstance(cell, float):
+                cells.append(f"{cell:,.2f}")
+            elif isinstance(cell, int):
+                cells.append(f"{cell:,}")
+            else:
+                cells.append(str(cell))
+                numeric[index] = False
+        rendered_rows.append(cells)
+    widths = [
+        max(len(headers[index]), *(len(row[index]) for row in rendered_rows))
+        if rendered_rows
+        else len(headers[index])
+        for index in range(len(headers))
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = "  ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    out.write(header_line + "\n")
+    out.write("-" * len(header_line) + "\n")
+    for row in rendered_rows:
+        out.write(
+            "  ".join(
+                cell.rjust(width) if numeric[index] else cell.ljust(width)
+                for index, (cell, width) in enumerate(zip(row, widths))
+            )
+            + "\n"
+        )
+    return out.getvalue()
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """CSV rendering (for piping into plotting tools)."""
+    def render(cell: Cell) -> str:
+        text = f"{cell:.6g}" if isinstance(cell, float) else str(cell)
+        if "," in text or '"' in text:
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(headers)]
+    lines.extend(",".join(render(cell) for cell in row) for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def format_table5(rows) -> str:
+    """Render Table-5 rows in the paper's layout."""
+    return format_table(
+        ["Indexing approach", "Insert (kb/s)", "Seq.scan (kb/s)", "Random reads (kb/s)"],
+        [row.cells() for row in rows],
+        title="Table 5: Lazy indexing in XML storage (simulated-disk kb/s)",
+    )

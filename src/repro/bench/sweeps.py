@@ -1,0 +1,375 @@
+"""Ablation experiments A–E (DESIGN.md experiment index).
+
+The paper's §9 names the studies it is "currently evaluating": the effect
+of variable-sized ranges, the functionality of the partial index, and —
+via the §8 related-work discussion — lazy vs. eager segment indexing
+(Catania et al.) and identifier-scheme orthogonality.  Each function here
+regenerates one of those as a parameter sweep; the ``benchmarks/`` tree
+wraps them for pytest-benchmark, and EXPERIMENTS.md records the outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+from repro.bench.harness import (
+    PhaseResult,
+    insert_phase,
+    random_read_phase,
+    run_phase,
+)
+from repro.ids.dewey import DeweyScheme
+from repro.ids.ordpath import OrdpathScheme
+from repro.ids.prepost import PrePostLabeler
+from repro.workloads.generator import purchase_order_stream, purchase_orders_document
+from repro.workloads.operations import hot_cold_choices
+
+
+# ---------------------------------------------------------------- Ablation A --
+
+@dataclass
+class GranularityPoint:
+    max_range_tokens: Optional[int]
+    ranges: int
+    insert: PhaseResult
+    random_reads: PhaseResult
+
+
+def run_granularity_sweep(
+    range_sizes: Sequence[Optional[int]] = (32, 128, 512, 2048, None),
+    base_orders: int = 120,
+    insert_orders: int = 12,
+    reads: int = 150,
+    pool_capacity: int = 16,
+    seed: int = 7,
+) -> List[GranularityPoint]:
+    """Ablation A: insert and random-read throughput vs. range size.
+
+    Expected shape: inserts degrade slightly as ranges get smaller (more
+    index entries per insert); random reads degrade sharply as ranges get
+    *larger* (longer scans per lookup) — the trade-off §4.2 describes.
+    ``None`` = one range per insert operation (the paper's rule).
+    """
+    points: List[GranularityPoint] = []
+    document = purchase_orders_document(base_orders, seed=seed)
+    for size in range_sizes:
+        config = StoreConfig(
+            policy=IndexingPolicy.RANGE,
+            max_range_tokens=size,
+            buffer_pool_capacity=pool_capacity,
+        )
+        store = XMLStore.open(config)
+        root = store.load_document(document)
+        fragments = list(
+            purchase_order_stream(insert_orders, seed=seed + 1, start_no=base_orders)
+        )
+        insert_result = insert_phase(store, root, fragments)
+        # reads run against a freshly loaded store (pre-insert layout);
+        # uniform ids isolate the scan-length effect from caching effects
+        store = XMLStore.open(config)
+        store.load_document(document)
+        item_ids = [n.node_id for n in store.xpath("//item")]
+        rng = random.Random(seed)
+        read_ids = [rng.choice(item_ids) for _ in range(reads)]
+        read_result = random_read_phase(store, read_ids)
+        points.append(
+            GranularityPoint(
+                max_range_tokens=size,
+                ranges=len(store.range_snapshot()),
+                insert=insert_result,
+                random_reads=read_result,
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------- Ablation B --
+
+@dataclass
+class PartialCapacityPoint:
+    capacity: Optional[int]
+    hit_rate: float
+    random_reads: PhaseResult
+
+
+def run_partial_capacity_sweep(
+    capacities: Sequence[Optional[int]] = (0, 8, 32, 128, None),
+    base_orders: int = 120,
+    reads: int = 300,
+    hot_fraction: float = 0.1,
+    pool_capacity: int = 16,
+    seed: int = 7,
+) -> List[PartialCapacityPoint]:
+    """Ablation B: random-read throughput vs. partial-index capacity.
+
+    Capacity 0 degenerates to the plain Range Index; unbounded capacity is
+    the paper's configuration.  Expected shape: throughput grows with
+    capacity until the hot set fits, then flattens (laziness means cold
+    entries never cost anything either way).
+    """
+    document = purchase_orders_document(base_orders, seed=seed)
+    points: List[PartialCapacityPoint] = []
+    for capacity in capacities:
+        if capacity == 0:
+            config = StoreConfig(
+                policy=IndexingPolicy.RANGE, buffer_pool_capacity=pool_capacity
+            )
+        else:
+            config = StoreConfig(
+                policy=IndexingPolicy.RANGE_PLUS_PARTIAL,
+                partial_index_capacity=capacity,
+                buffer_pool_capacity=pool_capacity,
+            )
+        store = XMLStore.open(config)
+        store.load_document(document)
+        item_ids = [n.node_id for n in store.xpath("//item")]
+        read_ids = hot_cold_choices(
+            item_ids, reads, hot_fraction=hot_fraction, hot_probability=0.9, seed=seed
+        )
+        result = random_read_phase(store, read_ids)
+        hit_rate = (
+            store.partial_index.stats.hit_rate if store.partial_index is not None else 0.0
+        )
+        points.append(PartialCapacityPoint(capacity, hit_rate, result))
+    return points
+
+
+# ---------------------------------------------------------------- Ablation C --
+
+@dataclass
+class LazinessPoint:
+    segments: int
+    lazy_insert: PhaseResult
+    eager_memory_insert: PhaseResult
+    eager_full_insert: PhaseResult
+
+    @property
+    def lazy_advantage(self) -> float:
+        """How many times faster lazy insertion is than the eager
+        (disk-indexed) strawman."""
+        return self.lazy_insert.kb_per_second / max(
+            self.eager_full_insert.kb_per_second, 1e-12
+        )
+
+
+def run_lazy_vs_eager(
+    segment_counts: Sequence[int] = (10, 25, 50, 100),
+    items_per_order: int = 5,
+    pool_capacity: int = 24,
+    seed: int = 7,
+) -> List[LazinessPoint]:
+    """Ablation C: lazy vs. eager indexing of inserted segments.
+
+    The §8 comparison: Catania et al.'s segments are "defined lazily" but
+    their *content* is indexed eagerly at insert, and "their performance
+    is degraded ... especially as the segments increase in number".  We
+    measure the same append stream under three disciplines: lazy (the
+    store's default), eager population of the memory partial index, and
+    eager per-node indexing in the disk-based full index (the faithful
+    Catania analogue).  Expected shape: lazy wins everywhere, and its
+    advantage over the eager-full discipline *grows* with the number of
+    segments (the index being maintained keeps growing).
+    """
+    points: List[LazinessPoint] = []
+    for segments in segment_counts:
+        results: Dict[str, PhaseResult] = {}
+        variants = [
+            ("lazy", IndexingPolicy.RANGE_PLUS_PARTIAL, False),
+            ("eager-memory", IndexingPolicy.RANGE_PLUS_PARTIAL, True),
+            ("eager-full", IndexingPolicy.FULL, False),
+        ]
+        for label, policy, eager in variants:
+            config = StoreConfig(
+                policy=policy,
+                eager_partial_index=eager,
+                buffer_pool_capacity=pool_capacity,
+            )
+            store = XMLStore.open(config)
+            root = store.load_document("<purchase-orders/>")
+            fragments = list(
+                purchase_order_stream(segments, items_per_order, seed=seed)
+            )
+            results[label] = insert_phase(store, root, fragments, label=label)
+        points.append(
+            LazinessPoint(
+                segments=segments,
+                lazy_insert=results["lazy"],
+                eager_memory_insert=results["eager-memory"],
+                eager_full_insert=results["eager-full"],
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------- Ablation D --
+
+@dataclass
+class IdSchemeResult:
+    scheme: str
+    inserts: int
+    labels_changed: int
+    supports_order: bool
+    supports_ancestry: bool
+
+
+def run_id_scheme_comparison(
+    siblings: int = 200, middle_inserts: int = 50, seed: int = 7
+) -> List[IdSchemeResult]:
+    """Ablation D: relabeling cost of identifier schemes under repeated
+    middle-sibling insertion (§6: id schemes are orthogonal to the store;
+    their *update* costs differ wildly).
+
+    Expected shape: sequential store ids and ORDPATH never relabel;
+    Dewey relabels following siblings; pre/post relabels O(document).
+    """
+    rng = random.Random(seed)
+    results: List[IdSchemeResult] = []
+
+    # --- sequential store ids: stable by construction
+    results.append(
+        IdSchemeResult(
+            scheme="sequential (store)",
+            inserts=middle_inserts,
+            labels_changed=0,
+            supports_order=False,  # only within a range (§6.2)
+            supports_ancestry=False,
+        )
+    )
+
+    # --- ORDPATH: caret in, never move anyone
+    ordpath = OrdpathScheme()
+    labels = [(1, 2 * i + 1) for i in range(siblings)]
+    changed = 0
+    for _ in range(middle_inserts):
+        index = rng.randrange(len(labels) - 1)
+        left, right = labels[index], labels[index + 1]
+        new_label = ordpath.between(left, right)
+        changed += ordpath.relabel_cost(labels, left)
+        labels.insert(index + 1, new_label)
+    results.append(
+        IdSchemeResult(
+            scheme="ordpath",
+            inserts=middle_inserts,
+            labels_changed=changed,
+            supports_order=True,
+            supports_ancestry=True,
+        )
+    )
+
+    # --- Dewey: renumber following siblings
+    dewey = DeweyScheme()
+    dewey_labels = [(1, i + 1) for i in range(siblings)]
+    changed = 0
+    for _ in range(middle_inserts):
+        index = rng.randrange(len(dewey_labels) - 1)
+        new_label, moves = dewey.renumber_after(dewey_labels, dewey_labels[index])
+        changed += len(moves)
+        mapping = dict(moves)
+        dewey_labels = [mapping.get(l, l) for l in dewey_labels]
+        dewey_labels.insert(index + 1, new_label)
+    results.append(
+        IdSchemeResult(
+            scheme="dewey",
+            inserts=middle_inserts,
+            labels_changed=changed,
+            supports_order=True,
+            supports_ancestry=True,
+        )
+    )
+
+    # --- pre/post: renumber everything after the insert point
+    labeler = PrePostLabeler()
+    from repro.ids.prepost import PrePostLabel
+
+    prepost = [PrePostLabel(i + 1, i) for i in range(siblings)]  # flat siblings
+    changed = 0
+    for _ in range(middle_inserts):
+        index = rng.randrange(len(prepost) - 1)
+        target = prepost[index]
+        new_label, relabeled = labeler.insert_leaf(
+            prepost, target.pre + 1, target.post + 1
+        )
+        changed += sum(1 for old, new in zip(prepost, relabeled) if old != new)
+        prepost = relabeled
+        prepost.insert(index + 1, new_label)
+    results.append(
+        IdSchemeResult(
+            scheme="prepost",
+            inserts=middle_inserts,
+            labels_changed=changed,
+            supports_order=True,
+            supports_ancestry=True,
+        )
+    )
+    return results
+
+
+# ---------------------------------------------------------------- Ablation E --
+
+@dataclass
+class MixedWorkloadPoint:
+    read_fraction: float
+    policy: str
+    simulated_seconds: float
+    operations: int
+
+
+def run_adaptive_mixed(
+    read_fractions: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95),
+    operations: int = 300,
+    base_orders: int = 60,
+    pool_capacity: int = 16,
+    seed: int = 7,
+) -> List[MixedWorkloadPoint]:
+    """Ablation E: adaptive policy vs. fixed policies across read mixes.
+
+    Expected shape: the plain Range Index loses everywhere that lookups
+    repeat (a Table-5 insight: even *updates* profit from memoized
+    lookups); eager population wastes work on update-heavy mixes; and
+    ADAPTIVE tracks the best fixed discipline across the whole sweep
+    (§2.1's "middle approach ... depending on the application load").
+    """
+    from repro.workloads.operations import apply_stream, mixed_stream
+
+    policies = [
+        ("range", IndexingPolicy.RANGE, False),
+        ("range+partial", IndexingPolicy.RANGE_PLUS_PARTIAL, False),
+        ("eager-partial", IndexingPolicy.RANGE_PLUS_PARTIAL, True),
+        ("adaptive", IndexingPolicy.ADAPTIVE, False),
+    ]
+    document = purchase_orders_document(base_orders, seed=seed)
+    points: List[MixedWorkloadPoint] = []
+    for fraction in read_fractions:
+        for name, policy, eager in policies:
+            config = StoreConfig(
+                policy=policy,
+                eager_partial_index=eager,
+                buffer_pool_capacity=pool_capacity,
+                adaptive_window=32,
+            )
+            store = XMLStore.open(config)
+            root = store.load_document(document)
+            item_ids = [n.node_id for n in store.xpath("//item")]
+            read_ids = hot_cold_choices(
+                item_ids, operations, hot_fraction=0.05, seed=seed
+            )
+            fragments = list(purchase_order_stream(operations, seed=seed + 2,
+                                                   start_no=base_orders))
+            stream = mixed_stream(
+                read_ids, root, fragments, fraction, operations, seed=seed
+            )
+            before = store.simulated_seconds
+            apply_stream(store, stream)
+            points.append(
+                MixedWorkloadPoint(
+                    read_fraction=fraction,
+                    policy=name,
+                    simulated_seconds=store.simulated_seconds - before,
+                    operations=operations,
+                )
+            )
+    return points

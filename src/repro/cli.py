@@ -1,0 +1,153 @@
+"""Command-line interface: operate a directory-backed store from a shell.
+
+Usage::
+
+    python -m repro.cli <store-dir> <command> [args...]
+
+Commands:
+
+    load <file.xml | ->        bulk-insert a document (- reads stdin)
+    read [node-id]             serialize the store or one subtree
+    xpath <expression>         evaluate an XPath query
+    insert-last <id> <xml>     insert as last child of node <id>
+    insert-before <id> <xml>   insert as preceding sibling
+    delete <id>                delete a node (and subtree)
+    replace <id> <xml>         replace a node
+    ranges                     show the Range Index snapshot (Tables 2-3)
+    stats                      show store statistics
+    compact                    merge adjacent ranges
+    verify                     run the integrity checker
+
+Every invocation opens the store, applies the command, checkpoints and
+closes — so the directory is always consistent afterwards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.core.filestore import close_directory, open_directory
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Adaptive XML store (Duda & Kossmann, SIGMOD 2005)",
+    )
+    parser.add_argument("store", help="store directory (created on demand)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    load = commands.add_parser("load", help="bulk-insert a document")
+    load.add_argument("source", help="XML file path, or - for stdin")
+
+    read = commands.add_parser("read", help="serialize the store or a node")
+    read.add_argument("node_id", nargs="?", type=int)
+    read.add_argument("--pretty", action="store_true", help="indent output")
+
+    xpath = commands.add_parser("xpath", help="evaluate an XPath query")
+    xpath.add_argument("expression")
+
+    insert_last = commands.add_parser("insert-last", help="insert as last child")
+    insert_last.add_argument("node_id", type=int)
+    insert_last.add_argument("xml")
+
+    insert_before = commands.add_parser("insert-before", help="insert before")
+    insert_before.add_argument("node_id", type=int)
+    insert_before.add_argument("xml")
+
+    delete = commands.add_parser("delete", help="delete a node")
+    delete.add_argument("node_id", type=int)
+
+    replace = commands.add_parser("replace", help="replace a node")
+    replace.add_argument("node_id", type=int)
+    replace.add_argument("xml")
+
+    commands.add_parser("ranges", help="show the Range Index snapshot")
+    commands.add_parser("stats", help="show store statistics")
+    commands.add_parser("compact", help="merge adjacent ranges")
+    commands.add_parser("verify", help="run the integrity checker")
+    return parser
+
+
+def run(argv: Optional[List[str]] = None, stdin=None) -> str:
+    """Execute one CLI invocation; returns the text that was printed."""
+    arguments = build_parser().parse_args(argv)
+    stdin = stdin if stdin is not None else sys.stdin
+    store = open_directory(arguments.store)
+    try:
+        output = _dispatch(store, arguments, stdin)
+    finally:
+        close_directory(arguments.store, store)
+    return output
+
+
+def _dispatch(store, arguments, stdin) -> str:
+    command = arguments.command
+    if command == "load":
+        if arguments.source == "-":
+            text = stdin.read()
+        else:
+            with open(arguments.source) as handle:
+                text = handle.read()
+        first_id = store.load_document(text)
+        return f"loaded; first node id = {first_id}"
+    if command == "read":
+        from repro.xmltoken.parser import tokenize_fragment
+        from repro.xmltoken.serializer import serialize
+
+        text = store.read(arguments.node_id)
+        if arguments.pretty and text:
+            text = serialize(tokenize_fragment(text), indent="  ")
+        return text
+    if command == "xpath":
+        results = store.xpath(arguments.expression)
+        lines = [f"{len(results)} match(es)"]
+        lines.extend(f"#{node.node_id}\t{node.xml()}" for node in results)
+        return "\n".join(lines)
+    if command == "insert-last":
+        first_id = store.insert_into_last(arguments.node_id, arguments.xml)
+        return f"inserted; first node id = {first_id}"
+    if command == "insert-before":
+        first_id = store.insert_before(arguments.node_id, arguments.xml)
+        return f"inserted; first node id = {first_id}"
+    if command == "delete":
+        store.delete_node(arguments.node_id)
+        return f"deleted node {arguments.node_id}"
+    if command == "replace":
+        first_id = store.replace_node(arguments.node_id, arguments.xml)
+        return f"replaced; new node id = {first_id}"
+    if command == "ranges":
+        lines = ["RangeId  BlockId  StartId  EndId"]
+        for range_id, block_id, start_id, end_id in store.range_snapshot():
+            lines.append(
+                f"{range_id:>7}  {block_id:>7}  {str(start_id):>7}  {str(end_id):>5}"
+            )
+        return "\n".join(lines)
+    if command == "stats":
+        return store.stats.summary()
+    if command == "compact":
+        report = store.compact()
+        return (
+            f"compacted: {report.ranges_before} -> {report.ranges_after} "
+            f"ranges ({report.merges} merges)"
+        )
+    if command == "verify":
+        store.check_integrity()
+        return "integrity ok"
+    raise AssertionError(f"unhandled command {command}")  # pragma: no cover
+
+
+def main() -> int:  # pragma: no cover - thin wrapper
+    try:
+        print(run())
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

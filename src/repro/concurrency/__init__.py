@@ -1,0 +1,27 @@
+"""Concurrency control: hierarchical locks and 2PL transactions (§9)."""
+
+from repro.concurrency.locks import (
+    LockManager,
+    LockMode,
+    STORE_RESOURCE,
+    compatible,
+    parent_resource,
+    range_resource,
+    supremum,
+    token_resource,
+)
+from repro.concurrency.transactions import Transaction, TransactionManager, TxnState
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "STORE_RESOURCE",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "compatible",
+    "parent_resource",
+    "range_resource",
+    "supremum",
+    "token_resource",
+]

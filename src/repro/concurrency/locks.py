@@ -1,0 +1,263 @@
+"""Hierarchical lock manager (paper §9).
+
+"The flat model proposed in this paper allows the definition of these
+concepts on a three-layer architecture: blocks, ranges and tokens."  This
+module implements multi-granularity locking over that hierarchy with the
+classic mode lattice (IS, IX, S, SIX, X): locking a range for update takes
+an intention lock on the store first; locking a token takes intentions on
+store and range.
+
+The manager is deterministic and thread-free, matching the rest of the
+reproduction: conflicts either fail fast (``wait=False``), or enqueue the
+request and raise :class:`DeadlockError` when the wait-for graph acquires
+a cycle.  Tests drive interleavings explicitly; release grants queued
+compatible requests in FIFO order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConcurrencyError, DeadlockError
+
+
+class LockMode(Enum):
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    SIX = "SIX"
+    X = "X"
+
+
+_COMPATIBLE: Dict[Tuple[LockMode, LockMode], bool] = {}
+
+
+def _fill_compatibility() -> None:
+    table = {
+        LockMode.IS: {LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX},
+        LockMode.IX: {LockMode.IS, LockMode.IX},
+        LockMode.S: {LockMode.IS, LockMode.S},
+        LockMode.SIX: {LockMode.IS},
+        LockMode.X: set(),
+    }
+    for held, allowed in table.items():
+        for requested in LockMode:
+            _COMPATIBLE[(held, requested)] = requested in allowed
+
+
+_fill_compatibility()
+
+#: Upgrade lattice: the least mode covering both.
+_SUPREMUM: Dict[Tuple[LockMode, LockMode], LockMode] = {}
+
+
+def _fill_supremum() -> None:
+    order = {
+        LockMode.IS: {LockMode.IS},
+        LockMode.IX: {LockMode.IS, LockMode.IX},
+        LockMode.S: {LockMode.IS, LockMode.S},
+        LockMode.SIX: {LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX},
+        LockMode.X: set(LockMode),
+    }
+
+    def covers(a: LockMode, b: LockMode) -> bool:
+        return b in order[a]
+
+    for a in LockMode:
+        for b in LockMode:
+            candidates = [m for m in LockMode if covers(m, a) and covers(m, b)]
+            # pick the least candidate (fewest covered modes)
+            best = min(candidates, key=lambda m: len(order[m]))
+            _SUPREMUM[(a, b)] = best
+
+
+_fill_supremum()
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    """Whether ``requested`` can be granted alongside ``held``."""
+    return _COMPATIBLE[(held, requested)]
+
+
+def supremum(a: LockMode, b: LockMode) -> LockMode:
+    """The least mode at least as strong as both (lock upgrade target)."""
+    return _SUPREMUM[(a, b)]
+
+
+#: A resource is a hierarchy path, e.g. ("store",), ("store", "range", 3),
+#: ("store", "range", 3, "token", 17).
+Resource = Tuple
+
+
+def parent_resource(resource: Resource) -> Optional[Resource]:
+    """The enclosing resource (…/range/N -> store; store -> None)."""
+    if len(resource) <= 1:
+        return None
+    return resource[:-2]
+
+
+@dataclass
+class _Request:
+    txn_id: int
+    mode: LockMode
+
+
+class LockManager:
+    """Multi-granularity lock manager with FIFO queues and deadlock
+    detection on the wait-for graph."""
+
+    def __init__(self) -> None:
+        # resource -> {txn_id: granted mode}
+        self._granted: Dict[Resource, "OrderedDict[int, LockMode]"] = {}
+        # resource -> FIFO of waiting requests
+        self._waiting: Dict[Resource, List[_Request]] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def acquire(
+        self,
+        txn_id: int,
+        resource: Resource,
+        mode: LockMode,
+        wait: bool = True,
+    ) -> bool:
+        """Acquire (or upgrade to) ``mode`` on ``resource``.
+
+        Returns True when granted.  On conflict: with ``wait=False``
+        raises :class:`ConcurrencyError`; otherwise the request is queued
+        and False is returned — unless queuing would close a cycle in the
+        wait-for graph, which raises :class:`DeadlockError` (the caller
+        should abort).
+        """
+        held = self._granted.setdefault(resource, OrderedDict())
+        current = held.get(txn_id)
+        target = mode if current is None else supremum(current, mode)
+        if current == target:
+            return True
+        others = [(t, m) for t, m in held.items() if t != txn_id]
+        if all(compatible(m, target) for _, m in others) and not self._blocks_queue(
+            resource, txn_id
+        ):
+            held[txn_id] = target
+            return True
+        if not wait:
+            raise ConcurrencyError(
+                f"txn {txn_id} cannot lock {resource} in {target.value} without waiting"
+            )
+        queue = self._waiting.setdefault(resource, [])
+        queue.append(_Request(txn_id, target))
+        if self._has_deadlock(txn_id):
+            queue.pop()
+            raise DeadlockError(
+                f"granting {target.value} on {resource} to txn {txn_id} "
+                f"would deadlock"
+            )
+        return False
+
+    def lock_hierarchy(
+        self, txn_id: int, resource: Resource, mode: LockMode, wait: bool = True
+    ) -> bool:
+        """Acquire ``mode`` on ``resource`` after the appropriate intention
+        locks on every ancestor (IS for S/IS, IX otherwise)."""
+        intention = LockMode.IS if mode in (LockMode.S, LockMode.IS) else LockMode.IX
+        ancestors: List[Resource] = []
+        cursor: Optional[Resource] = parent_resource(resource)
+        while cursor is not None:
+            ancestors.append(cursor)
+            cursor = parent_resource(cursor)
+        for ancestor in reversed(ancestors):
+            if not self.acquire(txn_id, ancestor, intention, wait=wait):
+                return False
+        return self.acquire(txn_id, resource, mode, wait=wait)
+
+    def release(self, txn_id: int, resource: Resource) -> None:
+        """Release one lock and grant whatever now can run."""
+        held = self._granted.get(resource)
+        if held is None or txn_id not in held:
+            raise ConcurrencyError(f"txn {txn_id} holds no lock on {resource}")
+        del held[txn_id]
+        self._grant_waiters(resource)
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock and queued request of ``txn_id`` (commit or
+        abort)."""
+        for resource, queue in self._waiting.items():
+            self._waiting[resource] = [r for r in queue if r.txn_id != txn_id]
+        for resource in list(self._granted):
+            held = self._granted[resource]
+            if txn_id in held:
+                del held[txn_id]
+                self._grant_waiters(resource)
+
+    def held_mode(self, txn_id: int, resource: Resource) -> Optional[LockMode]:
+        return self._granted.get(resource, {}).get(txn_id)
+
+    def is_waiting(self, txn_id: int, resource: Resource) -> bool:
+        return any(r.txn_id == txn_id for r in self._waiting.get(resource, []))
+
+    def holders(self, resource: Resource) -> Dict[int, LockMode]:
+        return dict(self._granted.get(resource, {}))
+
+    # -- internals -------------------------------------------------------------
+
+    def _blocks_queue(self, resource: Resource, txn_id: int) -> bool:
+        """Fairness: a new request must not overtake already-queued
+        strangers (it may join its own earlier upgrade)."""
+        return any(r.txn_id != txn_id for r in self._waiting.get(resource, []))
+
+    def _grant_waiters(self, resource: Resource) -> None:
+        queue = self._waiting.get(resource, [])
+        held = self._granted.setdefault(resource, OrderedDict())
+        progressed = True
+        while progressed and queue:
+            progressed = False
+            head = queue[0]
+            others = [(t, m) for t, m in held.items() if t != head.txn_id]
+            if all(compatible(m, head.mode) for _, m in others):
+                current = held.get(head.txn_id)
+                held[head.txn_id] = (
+                    head.mode if current is None else supremum(current, head.mode)
+                )
+                queue.pop(0)
+                progressed = True
+
+    def _has_deadlock(self, start_txn: int) -> bool:
+        """DFS over the wait-for graph: waiter -> holders blocking it."""
+        edges: Dict[int, Set[int]] = {}
+        for resource, queue in self._waiting.items():
+            held = self._granted.get(resource, {})
+            for request in queue:
+                blockers = {
+                    t
+                    for t, m in held.items()
+                    if t != request.txn_id and not compatible(m, request.mode)
+                }
+                if blockers:
+                    edges.setdefault(request.txn_id, set()).update(blockers)
+        seen: Set[int] = set()
+        stack = [start_txn]
+        while stack:
+            txn = stack.pop()
+            for blocker in edges.get(txn, ()):
+                if blocker == start_txn:
+                    return True
+                if blocker not in seen:
+                    seen.add(blocker)
+                    stack.append(blocker)
+        return False
+
+
+# -- resource constructors (the three-layer hierarchy) -----------------------
+
+STORE_RESOURCE: Resource = ("store",)
+
+
+def range_resource(range_id: int) -> Resource:
+    return ("store", "range", range_id)
+
+
+def token_resource(range_id: int, offset: int) -> Resource:
+    return ("store", "range", range_id, "token", offset)

@@ -1,0 +1,284 @@
+"""Transactions over the store: strict 2PL + logical undo (paper §9).
+
+A :class:`TransactionManager` wraps one :class:`~repro.core.store.XMLStore`
+with the hierarchical lock manager.  Each :class:`Transaction` offers the
+store's Table-1 operations; reads take S locks on the ranges they touch,
+updates take X locks, and every operation records its logical inverse so
+``abort()`` restores the store's *content* (note: aborting restores
+content, not node identifiers — replacements re-allocate ids, which the
+paper's stable-id contract permits since ids are never reused).
+
+Locks are held until commit/abort (strict two-phase locking).  Conflicts
+raise immediately (``wait=False`` discipline) or queue with deadlock
+detection, matching the deterministic, single-threaded test harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConcurrencyError, TransactionStateError
+from repro.concurrency.locks import (
+    LockManager,
+    LockMode,
+    STORE_RESOURCE,
+    range_resource,
+)
+from repro.core.store import XMLStore
+from repro.xmltoken.tokens import TokenKind
+
+
+class TxnState(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class _UndoEntry:
+    description: str
+    apply: Callable[[], None]
+
+
+class Transaction:
+    """One transaction; create via :meth:`TransactionManager.begin`."""
+
+    def __init__(self, manager: "TransactionManager", txn_id: int) -> None:
+        self._manager = manager
+        self.txn_id = txn_id
+        self.state = TxnState.ACTIVE
+        self._undo: List[_UndoEntry] = []
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, node_id: Optional[int] = None) -> str:
+        self._check_active()
+        if node_id is None:
+            self._lock(STORE_RESOURCE, LockMode.S)
+            return self._store.read()
+        self._lock_node(node_id, LockMode.S)
+        return self._store.read(node_id)
+
+    def xpath(self, expression: str):
+        self._check_active()
+        self._lock(STORE_RESOURCE, LockMode.S)
+        return self._store.xpath(expression)
+
+    # -- updates ---------------------------------------------------------------
+
+    def load_document(self, xml_text: str) -> Optional[int]:
+        self._check_active()
+        self._lock(STORE_RESOURCE, LockMode.X)
+        first_id = self._store.load_document(xml_text)
+        if first_id is not None:
+            self._push_undo_delete_inserted(xml_text, first_id)
+        return first_id
+
+    def insert_before(self, node_id: int, xml_text: str) -> Optional[int]:
+        return self._insert("insert_before", node_id, xml_text)
+
+    def insert_after(self, node_id: int, xml_text: str) -> Optional[int]:
+        return self._insert("insert_after", node_id, xml_text)
+
+    def insert_into_first(self, node_id: int, xml_text: str) -> Optional[int]:
+        return self._insert("insert_into_first", node_id, xml_text)
+
+    def insert_into_last(self, node_id: int, xml_text: str) -> Optional[int]:
+        return self._insert("insert_into_last", node_id, xml_text)
+
+    def delete_node(self, node_id: int) -> None:
+        self._check_active()
+        self._lock_node(node_id, LockMode.X)
+        xml_text = self._store.read(node_id)
+        anchor = self._deletion_anchor(node_id)
+        self._store.delete_node(node_id)
+        self._push_undo_reinsert(xml_text, anchor)
+
+    def replace_node(self, node_id: int, xml_text: str) -> Optional[int]:
+        self._check_active()
+        self._lock_node(node_id, LockMode.X)
+        old_xml = self._store.read(node_id)
+        new_id = self._store.replace_node(node_id, xml_text)
+        assert new_id is not None
+
+        def undo() -> None:
+            self._store.replace_node(new_id, old_xml)
+
+        self._undo.append(_UndoEntry(f"unreplace node {node_id}", undo))
+        return new_id
+
+    def replace_content(self, node_id: int, xml_text: str) -> Optional[int]:
+        self._check_active()
+        self._lock_node(node_id, LockMode.X)
+        tokens = self._store.node_tokens(node_id)
+        from repro.xmltoken.serializer import serialize
+        from repro.xmltoken.datamodel import node_end_offset
+
+        # old content = everything between begin (plus attributes) and end
+        inner = tokens[1:-1]
+        index = 0
+        while index < len(inner) and inner[index].kind in (
+            TokenKind.BEGIN_ATTRIBUTE,
+            TokenKind.ATTRIBUTE_VALUE,
+            TokenKind.END_ATTRIBUTE,
+            TokenKind.NAMESPACE,
+        ):
+            index += 1
+        old_content = serialize(inner[index:])
+        result = self._store.replace_content(node_id, xml_text)
+
+        def undo() -> None:
+            self._store.replace_content(node_id, old_content)
+
+        self._undo.append(_UndoEntry(f"restore content of {node_id}", undo))
+        return result
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._check_active()
+        self.state = TxnState.COMMITTED
+        self._undo.clear()
+        self._manager._finish(self)
+
+    def abort(self) -> None:
+        self._check_active()
+        for entry in reversed(self._undo):
+            entry.apply()
+        self._undo.clear()
+        self.state = TxnState.ABORTED
+        self._manager._finish(self)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state is TxnState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+
+    # -- internals ------------------------------------------------------------------
+
+    @property
+    def _store(self) -> XMLStore:
+        return self._manager.store
+
+    def _check_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.txn_id} is {self.state.value}"
+            )
+
+    def _lock(self, resource, mode: LockMode) -> None:
+        granted = self._manager.locks.lock_hierarchy(
+            self.txn_id, resource, mode, wait=self._manager.wait_on_conflict
+        )
+        if not granted:
+            raise ConcurrencyError(
+                f"transaction {self.txn_id} must wait for {resource}"
+            )
+
+    def _lock_node(self, node_id: int, mode: LockMode) -> None:
+        """Lock the range(s) hosting ``node_id`` at ``mode``."""
+        location = self._store.locator.locate(node_id)
+        self._lock(range_resource(location.begin.meta.range_id), mode)
+
+    def _insert(self, op_name: str, node_id: int, xml_text: str) -> Optional[int]:
+        self._check_active()
+        self._lock_node(node_id, LockMode.X)
+        first_id = getattr(self._store, op_name)(node_id, xml_text)
+        if first_id is not None:
+            self._push_undo_delete_inserted(xml_text, first_id)
+        return first_id
+
+    def _push_undo_delete_inserted(self, xml_text: str, first_id: int) -> None:
+        """Undo an insert: delete each inserted top-level node by id."""
+        from repro.xmltoken.datamodel import strip_document_tokens, top_level_nodes
+        from repro.xmltoken.parser import tokenize_fragment
+        from repro.xmltoken.tokens import count_nodes
+
+        tokens = strip_document_tokens(tokenize_fragment(xml_text))
+        top_ids: List[int] = []
+        consumed = 0
+        for start, end in top_level_nodes(tokens):
+            if tokens[start].starts_node:
+                top_ids.append(first_id + consumed)
+            consumed += count_nodes(tokens[start:end])
+
+        def undo() -> None:
+            for top_id in top_ids:
+                self._store.delete_node(top_id)
+
+        self._undo.append(_UndoEntry(f"uninsert nodes {top_ids}", undo))
+
+    def _deletion_anchor(self, node_id: int) -> Tuple[str, Optional[int]]:
+        """How to re-insert ``node_id``'s subtree on abort: before its next
+        sibling, as last child of its parent, or at top level."""
+        view_root = self._build_view()
+        node, parent = self._find_with_parent(view_root, node_id)
+        if node is None:
+            return ("top", None)
+        siblings = parent.children if parent is not None else view_root.children
+        index = siblings.index(node)
+        for following in siblings[index + 1 :]:
+            if following.node_id is not None:
+                return ("before", following.node_id)
+        if parent is not None and parent.node_id is not None:
+            return ("into_last", parent.node_id)
+        return ("top", None)
+
+    def _build_view(self):
+        from repro.xpath.evaluator import build_view
+
+        return build_view(self._store)
+
+    def _find_with_parent(self, root, node_id: int):
+        stack = [(child, root) for child in root.children]
+        while stack:
+            node, parent = stack.pop()
+            if node.node_id == node_id:
+                return node, (None if parent is root else parent)
+            stack.extend((grandchild, node) for grandchild in node.children)
+        return None, None
+
+    def _push_undo_reinsert(
+        self, xml_text: str, anchor: Tuple[str, Optional[int]]
+    ) -> None:
+        kind, anchor_id = anchor
+
+        def undo() -> None:
+            if kind == "before" and anchor_id is not None:
+                self._store.insert_before(anchor_id, xml_text)
+            elif kind == "into_last" and anchor_id is not None:
+                self._store.insert_into_last(anchor_id, xml_text)
+            else:
+                self._store.load_document(xml_text)
+
+        self._undo.append(_UndoEntry(f"reinsert at {kind} {anchor_id}", undo))
+
+
+class TransactionManager:
+    """Issues transactions over one store and owns the lock manager."""
+
+    def __init__(self, store: XMLStore, wait_on_conflict: bool = False) -> None:
+        self.store = store
+        self.locks = LockManager()
+        #: False = fail fast on conflicts (ConcurrencyError); True = queue
+        #: with deadlock detection.
+        self.wait_on_conflict = wait_on_conflict
+        self._next_txn_id = 1
+        self.active: Dict[int, Transaction] = {}
+
+    def begin(self) -> Transaction:
+        txn = Transaction(self, self._next_txn_id)
+        self._next_txn_id += 1
+        self.active[txn.txn_id] = txn
+        return txn
+
+    def _finish(self, txn: Transaction) -> None:
+        self.locks.release_all(txn.txn_id)
+        self.active.pop(txn.txn_id, None)

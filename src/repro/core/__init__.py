@@ -1,0 +1,38 @@
+"""The paper's primary contribution: the adaptive, lazily indexed store."""
+
+from repro.core.compaction import CompactionReport, compact
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.filestore import StoreDirectory, close_directory, open_directory
+from repro.core.full_index import FullIndex
+from repro.core.indexing import AdaptiveController
+from repro.core.locator import Locator, NodeLocation, ScanItem
+from repro.core.navigation import StructuralHints
+from repro.core.partial_index import LocationEntry, PartialIndex
+from repro.core.range_index import RangeIndex
+from repro.core.ranges import RangeMeta, RangeTable
+from repro.core.stats import OperationCounts, StoreStatistics
+from repro.core.store import XMLStore
+
+__all__ = [
+    "AdaptiveController",
+    "CompactionReport",
+    "FullIndex",
+    "IndexingPolicy",
+    "LocationEntry",
+    "Locator",
+    "NodeLocation",
+    "OperationCounts",
+    "PartialIndex",
+    "RangeIndex",
+    "RangeMeta",
+    "RangeTable",
+    "ScanItem",
+    "StoreConfig",
+    "StoreDirectory",
+    "StoreStatistics",
+    "StructuralHints",
+    "XMLStore",
+    "close_directory",
+    "compact",
+    "open_directory",
+]

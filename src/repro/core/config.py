@@ -1,0 +1,120 @@
+"""Store configuration: the adaptivity knobs the paper argues for.
+
+The paper's thesis is that one fixed indexing strategy cannot fit every
+XML usage pattern (§2.1), so the store must expose *which* structures it
+maintains — and how eagerly — as configuration, with an adaptive mode that
+tunes itself to the observed workload.  :class:`IndexingPolicy` names the
+four strategies compared in Table 5 plus the adaptive controller, and
+:class:`StoreConfig` carries every knob the benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.storage.disk import DiskCostModel
+
+
+class IndexingPolicy(Enum):
+    """Which location structures the store maintains.
+
+    ``FULL``
+        Every node id is indexed eagerly in a disk-based B+-tree (the
+        paper's strawman, Table 5 row 1): fastest random reads, slowest
+        inserts, highest storage overhead.
+    ``RANGE``
+        Only the coarse Range Index (Table 5 rows 2–3): one entry per
+        insert unit.  Cheap updates; random reads pay a range scan.
+    ``RANGE_PLUS_PARTIAL``
+        Range Index plus the lazy, memory-based Partial Index (Table 5
+        row 4): lookup results are memoized so repeated access to the same
+        logical positions skips the scan — "the advantages of the full
+        index, but only when needed" (§5).
+    ``ADAPTIVE``
+        Starts as RANGE_PLUS_PARTIAL and switches partial-index population
+        on/off based on the observed read/update mix (§2.1, §9).
+    """
+
+    FULL = "full"
+    RANGE = "range"
+    RANGE_PLUS_PARTIAL = "range+partial"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass
+class StoreConfig:
+    """Every tuning knob of the store, with paper-faithful defaults."""
+
+    #: Block/page size in bytes for data, range-index and full-index pages.
+    page_size: int = 4096
+
+    #: Buffer-pool frames shared by data blocks and index blocks.
+    buffer_pool_capacity: int = 64
+
+    #: Which index structures to maintain (see :class:`IndexingPolicy`).
+    policy: IndexingPolicy = IndexingPolicy.RANGE_PLUS_PARTIAL
+
+    #: Maximum entries held by the (memory-based) partial index; the
+    #: least-recently-used entry is evicted beyond this.  ``None`` = unbounded.
+    partial_index_capacity: Optional[int] = 4096
+
+    #: Populate partial-index entries for *every* node at insert time
+    #: instead of lazily on first lookup.  This is the "eager segment
+    #: indexing" strawman of Ablation C (Catania et al. comparison, §8);
+    #: the paper's store keeps it False.
+    eager_partial_index: bool = False
+
+    #: Split bulk inserts into ranges of at most this many tokens.  ``None``
+    #: keeps the paper's rule — one insert operation, one range.  The
+    #: granularity sweep (Ablation A) sets it explicitly.
+    max_range_tokens: Optional[int] = None
+
+    #: Maximum keys per B+-tree node (range and full indexes).
+    btree_order: int = 64
+
+    #: Cost model charged for every simulated block access.
+    cost_model: DiskCostModel = field(default_factory=DiskCostModel)
+
+    #: Simulated seconds charged per token *emitted* (decoded and
+    #: serialized on the read path).  Models the per-record processing
+    #: cost of the paper's Java/JDBC-over-MySQL prototype; disk transfer
+    #: alone would make record processing unrealistically close to free.
+    cpu_cost_per_token: float = 20e-6
+
+    #: Simulated seconds charged per token *skipped over* by a locate scan.
+    #: Id regeneration only inspects the token header (does it start a
+    #: node?), not the payload, so scanning is cheaper per token than
+    #: emission — but it is exactly the cost the Range Index pays and the
+    #: Partial Index exists to avoid (§5).
+    cpu_cost_per_scan_token: float = 5e-6
+
+    #: Simulated seconds charged per B+-tree entry decoded during index
+    #: probes and maintenance — the index-side counterpart of the token
+    #: costs, so index-heavy strategies pay their CPU too.
+    cpu_cost_per_index_entry: float = 10e-6
+
+    #: ADAPTIVE policy: number of recent operations considered.
+    adaptive_window: int = 256
+
+    #: ADAPTIVE policy: fraction of reads in the window above which the
+    #: partial index is populated (read-optimized); below ``1 - this`` the
+    #: store stops populating and sheds entries (update-optimized).
+    adaptive_read_threshold: float = 0.5
+
+    #: Validate inserted token streams against the data model rules.
+    #: Costs CPU only; disable for large synthetic bulk loads.
+    validate_input: bool = True
+
+    def __post_init__(self) -> None:
+        if self.page_size < 256:
+            raise ValueError("page_size must be at least 256 bytes")
+        if self.buffer_pool_capacity < 4:
+            raise ValueError("buffer_pool_capacity must be at least 4")
+        if self.partial_index_capacity is not None and self.partial_index_capacity < 1:
+            raise ValueError("partial_index_capacity must be positive or None")
+        if self.max_range_tokens is not None and self.max_range_tokens < 4:
+            raise ValueError("max_range_tokens must be at least 4 or None")
+        if not 0.0 <= self.adaptive_read_threshold <= 1.0:
+            raise ValueError("adaptive_read_threshold must be in [0, 1]")

@@ -1,0 +1,103 @@
+"""The full-index baseline (paper §4.1): every node id indexed eagerly.
+
+"The advantages of a full index are the ability to quickly locate nodes.
+However, a full index has two main disadvantages: (a) inserts are
+expensive, and (b) storage requirements are very high."
+
+The full index is a disk-based B+-tree (same buffer pool, same simulated
+clock as everything else) mapping every node id to its physical location,
+stamped with the owning range's version.  Inserting N nodes costs N tree
+insertions — that is the cost Table 5 row 1 pays.  When a relocation bumps
+a range's version, affected entries become stale; they are repaired on
+access by falling back to a range scan and re-stamping, mirroring how the
+paper's position-based full indexes degrade under physical movement.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional, Tuple
+
+from repro.core.partial_index import LocationEntry
+from repro.core.ranges import RangeTable
+from repro.index.bptree import INT_KEY_CODEC, PagedBPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import Position
+
+_ENTRY = struct.Struct("<qqqqq")  # range_id, version, block, slot, offset
+
+
+class FullIndex:
+    """node_id -> (range_id, version, position, offset) over a B+-tree."""
+
+    def __init__(
+        self, pool: BufferPool, order: int = 64, root_block: Optional[int] = None
+    ) -> None:
+        self._tree: PagedBPlusTree[int] = PagedBPlusTree(
+            pool, INT_KEY_CODEC, order=order, root_block=root_block
+        )
+        self.stale_lookups = 0
+
+    @property
+    def root_block(self) -> int:
+        return self._tree.root_block
+
+    def put(
+        self,
+        node_id: int,
+        range_id: int,
+        version: int,
+        pos: Position,
+        offset: int,
+    ) -> None:
+        self._tree.insert(
+            node_id, _ENTRY.pack(range_id, version, pos.block_no, pos.slot, offset)
+        )
+
+    def put_entry(self, entry: LocationEntry) -> None:
+        self.put(
+            entry.node_id,
+            entry.range_id,
+            entry.version,
+            entry.begin_pos,
+            entry.begin_offset,
+        )
+
+    def lookup(self, node_id: int, ranges: RangeTable) -> Optional[LocationEntry]:
+        """A *current* location for ``node_id``; stale entries return None
+        (the caller re-locates by scan and calls :meth:`put` to repair)."""
+        value = self._tree.get(node_id)
+        if value is None:
+            return None
+        range_id, version, block_no, slot, offset = _ENTRY.unpack(value)
+        entry = LocationEntry(
+            node_id=node_id,
+            range_id=range_id,
+            version=version,
+            begin_pos=Position(block_no, slot),
+            begin_offset=offset,
+        )
+        if not entry.is_current(ranges):
+            self.stale_lookups += 1
+            return None
+        return entry
+
+    def remove(self, node_id: int) -> bool:
+        return self._tree.delete(node_id)
+
+    def remove_interval(self, low: int, high: int) -> int:
+        """Remove every entry with ``low <= node_id <= high`` (bulk path
+        for deleted subtrees); returns how many were removed."""
+        doomed = [node_id for node_id, _ in self._tree.items(low=low, high=high)]
+        for node_id in doomed:
+            self._tree.delete(node_id)
+        return len(doomed)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._tree
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def node_ids(self) -> Iterator[int]:
+        return (node_id for node_id, _ in self._tree.items())

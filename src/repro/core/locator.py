@@ -1,0 +1,314 @@
+"""Node location: partial index → full index → range index → scan.
+
+Implements the lookup discipline of §4–§5.  A node id is resolved by:
+
+1. probing the (memory) **partial index** — free, may be stale;
+2. probing the (disk) **full index** when the policy maintains one;
+3. otherwise ``rangeIndexLocate``: a **range-index** floor lookup names the
+   candidate range, and a scan from the range's start *regenerates node
+   identifiers with the id factory* (§4.3 — ids are not stored with the
+   tokens) until the target id is reached.
+
+Every successful scan is memoized back into the partial index (lazy
+population), which is precisely what makes the store adaptive: positions
+the workload keeps touching become cheap, untouched ones cost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import DocumentOrderError, NodeNotFoundError
+from repro.core.full_index import FullIndex
+from repro.core.layout import TokenLayout
+from repro.core.partial_index import LocationEntry, PartialIndex
+from repro.core.range_index import RangeIndex
+from repro.core.ranges import RangeMeta, RangeTable
+from repro.ids.base import StoreIdScheme
+from repro.storage.heap import Position
+from repro.xmltoken.binary import decode_token
+from repro.xmltoken.tokens import Token
+
+
+@dataclass
+class ScanItem:
+    """One token encountered by a document-order scan."""
+
+    order_index: int      # position of the range in document order
+    meta: RangeMeta       # the range the token belongs to
+    offset: int           # token offset inside the range
+    pos: Position         # physical position
+    token: Token
+    #: Id of the most recent node-starting token within this range, *after*
+    #: processing this token (None before the first node start).
+    last_id: Optional[int]
+
+
+@dataclass
+class NodeLocation:
+    """A located node: its begin token and (optionally) its end token."""
+
+    node_id: int
+    begin: ScanItem
+    end: Optional[ScanItem] = None
+
+    @property
+    def token(self) -> Token:
+        return self.begin.token
+
+
+@dataclass
+class LocatorStats:
+    partial_resolutions: int = 0
+    full_resolutions: int = 0
+    scan_resolutions: int = 0
+    tokens_scanned: int = 0
+
+    def reset(self) -> None:
+        self.partial_resolutions = 0
+        self.full_resolutions = 0
+        self.scan_resolutions = 0
+        self.tokens_scanned = 0
+
+
+class Locator:
+    """Resolves node identifiers to physical locations."""
+
+    def __init__(
+        self,
+        layout: TokenLayout,
+        ranges: RangeTable,
+        range_index: RangeIndex,
+        id_scheme: StoreIdScheme[int],
+        partial_index: Optional[PartialIndex] = None,
+        full_index: Optional[FullIndex] = None,
+    ) -> None:
+        self.layout = layout
+        self.ranges = ranges
+        self.range_index = range_index
+        self.id_scheme = id_scheme
+        self.partial_index = partial_index
+        self.full_index = full_index
+        self.stats = LocatorStats()
+        #: When False, successful scans are not memoized (the adaptive
+        #: controller flips this in update-optimized mode).
+        self.populate_partial = True
+
+    # -- scanning -----------------------------------------------------------------
+
+    def scan(self, start_order_index: int = 0) -> Iterator[ScanItem]:
+        """Scan tokens in document order from the given range onward,
+        regenerating node identifiers per range."""
+        total_ranges = len(self.ranges)
+        if start_order_index >= total_ranges:
+            return
+        first_meta = None
+        for order_index in range(start_order_index, total_ranges):
+            meta = self.ranges.at_order(order_index)
+            if meta.token_count:
+                first_meta = meta
+                first_index = order_index
+                break
+        if first_meta is None:
+            return
+        records = self.layout.iter_from(first_meta.start)
+        order_index = first_index
+        meta = first_meta
+        offset = 0
+        last_id: Optional[int] = None
+        for pos, record in records:
+            while offset >= meta.token_count:
+                order_index += 1
+                if order_index >= total_ranges:
+                    raise DocumentOrderError(
+                        "chain has records beyond the last range"
+                    )
+                meta = self.ranges.at_order(order_index)
+                offset = 0
+                last_id = None
+            if offset == 0 and pos != meta.start:
+                raise DocumentOrderError(
+                    f"range {meta.range_id} starts at {tuple(meta.start)}, "
+                    f"scan reached {tuple(pos)}"
+                )
+            token = decode_token(record)
+            if token.starts_node:
+                if last_id is None:
+                    if meta.start_id is None:
+                        raise DocumentOrderError(
+                            f"range {meta.range_id} has node tokens but no interval"
+                        )
+                    last_id = meta.start_id
+                else:
+                    last_id = self.id_scheme.next_id(last_id, token)
+            self.stats.tokens_scanned += 1
+            yield ScanItem(order_index, meta, offset, pos, token, last_id)
+            offset += 1
+
+    def scan_range(self, meta: RangeMeta) -> Iterator[ScanItem]:
+        """Scan exactly one range's tokens."""
+        order_index = self.ranges.order_index(meta.range_id)
+        for item in self.scan(order_index):
+            if item.meta.range_id != meta.range_id:
+                return
+            yield item
+
+    def continue_scan(self, item: ScanItem) -> Iterator[ScanItem]:
+        """Scan items *after* ``item`` in document order.
+
+        Re-derives the id cursor from the item, so it is exact within the
+        item's range and resets at range boundaries like :meth:`scan`.
+        """
+        meta = item.meta
+        offset = item.offset + 1
+        last_id = item.last_id
+        order_index = item.order_index
+        total_ranges = len(self.ranges)
+        records = self.layout.iter_from(item.pos)
+        next(records)  # skip the item itself
+        for pos, record in records:
+            while offset >= meta.token_count:
+                order_index += 1
+                if order_index >= total_ranges:
+                    raise DocumentOrderError("chain has records beyond the last range")
+                meta = self.ranges.at_order(order_index)
+                offset = 0
+                last_id = None
+            token = decode_token(record)
+            if token.starts_node:
+                if last_id is None:
+                    if meta.start_id is None:
+                        raise DocumentOrderError(
+                            f"range {meta.range_id} has node tokens but no interval"
+                        )
+                    last_id = meta.start_id
+                else:
+                    last_id = self.id_scheme.next_id(last_id, token)
+            self.stats.tokens_scanned += 1
+            yield ScanItem(order_index, meta, offset, pos, token, last_id)
+            offset += 1
+
+    # -- resolution ------------------------------------------------------------------
+
+    def locate(self, node_id: int) -> NodeLocation:
+        """Resolve ``node_id`` to its begin token or raise
+        :class:`NodeNotFoundError`."""
+        entry = None
+        if self.partial_index is not None:
+            entry = self.partial_index.probe(node_id, self.ranges)
+            if entry is not None:
+                self.stats.partial_resolutions += 1
+        if entry is None and self.full_index is not None:
+            entry = self.full_index.lookup(node_id, self.ranges)
+            if entry is not None:
+                self.stats.full_resolutions += 1
+        if entry is not None:
+            return self._location_from_entry(entry)
+        meta = self.range_index.locate(node_id, self.ranges)
+        if meta is None:
+            raise NodeNotFoundError(f"no node with id {node_id}")
+        location = self._locate_by_scan(meta, node_id)
+        self._memoize(location)
+        return location
+
+    def locate_span(self, node_id: int) -> NodeLocation:
+        """Resolve ``node_id`` including its end token."""
+        location = self.locate(node_id)
+        if location.end is None:
+            location.end = self.find_end(location.begin)
+            self._memoize(location)
+        return location
+
+    def find_end(self, begin: ScanItem) -> ScanItem:
+        """The item of the end token of the node starting at ``begin``."""
+        token = begin.token
+        if not token.starts_node:
+            raise DocumentOrderError(f"{token!r} does not start a node")
+        if not token.is_begin:
+            return begin
+        depth = 1
+        for item in self.continue_scan(begin):
+            if item.token.is_begin:
+                depth += 1
+            elif item.token.is_end:
+                depth -= 1
+                if depth == 0:
+                    return item
+        raise DocumentOrderError(f"node at {tuple(begin.pos)} is never closed")
+
+    # -- internals --------------------------------------------------------------------
+
+    def _locate_by_scan(self, meta: RangeMeta, node_id: int) -> NodeLocation:
+        self.stats.scan_resolutions += 1
+        for item in self.scan_range(meta):
+            if item.token.starts_node and item.last_id == node_id:
+                return NodeLocation(node_id=node_id, begin=item)
+        raise NodeNotFoundError(
+            f"node {node_id} was deleted from range {meta.range_id}"
+        )
+
+    def _location_from_entry(self, entry: LocationEntry) -> NodeLocation:
+        meta = self.ranges.get(entry.range_id)
+        order_index = self.ranges.order_index(entry.range_id)
+        begin_token = decode_token(self.layout.record_at(entry.begin_pos))
+        begin = ScanItem(
+            order_index=order_index,
+            meta=meta,
+            offset=entry.begin_offset,
+            pos=entry.begin_pos,
+            token=begin_token,
+            last_id=entry.node_id,
+        )
+        location = NodeLocation(node_id=entry.node_id, begin=begin)
+        if entry.has_end and entry.end_range_id is not None:
+            assert entry.end_pos is not None and entry.end_offset is not None
+            end_meta = self.ranges.get(entry.end_range_id)
+            end_token = decode_token(self.layout.record_at(entry.end_pos))
+            location.end = ScanItem(
+                order_index=self.ranges.order_index(entry.end_range_id),
+                meta=end_meta,
+                offset=entry.end_offset,
+                pos=entry.end_pos,
+                token=end_token,
+                last_id=entry.end_last_id,
+            )
+        return location
+
+    def _memoize(self, location: NodeLocation) -> None:
+        if self.partial_index is None or not self.populate_partial:
+            if self.full_index is not None:
+                self._repair_full(location)
+            return
+        begin = location.begin
+        entry = LocationEntry(
+            node_id=location.node_id,
+            range_id=begin.meta.range_id,
+            version=begin.meta.version,
+            begin_pos=begin.pos,
+            begin_offset=begin.offset,
+        )
+        if location.end is not None:
+            # The end token may sit in a later range (paper Table 4); it is
+            # stamped with that range's own version and validated
+            # independently on probe.
+            end = location.end
+            entry.end_range_id = end.meta.range_id
+            entry.end_version = end.meta.version
+            entry.end_pos = end.pos
+            entry.end_offset = end.offset
+            entry.end_last_id = end.last_id
+        self.partial_index.remember(entry)
+        if self.full_index is not None:
+            self._repair_full(location)
+
+    def _repair_full(self, location: NodeLocation) -> None:
+        assert self.full_index is not None
+        begin = location.begin
+        self.full_index.put(
+            location.node_id,
+            begin.meta.range_id,
+            begin.meta.version,
+            begin.pos,
+            begin.offset,
+        )

@@ -1,0 +1,176 @@
+"""The lazy Partial Index (paper §5): a cache/index hybrid.
+
+"The result of lookup operations ... is inserted in the partial index:
+either the range of a token, the offset of a token inside its range, the
+location (range, offset) of the end token of the node."  A repeated search
+for the same logical position then skips the range scan entirely.
+
+Characteristics, per the paper:
+
+* **memory-based** — probing and populating it costs no block I/O (it is
+  the counterpart of the disk-resident full index);
+* **partial** [18] — only positions the workload actually touched are
+  present, and a capacity bound evicts the least recently used entry;
+* **lazy** — populated as a side effect of lookups, never ahead of them
+  (the eager variant exists only as the Ablation C strawman);
+* **invalidation by version** — every entry records the range version it
+  observed; relocations bump the range version, so stale entries are
+  detected on probe and dropped (cache semantics: correctness never
+  depends on the partial index).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.ranges import RangeTable
+from repro.storage.heap import Position
+
+
+@dataclass
+class LocationEntry:
+    """Memoized location of one node's begin (and optionally end) token.
+
+    The end token may live in a *different* range than the begin token —
+    the paper's Table 4 shows exactly that (node 60: begin in range 1, end
+    in range 3) — so the end location carries its own range id and version
+    stamp and is validated independently.
+    """
+
+    node_id: int
+    range_id: int
+    version: int
+    begin_pos: Position
+    begin_offset: int  # token offset inside the range
+    end_range_id: Optional[int] = None
+    end_version: Optional[int] = None
+    end_pos: Optional[Position] = None
+    end_offset: Optional[int] = None
+    #: id of the last node-starting token at/before the end token within
+    #: the end token's range (None if there is none); lets update
+    #: operations reuse the memoized end without rescanning.
+    end_last_id: Optional[int] = None
+
+    @property
+    def has_end(self) -> bool:
+        return self.end_pos is not None
+
+    def is_current(self, ranges: RangeTable) -> bool:
+        if self.range_id not in ranges:
+            return False
+        return ranges.get(self.range_id).version == self.version
+
+    def is_end_current(self, ranges: RangeTable) -> bool:
+        if self.end_range_id is None or self.end_version is None:
+            return False
+        if self.end_range_id not in ranges:
+            return False
+        return ranges.get(self.end_range_id).version == self.end_version
+
+    def drop_end(self) -> None:
+        self.end_range_id = None
+        self.end_version = None
+        self.end_pos = None
+        self.end_offset = None
+        self.end_last_id = None
+
+
+@dataclass
+class PartialIndexStats:
+    hits: int = 0
+    misses: int = 0
+    stale_hits: int = 0
+    inserts: int = 0
+    evictions: int = 0
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses + self.stale_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stale_hits = 0
+        self.inserts = self.evictions = 0
+
+
+class PartialIndex:
+    """LRU-bounded memo of node locations, keyed by node id."""
+
+    def __init__(self, capacity: Optional[int] = 4096) -> None:
+        self.capacity = capacity
+        self.stats = PartialIndexStats()
+        self._entries: "OrderedDict[int, LocationEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def probe(self, node_id: int, ranges: RangeTable) -> Optional[LocationEntry]:
+        """A *current* entry for ``node_id``, or None.  Stale entries are
+        dropped on probe; an entry whose begin is current but whose end
+        went stale survives with the end information stripped."""
+        entry = self._entries.get(node_id)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if not entry.is_current(ranges):
+            self.stats.stale_hits += 1
+            del self._entries[node_id]
+            return None
+        if entry.has_end and not entry.is_end_current(ranges):
+            entry.drop_end()
+        self.stats.hits += 1
+        self._entries.move_to_end(node_id)
+        return entry
+
+    def remember(self, entry: LocationEntry) -> None:
+        """Memoize a lookup result (lazy population, §5)."""
+        existing = self._entries.get(entry.node_id)
+        if existing is not None and existing.version == entry.version:
+            # keep any end-token knowledge the newer entry lacks
+            if not entry.has_end and existing.has_end:
+                entry.end_range_id = existing.end_range_id
+                entry.end_version = existing.end_version
+                entry.end_pos = existing.end_pos
+                entry.end_offset = existing.end_offset
+                entry.end_last_id = existing.end_last_id
+        self._entries[entry.node_id] = entry
+        self._entries.move_to_end(entry.node_id)
+        self.stats.inserts += 1
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def forget(self, node_id: int) -> None:
+        self._entries.pop(node_id, None)
+
+    def forget_range(self, range_id: int) -> None:
+        """Drop every entry whose begin points into ``range_id`` (used
+        when a range disappears entirely); entries whose *end* pointed
+        there keep their begin and lose the end."""
+        for node_id, entry in list(self._entries.items()):
+            if entry.range_id == range_id:
+                del self._entries[node_id]
+            elif entry.end_range_id == range_id:
+                entry.drop_end()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def sweep_stale(self, ranges: RangeTable) -> int:
+        """Eagerly drop stale entries; returns how many were removed.
+        (Normally they age out on probe; the adaptive controller calls
+        this when switching to update-optimized mode.)"""
+        stale = [
+            node_id
+            for node_id, entry in self._entries.items()
+            if not entry.is_current(ranges)
+        ]
+        for node_id in stale:
+            del self._entries[node_id]
+        return len(stale)

@@ -1,0 +1,279 @@
+"""Ranges: the store's analogue of relational records (paper §4.2).
+
+A Range is a sequence of tokens whose size and existence is defined by the
+application's usage pattern: every insert operation creates one (or, with
+the granularity knob, a few) new range(s), and inserting *into* existing
+data splits the enclosing range in two.  Ranges partition the global token
+sequence: the concatenation of all ranges in document order is exactly the
+chain's record sequence.
+
+:class:`RangeMeta` holds a range's identity, its id interval
+``[start_id, end_id]`` (the Range Index key material — ids inside a range
+are contiguous and document-ordered because they were allocated densely at
+the range's insert), its physical start :class:`~repro.storage.heap.Position`,
+its token count and a *version* that is bumped whenever any of its tokens
+may have moved — the invalidation handle for partial/full index entries.
+
+:class:`RangeTable` owns all range metadata plus the document-order list
+and the per-block residency sets used for relocation accounting.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import StoreError
+from repro.storage.heap import Position
+
+_META = struct.Struct("<qqqqqqqq")  # id, start_id(-1), end_id(-1), block, slot, count, version, reserved
+_HEADER = struct.Struct("<qI")  # next_range_id, count
+
+
+@dataclass
+class RangeMeta:
+    """Metadata for one range."""
+
+    range_id: int
+    start: Position
+    token_count: int
+    #: First/last node identifier allocated inside the range; ``None`` for
+    #: ranges that contain no node-starting tokens (e.g. a tail of end
+    #: tokens produced by a split).
+    start_id: Optional[int] = None
+    end_id: Optional[int] = None
+    #: Bumped whenever the range's tokens may have been relocated; cached
+    #: locations carry the version they observed.
+    version: int = 0
+
+    @property
+    def has_interval(self) -> bool:
+        return self.start_id is not None
+
+    def covers(self, node_id: int) -> bool:
+        """Whether ``node_id`` falls in this range's id interval."""
+        return (
+            self.start_id is not None
+            and self.end_id is not None
+            and self.start_id <= node_id <= self.end_id
+        )
+
+    def bump(self) -> None:
+        self.version += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ids = f"[{self.start_id},{self.end_id}]" if self.has_interval else "[]"
+        return (
+            f"Range(#{self.range_id} ids={ids} tokens={self.token_count} "
+            f"at={tuple(self.start)} v{self.version})"
+        )
+
+
+class RangeTable:
+    """All ranges, their document order, and block-residency accounting."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, RangeMeta] = {}
+        self._order: List[int] = []
+        #: block_no -> range ids that *may* have tokens in the block
+        #: (a conservative superset; used only to bump versions).
+        self._residents: Dict[int, Set[int]] = {}
+        self._next_range_id = 1
+
+    # -- basic access ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, range_id: int) -> bool:
+        return range_id in self._by_id
+
+    def get(self, range_id: int) -> RangeMeta:
+        try:
+            return self._by_id[range_id]
+        except KeyError:
+            raise StoreError(f"range {range_id} does not exist") from None
+
+    def in_order(self) -> Iterator[RangeMeta]:
+        """Ranges in document order."""
+        return (self._by_id[range_id] for range_id in self._order)
+
+    def order_index(self, range_id: int) -> int:
+        try:
+            return self._order.index(range_id)
+        except ValueError:
+            raise StoreError(f"range {range_id} is not in the order list") from None
+
+    def at_order(self, index: int) -> RangeMeta:
+        return self._by_id[self._order[index]]
+
+    def successor(self, range_id: int) -> Optional[RangeMeta]:
+        index = self.order_index(range_id)
+        if index + 1 < len(self._order):
+            return self._by_id[self._order[index + 1]]
+        return None
+
+    def predecessor(self, range_id: int) -> Optional[RangeMeta]:
+        index = self.order_index(range_id)
+        if index > 0:
+            return self._by_id[self._order[index - 1]]
+        return None
+
+    @property
+    def first(self) -> Optional[RangeMeta]:
+        return self._by_id[self._order[0]] if self._order else None
+
+    @property
+    def last(self) -> Optional[RangeMeta]:
+        return self._by_id[self._order[-1]] if self._order else None
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(meta.token_count for meta in self._by_id.values())
+
+    # -- mutation ---------------------------------------------------------------
+
+    def new_range(
+        self,
+        start: Position,
+        token_count: int,
+        start_id: Optional[int],
+        end_id: Optional[int],
+        after: Optional[int] = None,
+        before: Optional[int] = None,
+    ) -> RangeMeta:
+        """Create a range and place it in document order.
+
+        ``after``/``before`` name an existing range id; omitting both
+        appends at the end of the document.
+        """
+        meta = RangeMeta(
+            range_id=self._next_range_id,
+            start=start,
+            token_count=token_count,
+            start_id=start_id,
+            end_id=end_id,
+        )
+        self._next_range_id += 1
+        self._by_id[meta.range_id] = meta
+        if after is not None:
+            self._order.insert(self.order_index(after) + 1, meta.range_id)
+        elif before is not None:
+            self._order.insert(self.order_index(before), meta.range_id)
+        else:
+            self._order.append(meta.range_id)
+        return meta
+
+    def drop(self, range_id: int) -> None:
+        meta = self.get(range_id)
+        self._order.remove(range_id)
+        del self._by_id[range_id]
+        for residents in self._residents.values():
+            residents.discard(range_id)
+
+    # -- residency / relocation accounting ------------------------------------------
+
+    def add_resident(self, block_no: int, range_id: int) -> None:
+        self._residents.setdefault(block_no, set()).add(range_id)
+
+    def residents(self, block_no: int) -> Set[int]:
+        return self._residents.get(block_no, set())
+
+    def copy_residents(self, source_block: int, target_block: int) -> None:
+        """After a block split, the new block may hold tokens of any range
+        resident in the source (conservative superset)."""
+        if source_block in self._residents:
+            self._residents.setdefault(target_block, set()).update(
+                self._residents[source_block]
+            )
+
+    def blocks_of(self, range_id: int) -> List[int]:
+        """Blocks in which ``range_id`` may have tokens (superset)."""
+        return [
+            block_no
+            for block_no, residents in self._residents.items()
+            if range_id in residents
+        ]
+
+    def forget_block(self, block_no: int) -> None:
+        self._residents.pop(block_no, None)
+
+    def bump_block(self, block_no: int) -> None:
+        """Invalidate cached locations for every range resident in the
+        block (called on any relocation within it)."""
+        for range_id in self._residents.get(block_no, ()):
+            meta = self._by_id.get(range_id)
+            if meta is not None:
+                meta.bump()
+
+    # -- integrity ----------------------------------------------------------------
+
+    def check_integrity(self) -> None:
+        """Intervals must be disjoint and the order list consistent."""
+        if set(self._order) != set(self._by_id):
+            raise StoreError("order list and range map disagree")
+        intervals = sorted(
+            (meta.start_id, meta.end_id)
+            for meta in self._by_id.values()
+            if meta.has_interval
+        )
+        for (_, left_end), (right_start, _) in zip(intervals, intervals[1:]):
+            if right_start <= left_end:
+                raise StoreError(
+                    f"overlapping id intervals: ...{left_end}] and [{right_start}..."
+                )
+        for meta in self._by_id.values():
+            if meta.token_count < 0:
+                raise StoreError(f"negative token count in {meta!r}")
+            if meta.has_interval and meta.end_id < meta.start_id:
+                raise StoreError(f"inverted interval in {meta!r}")
+
+    # -- catalog ---------------------------------------------------------------------
+
+    def to_catalog(self) -> bytes:
+        parts = [_HEADER.pack(self._next_range_id, len(self._order))]
+        for range_id in self._order:
+            meta = self._by_id[range_id]
+            parts.append(
+                _META.pack(
+                    meta.range_id,
+                    -1 if meta.start_id is None else meta.start_id,
+                    -1 if meta.end_id is None else meta.end_id,
+                    meta.start.block_no,
+                    meta.start.slot,
+                    meta.token_count,
+                    meta.version,
+                    0,
+                )
+            )
+        return b"".join(parts)
+
+    @classmethod
+    def from_catalog(cls, data: bytes) -> "RangeTable":
+        table = cls()
+        table._next_range_id, count = _HEADER.unpack_from(data, 0)
+        offset = _HEADER.size
+        for _ in range(count):
+            (
+                range_id,
+                start_id,
+                end_id,
+                block_no,
+                slot,
+                token_count,
+                version,
+                _reserved,
+            ) = _META.unpack_from(data, offset)
+            offset += _META.size
+            meta = RangeMeta(
+                range_id=range_id,
+                start=Position(block_no, slot),
+                token_count=token_count,
+                start_id=None if start_id == -1 else start_id,
+                end_id=None if end_id == -1 else end_id,
+                version=version,
+            )
+            table._by_id[range_id] = meta
+            table._order.append(range_id)
+        return table

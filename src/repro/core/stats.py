@@ -1,0 +1,85 @@
+"""Store-level statistics: the observability surface of the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.locator import LocatorStats
+from repro.core.partial_index import PartialIndexStats
+from repro.storage.buffer import BufferStats
+from repro.storage.disk import DiskStats
+
+
+@dataclass
+class OperationCounts:
+    """How many of each Table-1 operation the store has executed."""
+
+    loads: int = 0
+    reads: int = 0
+    node_reads: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    replaces: int = 0
+    ranges_created: int = 0
+    ranges_split: int = 0
+    ranges_dropped: int = 0
+    nodes_inserted: int = 0
+    nodes_deleted: int = 0
+
+    @property
+    def updates(self) -> int:
+        return self.inserts + self.deletes + self.replaces + self.loads
+
+    @property
+    def read_ops(self) -> int:
+        return self.reads + self.node_reads
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+@dataclass
+class StoreStatistics:
+    """Aggregated view over every layer's counters."""
+
+    operations: OperationCounts
+    locator: LocatorStats
+    disk: DiskStats
+    buffer: BufferStats
+    partial: Optional[PartialIndexStats] = None
+
+    def reset(self) -> None:
+        self.operations.reset()
+        self.locator.reset()
+        self.disk.reset()
+        self.buffer.reset()
+        if self.partial is not None:
+            self.partial.reset()
+
+    def summary(self) -> str:
+        """Human-readable multi-line dump (used by examples)."""
+        lines = [
+            f"operations: {self.operations.updates} updates, "
+            f"{self.operations.read_ops} reads "
+            f"({self.operations.ranges_created} ranges created, "
+            f"{self.operations.ranges_split} split)",
+            f"locator: {self.locator.partial_resolutions} via partial index, "
+            f"{self.locator.full_resolutions} via full index, "
+            f"{self.locator.scan_resolutions} via range scan "
+            f"({self.locator.tokens_scanned} tokens scanned)",
+            f"disk: {self.disk.reads} reads ({self.disk.sequential_reads} seq), "
+            f"{self.disk.writes} writes, "
+            f"{self.disk.simulated_seconds * 1000:.2f} ms simulated",
+            f"buffer pool: {self.buffer.hit_rate:.1%} hit rate "
+            f"({self.buffer.hits}/{self.buffer.accesses})",
+        ]
+        if self.partial is not None:
+            lines.append(
+                f"partial index: {self.partial.hit_rate:.1%} hit rate, "
+                f"{self.partial.inserts} inserts, "
+                f"{self.partial.evictions} evictions, "
+                f"{self.partial.stale_hits} stale"
+            )
+        return "\n".join(lines)

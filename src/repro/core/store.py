@@ -1,0 +1,1119 @@
+"""The adaptive XML store: the paper's Table-1 interface.
+
+:class:`XMLStore` ties the substrates together: tokens live in chained
+blocks (document order), every insert operation creates Ranges, a coarse
+Range Index locates the range of an identifier, and — depending on the
+:class:`~repro.core.config.IndexingPolicy` — a lazy Partial Index and/or
+an eager Full Index accelerate node location.
+
+Interface (paper Table 1)::
+
+    read()                      read(id)
+    insert_before(id, xml)      insert_after(id, xml)
+    insert_into_first(id, xml)  insert_into_last(id, xml)
+    delete_node(id)             replace_node(id, xml)
+    replace_content(id, xml)
+
+plus ``load_document`` (the initial bulk insert), ``xpath`` (query entry
+point), ``checkpoint``/``from_catalog`` (durability), and statistics.
+
+Internal invariants (checked by :meth:`check_integrity`):
+
+* ranges tile the chain exactly, in document order;
+* each range's node-starting tokens carry exactly the dense id interval
+  ``[start_id, end_id]`` in scan order (which is what makes id
+  *regeneration* sound — ids are never stored with tokens);
+* id intervals of distinct ranges are disjoint;
+* the range index has exactly one entry per non-empty range.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    InvalidOperationError,
+    NodeNotFoundError,
+    StoreError,
+)
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.full_index import FullIndex
+from repro.core.indexing import AdaptiveController
+from repro.core.layout import TokenLayout
+from repro.core.locator import Locator, NodeLocation, ScanItem
+from repro.core.partial_index import LocationEntry, PartialIndex
+from repro.core.range_index import RangeIndex
+from repro.core.ranges import RangeMeta, RangeTable
+from repro.core.stats import OperationCounts, StoreStatistics
+from repro.ids.sequential import SequentialIdScheme
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import BlockDevice, InstrumentedDevice, MemoryBlockDevice
+from repro.storage.heap import ChainedFile, Position
+from repro.storage.recovery import encode_op_payload
+from repro.storage.wal import RecordType, WriteAheadLog
+from repro.xmltoken.binary import decode_token, encode_tokens
+from repro.xmltoken.datamodel import strip_document_tokens, validate_stream
+from repro.xmltoken.parser import tokenize_fragment
+from repro.xmltoken.serializer import serialize
+from repro.xmltoken.tokens import Token, TokenKind, count_nodes
+
+_ATTRIBUTE_KINDS = frozenset(
+    {
+        TokenKind.BEGIN_ATTRIBUTE,
+        TokenKind.ATTRIBUTE_VALUE,
+        TokenKind.END_ATTRIBUTE,
+        TokenKind.NAMESPACE,
+    }
+)
+
+_CATALOG_HEADER = struct.Struct("<qqqI")  # range_root, full_root(-1), scheme_len, n_sections
+
+
+@dataclass
+class _InsertPoint:
+    """Where a fragment goes: before the token at ``pos`` (which is token
+    ``offset`` of range ``meta``), with ``last_id_before`` the id of the
+    last node-starting token strictly before the point within the range."""
+
+    meta: RangeMeta
+    offset: int
+    pos: Position
+    last_id_before: Optional[int]
+
+
+def effective_btree_order(configured: int, page_size: int) -> int:
+    """Cap the B+-tree order so a full node serializes into one page.
+
+    The widest node record is a full-index leaf entry: 2-byte slot length
+    + 2-byte key length + 8-byte key + 40-byte packed location = 52 bytes,
+    plus the node-header record and the page header.
+    """
+    widest_entry = 52
+    fits = max(3, (page_size - 16) // widest_entry)
+    return max(3, min(configured, fits))
+
+
+@dataclass
+class _InsertOutcome:
+    """What an internal fragment insert produced."""
+
+    first_id: Optional[int]
+    #: Post-insert home of the token the fragment displaced (the token
+    #: that was *at* the insert point): (range, position).  None when the
+    #: fragment was appended at the end of the document.
+    displaced: Optional[Tuple[RangeMeta, Position]] = None
+
+
+class XMLStore:
+    """An adaptive, lazily indexed XML store."""
+
+    def __init__(
+        self,
+        config: Optional[StoreConfig] = None,
+        device: Optional[BlockDevice] = None,
+        wal: Optional[WriteAheadLog] = None,
+    ) -> None:
+        self.config = config if config is not None else StoreConfig()
+        if device is None:
+            backend = MemoryBlockDevice(block_size=self.config.page_size)
+            device = InstrumentedDevice(backend, cost_model=self.config.cost_model)
+        if device.block_size != self.config.page_size:
+            raise StoreError(
+                f"device block size {device.block_size} != configured "
+                f"page size {self.config.page_size}"
+            )
+        self.device = device
+        self.pool = BufferPool(device, capacity=self.config.buffer_pool_capacity)
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self.id_scheme = SequentialIdScheme()
+        self.ranges = RangeTable()
+        self.layout = TokenLayout(self.pool, self.ranges)
+        order = effective_btree_order(self.config.btree_order, self.config.page_size)
+        self.range_index = RangeIndex(self.pool, order=order)
+        policy = self.config.policy
+        self.partial_index: Optional[PartialIndex] = None
+        self.full_index: Optional[FullIndex] = None
+        if policy in (IndexingPolicy.RANGE_PLUS_PARTIAL, IndexingPolicy.ADAPTIVE):
+            self.partial_index = PartialIndex(self.config.partial_index_capacity)
+        if policy is IndexingPolicy.FULL:
+            self.full_index = FullIndex(self.pool, order=order)
+        self.locator = Locator(
+            layout=self.layout,
+            ranges=self.ranges,
+            range_index=self.range_index,
+            id_scheme=self.id_scheme,
+            partial_index=self.partial_index,
+            full_index=self.full_index,
+        )
+        self.adaptive: Optional[AdaptiveController] = None
+        if policy is IndexingPolicy.ADAPTIVE:
+            self.adaptive = AdaptiveController(
+                self.locator,
+                self.partial_index,
+                self.ranges,
+                window=self.config.adaptive_window,
+                read_threshold=self.config.adaptive_read_threshold,
+            )
+        self.operations = OperationCounts()
+        #: tokens decoded for serialization (part of the simulated CPU cost)
+        self.tokens_emitted = 0
+        #: never-stale parent-link memo (see repro.core.navigation)
+        from repro.core.navigation import StructuralHints
+
+        self.structural_hints = StructuralHints()
+
+    # -- convenience constructors -----------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        config: Optional[StoreConfig] = None,
+        device: Optional[BlockDevice] = None,
+        wal: Optional[WriteAheadLog] = None,
+    ) -> "XMLStore":
+        """Create a store (alias of the constructor, reads like a DB API)."""
+        return cls(config=config, device=device, wal=wal)
+
+    # ==================================================================== reads ==
+
+    def read(self, node_id: Optional[int] = None) -> str:
+        """Serialize the whole data source, or the subtree of ``node_id``."""
+        if node_id is None:
+            self.operations.reads += 1
+            self._observe(is_read=True)
+            return serialize(self.tokens())
+        self.operations.node_reads += 1
+        self._observe(is_read=True)
+        location = self.locator.locate_span(node_id)
+        tokens = self._span_tokens(location)
+        first = tokens[0].kind
+        if first == TokenKind.BEGIN_ATTRIBUTE:
+            # attribute nodes serialize as name="value" (they have no
+            # standalone XML form)
+            value = "".join(
+                t.value for t in tokens if t.kind == TokenKind.ATTRIBUTE_VALUE
+            )
+            from repro.xmltoken.serializer import escape_attribute
+
+            return f'{tokens[0].name}="{escape_attribute(value)}"'
+        if first == TokenKind.NAMESPACE:
+            name = f"xmlns:{tokens[0].name}" if tokens[0].name else "xmlns"
+            from repro.xmltoken.serializer import escape_attribute
+
+            return f'{name}="{escape_attribute(tokens[0].value)}"'
+        return serialize(tokens)
+
+    def tokens(self) -> Iterator[Token]:
+        """The store's full token sequence, in document order."""
+        for _, record in self.layout.iter_from(None):
+            self.tokens_emitted += 1
+            yield decode_token(record)
+
+    def node_tokens(self, node_id: int) -> List[Token]:
+        """The complete token sequence of one node."""
+        location = self.locator.locate_span(node_id)
+        return self._span_tokens(location)
+
+    def _span_tokens(self, location: NodeLocation) -> List[Token]:
+        assert location.end is not None
+        begin_pos, end_pos = location.begin.pos, location.end.pos
+        collected: List[Token] = []
+        for pos, record in self.layout.iter_from(begin_pos):
+            collected.append(decode_token(record))
+            self.tokens_emitted += 1
+            if pos == end_pos:
+                return collected
+        raise StoreError("end token not reached (bug)")
+
+    def exists(self, node_id: int) -> bool:
+        """Whether a node with ``node_id`` is currently in the store."""
+        try:
+            self.locator.locate(node_id)
+            return True
+        except NodeNotFoundError:
+            return False
+
+    @property
+    def is_empty(self) -> bool:
+        return self.layout.is_empty
+
+    # ==================================================================== loads ==
+
+    def load_document(self, xml_text: str, log: bool = True) -> Optional[int]:
+        """Bulk-insert a document/fragment at the end of the data source.
+
+        Returns the id of the first inserted node (the root for a
+        single-rooted document), or None for an all-markup fragment.
+        """
+        tokens = self._ingest(xml_text)
+        if not tokens:
+            return None
+        if log:
+            self.wal.append(
+                RecordType.LOAD_DOCUMENT, encode_op_payload(b"", xml_text)
+            )
+        first_id = self._insert_fragment(None, tokens).first_id
+        self.operations.loads += 1
+        self._observe(is_read=False)
+        return first_id
+
+    # ================================================================== updates ==
+
+    def insert_before(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
+        """Insert ``xml_text`` as the preceding sibling(s) of ``node_id``."""
+        tokens = self._ingest(xml_text, require_content=True)
+        location = self.locator.locate(node_id)
+        self._require_sibling_target(location)
+        if log:
+            self._log(RecordType.INSERT_BEFORE, node_id, xml_text)
+        begin = location.begin
+        last_before = (
+            node_id - 1
+            if begin.meta.start_id is not None and node_id > begin.meta.start_id
+            else None
+        )
+        point = _InsertPoint(begin.meta, begin.offset, begin.pos, last_before)
+        first_id = self._insert_fragment(point, tokens).first_id
+        self.operations.inserts += 1
+        self._observe(is_read=False)
+        return first_id
+
+    def insert_after(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
+        """Insert ``xml_text`` as the following sibling(s) of ``node_id``."""
+        tokens = self._ingest(xml_text, require_content=True)
+        location = self.locator.locate(node_id)
+        self._require_sibling_target(location)
+        if log:
+            self._log(RecordType.INSERT_AFTER, node_id, xml_text)
+        end = self._end_item(location)
+        point = self._point_after(end)
+        first_id = self._insert_fragment(point, tokens).first_id
+        self.operations.inserts += 1
+        self._observe(is_read=False)
+        return first_id
+
+    def insert_into_first(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
+        """Insert ``xml_text`` as the first child(ren) of element
+        ``node_id`` (after its attributes)."""
+        tokens = self._ingest(xml_text, require_content=True)
+        location = self.locator.locate(node_id)
+        self._require_element_target(location)
+        if log:
+            self._log(RecordType.INSERT_INTO_FIRST, node_id, xml_text)
+        point = self._point_after_attributes(location.begin)
+        first_id = self._insert_fragment(point, tokens).first_id
+        self.operations.inserts += 1
+        self._observe(is_read=False)
+        return first_id
+
+    def insert_into_last(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
+        """Insert ``xml_text`` as the last child(ren) of element
+        ``node_id`` — the paper's running example (§4.5)."""
+        tokens = self._ingest(xml_text, require_content=True)
+        location = self.locator.locate(node_id)
+        self._require_element_target(location)
+        if log:
+            self._log(RecordType.INSERT_INTO_LAST, node_id, xml_text)
+        end = self._end_item(location)
+        point = _InsertPoint(end.meta, end.offset, end.pos, end.last_id)
+        outcome = self._insert_fragment(point, tokens)
+        # Table 4 discipline: the lookups this update performed are kept,
+        # updated to the post-split locations of the target's tokens.
+        self._refresh_entry_after_insert(location, outcome)
+        self.operations.inserts += 1
+        self._observe(is_read=False)
+        return outcome.first_id
+
+    def delete_node(self, node_id: int, log: bool = True) -> None:
+        """Remove the node and its entire subtree."""
+        location = self.locator.locate(node_id)
+        if log:
+            self._log(RecordType.DELETE_NODE, node_id, "")
+        end = self._end_item(location)
+        self._delete_span(location.begin, end)
+        self.operations.deletes += 1
+        self._observe(is_read=False)
+
+    def replace_node(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
+        """Replace the node (and subtree) with ``xml_text``."""
+        tokens = self._ingest(xml_text, require_content=True)
+        location = self.locator.locate(node_id)
+        if log:
+            self._log(RecordType.REPLACE_NODE, node_id, xml_text)
+        end = self._end_item(location)
+        point = self._delete_span(location.begin, end)
+        first_id = self._insert_fragment(point, tokens).first_id
+        self.operations.replaces += 1
+        self._observe(is_read=False)
+        return first_id
+
+    def replace_content(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
+        """Replace an element's content (children), keeping attributes."""
+        tokens = self._ingest(xml_text)
+        location = self.locator.locate(node_id)
+        self._require_element_target(location)
+        if log:
+            self._log(RecordType.REPLACE_CONTENT, node_id, xml_text)
+        content_start = self._first_content_item(location.begin)
+        point: Optional[_InsertPoint]
+        if content_start.token.is_end and content_start.token.kind == TokenKind.END_ELEMENT:
+            # no existing content: check it is *our* end token (depth 0)
+            point = _InsertPoint(
+                content_start.meta,
+                content_start.offset,
+                content_start.pos,
+                content_start.last_id,
+            )
+        else:
+            last_content = self._last_item_before_end(content_start)
+            point = self._delete_span(content_start, last_content)
+        if tokens:
+            self._insert_fragment(point, tokens)
+        self.operations.replaces += 1
+        self._observe(is_read=False)
+        return node_id
+
+    # =============================================================== inspection ==
+
+    @property
+    def tokens_processed(self) -> int:
+        """Tokens scanned by lookups plus tokens emitted by reads."""
+        return self.locator.stats.tokens_scanned + self.tokens_emitted
+
+    @property
+    def index_entries_loaded(self) -> int:
+        """B+-tree entries decoded by the range index (and full index)."""
+        total = self.range_index._tree.entries_loaded
+        if self.full_index is not None:
+            total += self.full_index._tree.entries_loaded
+        return total
+
+    @property
+    def simulated_seconds(self) -> float:
+        """The full simulated clock: disk I/O plus per-token and
+        per-index-entry CPU cost."""
+        disk = getattr(self.device, "stats", None)
+        disk_seconds = disk.simulated_seconds if disk is not None else 0.0
+        return (
+            disk_seconds
+            + self.tokens_emitted * self.config.cpu_cost_per_token
+            + self.locator.stats.tokens_scanned * self.config.cpu_cost_per_scan_token
+            + self.index_entries_loaded * self.config.cpu_cost_per_index_entry
+        )
+
+    @property
+    def stats(self) -> StoreStatistics:
+        disk_stats = getattr(self.device, "stats", None)
+        if disk_stats is None:
+            from repro.storage.disk import DiskStats
+
+            disk_stats = DiskStats()
+        return StoreStatistics(
+            operations=self.operations,
+            locator=self.locator.stats,
+            disk=disk_stats,
+            buffer=self.pool.stats,
+            partial=self.partial_index.stats if self.partial_index is not None else None,
+        )
+
+    def range_snapshot(self) -> List[Tuple[int, int, Optional[int], Optional[int]]]:
+        """Rows shaped like the paper's Tables 2–3:
+        (RangeId, BlockId, StartId, EndId), in document order."""
+        return [
+            (meta.range_id, meta.start.block_no, meta.start_id, meta.end_id)
+            for meta in self.ranges.in_order()
+        ]
+
+    def partial_snapshot(self) -> List[Tuple[int, int]]:
+        """Rows shaped like the paper's Table 4: (NodeId, Range) of each
+        memoized begin token."""
+        if self.partial_index is None:
+            return []
+        return sorted(
+            (entry.node_id, entry.range_id)
+            for entry in self.partial_index._entries.values()
+        )
+
+    def check_integrity(self) -> None:
+        """Verify every store invariant (test/debug aid)."""
+        self.layout.check_integrity()
+        self.range_index.check_integrity(self.ranges)
+        # id density: scanning each range must regenerate exactly its interval
+        for meta in self.ranges.in_order():
+            ids = [
+                item.last_id
+                for item in self.locator.scan_range(meta)
+                if item.token.starts_node
+            ]
+            if not meta.has_interval:
+                if ids:
+                    raise StoreError(f"{meta!r} has node tokens but no interval")
+                continue
+            expected = list(range(meta.start_id, meta.end_id + 1))
+            if ids != expected:
+                raise StoreError(
+                    f"{meta!r} regenerates ids {ids[:5]}...{ids[-5:] if len(ids) > 5 else ''}, "
+                    f"expected [{meta.start_id}..{meta.end_id}]"
+                )
+
+    # ================================================================ durability ==
+
+    def checkpoint(self) -> bytes:
+        """Flush everything and return the catalog bytes; marks the WAL."""
+        self.pool.flush_all()
+        self.wal.checkpoint()
+        return self.to_catalog()
+
+    def to_catalog(self) -> bytes:
+        scheme_state = self.id_scheme.to_catalog()
+        sections = [
+            self.layout.chain.to_catalog(),
+            self.ranges.to_catalog(),
+        ]
+        full_root = self.full_index.root_block if self.full_index is not None else -1
+        parts = [
+            _CATALOG_HEADER.pack(
+                self.range_index.root_block,
+                full_root,
+                len(scheme_state),
+                len(sections),
+            ),
+            scheme_state,
+        ]
+        for section in sections:
+            parts.append(struct.pack("<I", len(section)))
+            parts.append(section)
+        return b"".join(parts)
+
+    @classmethod
+    def from_catalog(
+        cls,
+        device: BlockDevice,
+        catalog: bytes,
+        config: Optional[StoreConfig] = None,
+        wal: Optional[WriteAheadLog] = None,
+    ) -> "XMLStore":
+        """Reopen a store from its device + catalog (last checkpoint state)."""
+        config = config if config is not None else StoreConfig()
+        store = cls.__new__(cls)
+        store.config = config
+        store.device = device
+        store.pool = BufferPool(device, capacity=config.buffer_pool_capacity)
+        store.wal = wal if wal is not None else WriteAheadLog()
+        range_root, full_root, scheme_len, n_sections = _CATALOG_HEADER.unpack_from(
+            catalog, 0
+        )
+        offset = _CATALOG_HEADER.size
+        store.id_scheme = SequentialIdScheme()
+        store.id_scheme.restore_catalog(catalog[offset : offset + scheme_len])
+        offset += scheme_len
+        sections = []
+        for _ in range(n_sections):
+            (length,) = struct.unpack_from("<I", catalog, offset)
+            offset += 4
+            sections.append(catalog[offset : offset + length])
+            offset += length
+        chain = ChainedFile.from_catalog(store.pool, sections[0])
+        store.ranges = RangeTable.from_catalog(sections[1])
+        store.layout = TokenLayout(store.pool, store.ranges, chain)
+        order = effective_btree_order(config.btree_order, config.page_size)
+        store.range_index = RangeIndex(
+            store.pool, order=order, root_block=range_root
+        )
+        store.partial_index = None
+        store.full_index = None
+        if config.policy in (IndexingPolicy.RANGE_PLUS_PARTIAL, IndexingPolicy.ADAPTIVE):
+            store.partial_index = PartialIndex(config.partial_index_capacity)
+        if config.policy is IndexingPolicy.FULL:
+            if full_root == -1:
+                raise StoreError("catalog has no full-index root for FULL policy")
+            store.full_index = FullIndex(
+                store.pool, order=order, root_block=full_root
+            )
+        store.locator = Locator(
+            layout=store.layout,
+            ranges=store.ranges,
+            range_index=store.range_index,
+            id_scheme=store.id_scheme,
+            partial_index=store.partial_index,
+            full_index=store.full_index,
+        )
+        store.adaptive = None
+        if config.policy is IndexingPolicy.ADAPTIVE:
+            store.adaptive = AdaptiveController(
+                store.locator,
+                store.partial_index,
+                store.ranges,
+                window=config.adaptive_window,
+                read_threshold=config.adaptive_read_threshold,
+            )
+        store.operations = OperationCounts()
+        store.tokens_emitted = 0
+        from repro.core.navigation import StructuralHints
+
+        store.structural_hints = StructuralHints()
+        store._rebuild_residency()
+        return store
+
+    @classmethod
+    def recover(
+        cls,
+        wal: WriteAheadLog,
+        config: Optional[StoreConfig] = None,
+        device: Optional[BlockDevice] = None,
+    ) -> "XMLStore":
+        """Crash recovery by logical full restore: build a fresh store and
+        re-execute the entire operation log (see
+        :func:`repro.storage.recovery.replay_all`)."""
+        from repro.storage.recovery import replay_all
+
+        store = cls(config=config, device=device, wal=wal)
+        replay_all(store, wal)
+        return store
+
+    def _rebuild_residency(self) -> None:
+        cursor = self.layout.iter_from(None)
+        for meta in self.ranges.in_order():
+            for _ in range(meta.token_count):
+                try:
+                    pos, _ = next(cursor)
+                except StopIteration:
+                    raise StoreError("chain shorter than range table") from None
+                self.ranges.add_resident(pos.block_no, meta.range_id)
+
+    def decode_node_id(self, id_bytes: bytes) -> int:
+        """WAL-replay hook: decode an id serialized by this store."""
+        return self.id_scheme.decode(id_bytes)
+
+    # =============================================================== navigation ==
+
+    def parent_of(self, node_id: int) -> Optional[int]:
+        """Parent node id (None for top-level nodes); parent links are
+        memoized and never go stale (§9 extension)."""
+        from repro.core import navigation
+
+        return navigation.parent_of(self, node_id)
+
+    def ancestors_of(self, node_id: int) -> List[int]:
+        """Ancestor ids, nearest first."""
+        from repro.core import navigation
+
+        return navigation.ancestors_of(self, node_id)
+
+    def children_of(self, node_id: int) -> List[int]:
+        """Child node ids in document order (attributes excluded)."""
+        from repro.core import navigation
+
+        return navigation.children_of(self, node_id)
+
+    def attributes_of(self, node_id: int) -> List[int]:
+        """Attribute node ids of an element, in document order."""
+        from repro.core import navigation
+
+        return navigation.attributes_of(self, node_id)
+
+    def next_sibling_of(self, node_id: int) -> Optional[int]:
+        """Id of the following sibling, or None."""
+        from repro.core import navigation
+
+        return navigation.next_sibling_of(self, node_id)
+
+    # ================================================================ maintenance ==
+
+    def compact(self, max_tokens: Optional[int] = None):
+        """Merge adjacent ranges fragmented by updates (§9: "more
+        optimizations of the read/update/storage overhead"); content and
+        node ids are unchanged.  Returns a CompactionReport."""
+        from repro.core.compaction import compact
+
+        return compact(self, max_tokens=max_tokens)
+
+    # ================================================================== queries ==
+
+    def xpath(self, expression: str):
+        """Evaluate an XPath (subset) expression against the store; see
+        :mod:`repro.xpath` for the supported grammar."""
+        from repro.xpath.evaluator import evaluate
+
+        self._observe(is_read=True)
+        return evaluate(self, expression)
+
+    # ================================================================ internals ==
+
+    def _observe(self, is_read: bool) -> None:
+        if self.adaptive is not None:
+            self.adaptive.observe(is_read)
+
+    def _log(self, record_type: int, node_id: int, xml_text: str) -> None:
+        self.wal.append(
+            record_type,
+            encode_op_payload(self.id_scheme.encode(node_id), xml_text),
+        )
+
+
+    def _end_item(self, location: NodeLocation) -> ScanItem:
+        """The end-token item of a located node, reusing a memoized end
+        when the partial index has a current one (paper Table 4)."""
+        if location.end is not None:
+            return location.end
+        if self.partial_index is not None:
+            cached = self.partial_index.probe(location.node_id, self.ranges)
+            if cached is not None and cached.has_end:
+                refreshed = self.locator._location_from_entry(cached)
+                if refreshed.end is not None:
+                    return refreshed.end
+        end = self.locator.find_end(location.begin)
+        location.end = end
+        self.locator._memoize(location)
+        return end
+
+    def _ingest(self, xml_text: str, require_content: bool = False) -> List[Token]:
+        tokens = strip_document_tokens(tokenize_fragment(xml_text))
+        if self.config.validate_input:
+            validate_stream(tokens, allow_document=False)
+        if require_content and not tokens:
+            raise InvalidOperationError("the inserted fragment is empty")
+        return tokens
+
+    @staticmethod
+    def _require_element_target(location: NodeLocation) -> None:
+        if location.begin.token.kind != TokenKind.BEGIN_ELEMENT:
+            raise InvalidOperationError(
+                f"target node {location.node_id} is not an element"
+            )
+
+    @staticmethod
+    def _require_sibling_target(location: NodeLocation) -> None:
+        if location.begin.token.kind in (
+            TokenKind.BEGIN_ATTRIBUTE,
+            TokenKind.NAMESPACE,
+        ):
+            raise InvalidOperationError(
+                "cannot insert siblings next to an attribute or namespace node"
+            )
+
+    def _point_after(self, end: ScanItem) -> Optional[_InsertPoint]:
+        """The insert point immediately following ``end``."""
+        nxt = next(self.locator.continue_scan(end), None)
+        if nxt is None:
+            return None
+        last_before = end.last_id if nxt.order_index == end.order_index else None
+        # nxt's own last_id may include nxt itself (if it starts a node);
+        # tokens strictly before nxt within its range end at `end`.
+        if nxt.offset == 0:
+            last_before = None
+        return _InsertPoint(nxt.meta, nxt.offset, nxt.pos, last_before)
+
+    def _point_after_attributes(self, begin: ScanItem) -> _InsertPoint:
+        """The insert point after an element's attribute tokens."""
+        previous = begin
+        for item in self.locator.continue_scan(begin):
+            if item.token.kind in _ATTRIBUTE_KINDS:
+                previous = item
+                continue
+            last_before = (
+                previous.last_id
+                if item.order_index == previous.order_index and item.offset > 0
+                else None
+            )
+            return _InsertPoint(item.meta, item.offset, item.pos, last_before)
+        raise StoreError("element has no end token (bug)")
+
+    def _first_content_item(self, begin: ScanItem) -> ScanItem:
+        for item in self.locator.continue_scan(begin):
+            if item.token.kind not in _ATTRIBUTE_KINDS:
+                return item
+        raise StoreError("element has no end token (bug)")
+
+    def _last_item_before_end(self, content_start: ScanItem) -> ScanItem:
+        """Last token item of the element content beginning at
+        ``content_start`` (whose enclosing element's end token follows)."""
+        depth = 0
+        previous = content_start
+        if content_start.token.is_begin:
+            depth = 1
+        for item in self.locator.continue_scan(content_start):
+            if depth == 0 and item.token.kind == TokenKind.END_ELEMENT:
+                return previous
+            if item.token.is_begin:
+                depth += 1
+            elif item.token.is_end:
+                depth -= 1
+            previous = item
+        return previous
+
+    # ----------------------------------------------------------- insert engine --
+
+    def _insert_fragment(
+        self, point: Optional[_InsertPoint], tokens: Sequence[Token]
+    ) -> _InsertOutcome:
+        """Insert ``tokens`` as one-or-more fresh ranges at ``point``
+        (None = end of document)."""
+        if not tokens:
+            return _InsertOutcome(first_id=None)
+        records = encode_tokens(tokens)
+        node_count = count_nodes(tokens)
+        first_id: Optional[int] = None
+        last_id: Optional[int] = None
+        if node_count:
+            first_id, last_id = self.id_scheme.allocate_interval(node_count)
+        # ---- physical placement
+        target_pos = point.pos if point is not None else None
+        result = self.layout.insert_before(target_pos, records)
+        # ---- logical range bookkeeping
+        displaced: Optional[Tuple[RangeMeta, Position]] = None
+        if point is None:
+            anchor_after = self.ranges.last.range_id if len(self.ranges) else None
+            new_metas = self._create_ranges(
+                records, tokens, result.positions, first_id, after=anchor_after
+            )
+        elif point.offset == 0:
+            new_metas = self._create_ranges(
+                records, tokens, result.positions, first_id,
+                before=point.meta.range_id,
+            )
+            assert result.following is not None
+            displaced = (point.meta, result.following)
+        else:
+            new_metas, tail_meta = self._split_and_insert(
+                point, result, records, tokens, first_id
+            )
+            displaced = (tail_meta, tail_meta.start)
+        self.operations.ranges_created += len(new_metas)
+        self.operations.nodes_inserted += node_count
+        # ---- eager indexing (FULL policy / Ablation C)
+        if self.full_index is not None or self.config.eager_partial_index:
+            self._index_inserted(new_metas)
+        return _InsertOutcome(first_id=first_id, displaced=displaced)
+
+    def _refresh_entry_after_insert(
+        self, location: NodeLocation, outcome: _InsertOutcome
+    ) -> None:
+        """Re-memoize the insert target's begin/end locations with their
+        post-split coordinates (the paper's Table 4: the partial index is
+        updated, not just invalidated, by the update operation)."""
+        if (
+            self.partial_index is None
+            or not self.locator.populate_partial
+            or outcome.displaced is None
+        ):
+            return
+        begin = location.begin
+        end_meta, end_pos = outcome.displaced
+        # the begin token never moves during an insert after it, so its
+        # position and offset are still valid against the *new* version
+        self.partial_index.remember(
+            LocationEntry(
+                node_id=location.node_id,
+                range_id=begin.meta.range_id,
+                version=begin.meta.version,
+                begin_pos=begin.pos,
+                begin_offset=begin.offset,
+                end_range_id=end_meta.range_id,
+                end_version=end_meta.version,
+                end_pos=end_pos,
+                end_offset=0,
+                end_last_id=None,
+            )
+        )
+
+    def _chunk_counts(self, total_tokens: int) -> List[int]:
+        limit = self.config.max_range_tokens
+        if limit is None or total_tokens <= limit:
+            return [total_tokens]
+        counts = []
+        remaining = total_tokens
+        while remaining > 0:
+            take = min(limit, remaining)
+            counts.append(take)
+            remaining -= take
+        return counts
+
+    def _create_ranges(
+        self,
+        records: Sequence[bytes],
+        tokens: Sequence[Token],
+        positions: Sequence[Position],
+        first_id: Optional[int],
+        after: Optional[int] = None,
+        before: Optional[int] = None,
+    ) -> List[RangeMeta]:
+        """Create range metas (one per granularity chunk) over freshly
+        inserted records, register them, and record residency."""
+        metas: List[RangeMeta] = []
+        offset = 0
+        next_id = first_id
+        anchor_after = after
+        for chunk_tokens in self._chunk_counts(len(records)):
+            chunk_nodes = count_nodes(tokens[offset : offset + chunk_tokens])
+            if chunk_nodes and next_id is not None:
+                start_id: Optional[int] = next_id
+                end_id: Optional[int] = next_id + chunk_nodes - 1
+                next_id = end_id + 1
+            else:
+                start_id = end_id = None
+            meta = self.ranges.new_range(
+                start=positions[offset],
+                token_count=chunk_tokens,
+                start_id=start_id,
+                end_id=end_id,
+                after=anchor_after,
+                before=before if anchor_after is None else None,
+            )
+            self.range_index.register(meta)
+            for pos in positions[offset : offset + chunk_tokens]:
+                self.ranges.add_resident(pos.block_no, meta.range_id)
+            metas.append(meta)
+            anchor_after = meta.range_id
+            offset += chunk_tokens
+        return metas
+
+    def _split_and_insert(
+        self,
+        point: _InsertPoint,
+        result,
+        records: Sequence[bytes],
+        tokens: Sequence[Token],
+        first_id: Optional[int],
+    ) -> Tuple[List[RangeMeta], RangeMeta]:
+        """Interior insert: split ``point.meta`` into head + tail around
+        the fresh ranges (the paper's §4.5 walk-through)."""
+        meta = point.meta
+        old_start_id = meta.start_id
+        old_end_id = meta.end_id
+        old_count = meta.token_count
+        tail_pos = result.following
+        if tail_pos is None:
+            raise StoreError("interior insert did not displace a record (bug)")
+        # head keeps tokens [0, offset)
+        meta.token_count = point.offset
+        last_before = point.last_id_before
+        if last_before is None:
+            # head has no node-starting tokens: its interval empties
+            self.range_index.unregister(old_start_id)
+            meta.start_id = None
+            meta.end_id = None
+        else:
+            meta.end_id = last_before
+        meta.bump()
+        # fresh ranges for the inserted fragment
+        new_metas = self._create_ranges(
+            records, tokens, result.positions, first_id, after=meta.range_id
+        )
+        # tail takes tokens [offset, old_count)
+        tail_nodes_remain = (
+            old_end_id is not None
+            and (last_before if last_before is not None else (old_start_id or 0) - 1)
+            < old_end_id
+        )
+        if last_before is None:
+            tail_start_id: Optional[int] = old_start_id
+        else:
+            tail_start_id = last_before + 1
+        tail_meta = self.ranges.new_range(
+            start=tail_pos,
+            token_count=old_count - point.offset,
+            start_id=tail_start_id if tail_nodes_remain else None,
+            end_id=old_end_id if tail_nodes_remain else None,
+            after=new_metas[-1].range_id,
+        )
+        self.range_index.register(tail_meta)
+        self.ranges.add_resident(tail_pos.block_no, tail_meta.range_id)
+        # conservative: tail may span every block the old range touched
+        for block_no in self.ranges.blocks_of(meta.range_id):
+            self.ranges.add_resident(block_no, tail_meta.range_id)
+        self.operations.ranges_split += 1
+        return new_metas, tail_meta
+
+    def _index_inserted(self, new_metas: Sequence[RangeMeta]) -> None:
+        """Eagerly index every node of freshly created ranges."""
+        for meta in new_metas:
+            if not meta.has_interval:
+                continue
+            for item in self.locator.scan_range(meta):
+                if not item.token.starts_node:
+                    continue
+                assert item.last_id is not None
+                if self.full_index is not None:
+                    self.full_index.put(
+                        item.last_id, meta.range_id, meta.version, item.pos, item.offset
+                    )
+                if self.config.eager_partial_index and self.partial_index is not None:
+                    self.partial_index.remember(
+                        LocationEntry(
+                            node_id=item.last_id,
+                            range_id=meta.range_id,
+                            version=meta.version,
+                            begin_pos=item.pos,
+                            begin_offset=item.offset,
+                        )
+                    )
+
+    # ----------------------------------------------------------- delete engine --
+
+    def _delete_span(
+        self, begin: ScanItem, end: ScanItem
+    ) -> Optional[_InsertPoint]:
+        """Delete tokens from ``begin`` to ``end`` inclusive; returns the
+        insert point at the deletion site (None = document end)."""
+        same_range = end.order_index == begin.order_index
+        first_meta = begin.meta
+        last_meta = end.meta
+        # token count of the span
+        if same_range:
+            span = end.offset - begin.offset + 1
+        else:
+            span = first_meta.token_count - begin.offset
+            for index in range(begin.order_index + 1, end.order_index):
+                span += self.ranges.at_order(index).token_count
+            span += end.offset + 1
+        # deleted id intervals (dense by the range-density invariant)
+        deleted_intervals: List[Tuple[int, int]] = []
+        begin_id = begin.last_id
+        assert begin_id is not None  # begin token starts the target node
+        head_last = begin_id - 1
+        head_keeps_interval = (
+            first_meta.start_id is not None and head_last >= first_meta.start_id
+        )
+        if same_range:
+            assert end.last_id is not None
+            deleted_intervals.append((begin_id, end.last_id))
+            tail_start_id = end.last_id + 1
+            tail_has_interval = (
+                first_meta.end_id is not None and tail_start_id <= first_meta.end_id
+            )
+            tail_end_id = first_meta.end_id
+            tail_count = first_meta.token_count - end.offset - 1
+        else:
+            if first_meta.end_id is not None:
+                deleted_intervals.append((begin_id, first_meta.end_id))
+            middles = [
+                self.ranges.at_order(index)
+                for index in range(begin.order_index + 1, end.order_index)
+            ]
+            for middle in middles:
+                if middle.has_interval:
+                    assert middle.start_id is not None and middle.end_id is not None
+                    deleted_intervals.append((middle.start_id, middle.end_id))
+            if end.last_id is not None:
+                if last_meta.start_id is not None:
+                    deleted_intervals.append((last_meta.start_id, end.last_id))
+                tail_start_id = end.last_id + 1
+                tail_has_interval = (
+                    last_meta.end_id is not None and tail_start_id <= last_meta.end_id
+                )
+            else:
+                tail_start_id = last_meta.start_id if last_meta.start_id is not None else 0
+                tail_has_interval = last_meta.has_interval
+            tail_end_id = last_meta.end_id
+            tail_count = last_meta.token_count - end.offset - 1
+        # ---- logical updates before the physical delete
+        tail_meta: Optional[RangeMeta] = None
+        if same_range:
+            head_count = begin.offset
+            if head_count == 0 and tail_count == 0:
+                self.range_index.unregister(first_meta.start_id)
+                self._drop_range(first_meta)
+            elif head_count == 0:
+                # the range *becomes* its tail
+                old_key = first_meta.start_id
+                first_meta.token_count = tail_count
+                first_meta.start_id = tail_start_id if tail_has_interval else None
+                first_meta.end_id = tail_end_id if tail_has_interval else None
+                first_meta.bump()
+                self.range_index.rekey(old_key, first_meta)
+                if not first_meta.has_interval:
+                    self.range_index.unregister(old_key)
+                tail_meta = first_meta
+            elif tail_count == 0:
+                first_meta.token_count = head_count
+                if head_keeps_interval:
+                    first_meta.end_id = head_last
+                else:
+                    self.range_index.unregister(first_meta.start_id)
+                    first_meta.start_id = None
+                    first_meta.end_id = None
+                first_meta.bump()
+            else:
+                first_meta.token_count = head_count
+                if head_keeps_interval:
+                    first_meta.end_id = head_last
+                else:
+                    self.range_index.unregister(first_meta.start_id)
+                    first_meta.start_id = None
+                    first_meta.end_id = None
+                first_meta.bump()
+                tail_meta = self.ranges.new_range(
+                    start=end.pos,  # placeholder; fixed after the physical delete
+                    token_count=tail_count,
+                    start_id=tail_start_id if tail_has_interval else None,
+                    end_id=tail_end_id if tail_has_interval else None,
+                    after=first_meta.range_id,
+                )
+                self.range_index.register(tail_meta)
+        else:
+            head_count = begin.offset
+            if head_count == 0:
+                self.range_index.unregister(first_meta.start_id)
+                self._drop_range(first_meta)
+            else:
+                first_meta.token_count = head_count
+                if head_keeps_interval:
+                    first_meta.end_id = head_last
+                else:
+                    self.range_index.unregister(first_meta.start_id)
+                    first_meta.start_id = None
+                    first_meta.end_id = None
+                first_meta.bump()
+            for middle in middles:
+                self.range_index.unregister(middle.start_id)
+                self._drop_range(middle)
+            if tail_count == 0:
+                self.range_index.unregister(last_meta.start_id)
+                self._drop_range(last_meta)
+            else:
+                old_key = last_meta.start_id
+                last_meta.token_count = tail_count
+                last_meta.start_id = tail_start_id if tail_has_interval else None
+                last_meta.end_id = tail_end_id if tail_has_interval else None
+                last_meta.bump()
+                if last_meta.has_interval:
+                    self.range_index.rekey(old_key, last_meta)
+                else:
+                    self.range_index.unregister(old_key)
+                tail_meta = last_meta
+        # ---- physical delete
+        after = self.layout.delete_run(begin.pos, span)
+        # fix the tail's start to the post-delete coordinates
+        if tail_meta is not None:
+            if after is None:
+                raise StoreError("surviving tail but no record after the run (bug)")
+            tail_meta.start = after
+            self.ranges.add_resident(after.block_no, tail_meta.range_id)
+            tail_meta.bump()
+        # ---- index maintenance
+        deleted_nodes = 0
+        for low, high in deleted_intervals:
+            deleted_nodes += high - low + 1
+            if self.full_index is not None:
+                self.full_index.remove_interval(low, high)
+        self.operations.nodes_deleted += deleted_nodes
+        # ---- where did the deleted content live?  (for replace_*)
+        if tail_meta is not None:
+            assert after is not None
+            return _InsertPoint(tail_meta, 0, after, None)
+        if after is None:
+            return None
+        # the run ended exactly at a surviving later range's head
+        for meta in self.ranges.in_order():
+            if meta.token_count and meta.start == after:
+                return _InsertPoint(meta, 0, after, None)
+        raise StoreError("post-delete position matches no range head (bug)")
+
+    def _drop_range(self, meta: RangeMeta) -> None:
+        if self.partial_index is not None:
+            self.partial_index.forget_range(meta.range_id)
+        self.ranges.drop(meta.range_id)
+        self.operations.ranges_dropped += 1

@@ -1,0 +1,154 @@
+"""Exception hierarchy for the repro XML store.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  The hierarchy mirrors the
+layering of the system: storage-level errors, token/parse errors, and
+store-level (logical) errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for errors in the page/block/buffer layer."""
+
+
+class BlockNotFoundError(StorageError):
+    """A block number does not exist on the device."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit into the target page, even after compaction."""
+
+
+class RecordTooLargeError(StorageError):
+    """A record can never fit into a page of the configured size."""
+
+
+class SlotNotFoundError(StorageError):
+    """A slot index is out of range or refers to a deleted record."""
+
+
+class BufferPoolExhaustedError(StorageError):
+    """Every frame in the buffer pool is pinned; nothing can be evicted."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is corrupt or was used incorrectly."""
+
+
+class DiskFaultError(StorageError):
+    """An injected fault fired (used by failure-injection tests)."""
+
+
+# ---------------------------------------------------------------------------
+# Token / parse layer
+# ---------------------------------------------------------------------------
+
+class TokenError(ReproError):
+    """Base class for token-model errors."""
+
+
+class XMLSyntaxError(TokenError):
+    """The XML input is not well formed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending character in the input.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class TokenStreamError(TokenError):
+    """A token sequence violates the XQuery Data Model nesting rules."""
+
+
+class CodecError(TokenError):
+    """A serialized token record cannot be decoded."""
+
+
+# ---------------------------------------------------------------------------
+# Identifier schemes
+# ---------------------------------------------------------------------------
+
+class IdSchemeError(ReproError):
+    """Base class for identifier-scheme errors."""
+
+
+class IdExhaustedError(IdSchemeError):
+    """The scheme cannot allocate identifiers at the requested position."""
+
+
+class IdOrderError(IdSchemeError):
+    """Identifiers were compared across incompatible schemes."""
+
+
+# ---------------------------------------------------------------------------
+# Core store
+# ---------------------------------------------------------------------------
+
+class StoreError(ReproError):
+    """Base class for logical store errors."""
+
+
+class NodeNotFoundError(StoreError):
+    """No node with the requested identifier exists in the store."""
+
+
+class InvalidOperationError(StoreError):
+    """The requested update is not legal at the target position."""
+
+
+class DocumentOrderError(StoreError):
+    """An internal document-order invariant was violated (a bug)."""
+
+
+# ---------------------------------------------------------------------------
+# Query layer
+# ---------------------------------------------------------------------------
+
+class QueryError(ReproError):
+    """Base class for XPath errors."""
+
+
+class XPathSyntaxError(QueryError):
+    """The XPath expression could not be parsed."""
+
+
+class XPathUnsupportedError(QueryError):
+    """The expression uses a feature outside the supported subset."""
+
+
+# ---------------------------------------------------------------------------
+# Concurrency
+# ---------------------------------------------------------------------------
+
+class ConcurrencyError(ReproError):
+    """Base class for lock/transaction errors."""
+
+
+class DeadlockError(ConcurrencyError):
+    """A lock request would create a wait-for cycle."""
+
+
+class LockTimeoutError(ConcurrencyError):
+    """A lock could not be granted within the configured bound."""
+
+
+class TransactionStateError(ConcurrencyError):
+    """A transaction was used after commit/abort, or nested illegally."""

@@ -1,0 +1,109 @@
+"""Dewey labels: the classic hierarchical numbering scheme.
+
+A node's label is the tuple of 1-based child ordinals on the path from the
+root (root = ``(1,)``, its second child = ``(1, 2)``).  Ancestry is prefix
+testing and document order is tuple order — but inserting between siblings
+forces renumbering every following sibling *and all their descendants*,
+which is exactly the update cost the paper's lazy design avoids paying up
+front.  :meth:`DeweyScheme.relabel_cost` quantifies that for Ablation D.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+from repro.errors import IdExhaustedError
+from repro.ids.base import LabelingScheme
+
+DeweyLabel = Tuple[int, ...]
+
+
+class DeweyScheme(LabelingScheme[DeweyLabel]):
+    """Gap-free hierarchical labels (insertions renumber siblings)."""
+
+    name = "dewey"
+
+    def label_root(self) -> DeweyLabel:
+        return (1,)
+
+    def first_child(self, parent: DeweyLabel) -> DeweyLabel:
+        return parent + (1,)
+
+    def next_sibling(self, last_sibling: DeweyLabel) -> DeweyLabel:
+        if not last_sibling:
+            raise IdExhaustedError("the root has no siblings")
+        return last_sibling[:-1] + (last_sibling[-1] + 1,)
+
+    def between(self, left: DeweyLabel, right: DeweyLabel) -> DeweyLabel:
+        """Dewey cannot label between adjacent siblings without fractions;
+        a real system renumbers instead (see :meth:`relabel_cost`)."""
+        if left[:-1] != right[:-1]:
+            raise IdExhaustedError("labels are not siblings")
+        if right[-1] - left[-1] > 1:
+            return left[:-1] + (left[-1] + 1,)
+        raise IdExhaustedError(
+            "no Dewey label exists between adjacent siblings; renumbering required"
+        )
+
+    def document_order(self, a: DeweyLabel, b: DeweyLabel) -> int:
+        return -1 if a < b else (1 if b < a else 0)
+
+    def is_ancestor(self, ancestor: DeweyLabel, descendant: DeweyLabel) -> bool:
+        return (
+            len(ancestor) < len(descendant)
+            and descendant[: len(ancestor)] == ancestor
+        )
+
+    def parent(self, label: DeweyLabel) -> DeweyLabel:
+        if len(label) <= 1:
+            raise IdExhaustedError("the root has no parent")
+        return label[:-1]
+
+    def depth(self, label: DeweyLabel) -> int:
+        return len(label)
+
+    def encode(self, label: DeweyLabel) -> bytes:
+        """Order-preserving encoding: big-endian 4-byte components.
+
+        Lexicographic byte order equals tuple order because components are
+        fixed width and positive.
+        """
+        return b"".join(struct.pack(">I", component) for component in label)
+
+    def decode(self, data: bytes) -> DeweyLabel:
+        if len(data) % 4:
+            raise IdExhaustedError(f"bad Dewey encoding length {len(data)}")
+        return tuple(
+            struct.unpack_from(">I", data, offset)[0]
+            for offset in range(0, len(data), 4)
+        )
+
+    def relabel_cost(
+        self, existing: Sequence[DeweyLabel], insert_after: DeweyLabel
+    ) -> int:
+        """Labels that must change to insert a sibling right after
+        ``insert_after``: every following sibling and its descendants."""
+        parent = insert_after[:-1]
+        ordinal = insert_after[-1]
+        cost = 0
+        for label in existing:
+            if len(label) > len(parent) and label[: len(parent)] == parent:
+                if label[len(parent)] > ordinal:
+                    cost += 1
+        return cost
+
+    def renumber_after(
+        self, existing: Sequence[DeweyLabel], insert_after: DeweyLabel
+    ) -> Tuple[DeweyLabel, List[Tuple[DeweyLabel, DeweyLabel]]]:
+        """Insert a sibling after ``insert_after``: returns the new node's
+        label and the (old, new) relabeling of shifted labels."""
+        parent = insert_after[:-1]
+        ordinal = insert_after[-1]
+        depth = len(parent)
+        moves: List[Tuple[DeweyLabel, DeweyLabel]] = []
+        for label in existing:
+            if len(label) > depth and label[:depth] == parent and label[depth] > ordinal:
+                shifted = label[:depth] + (label[depth] + 1,) + label[depth + 1 :]
+                moves.append((label, shifted))
+        return parent + (ordinal + 1,), moves

@@ -1,0 +1,138 @@
+"""ORDPATH labels [17]: insert-friendly hierarchical identifiers.
+
+ORDPATH is the scheme the paper points to for identifiers that are both
+stable and fully comparable in document order (§6.2).  Labels are integer
+tuples; ordinary children get odd ordinals (1, 3, 5, ...), and inserting
+*between* two adjacent siblings "carets in" an even component followed by
+a new odd component — e.g. between ``(1, 3)`` and ``(1, 5)`` comes
+``(1, 4, 1)``.  Even components do not add depth, so careted nodes remain
+siblings, and **no existing label ever changes** on insertion: the
+relabeling cost is zero, at the price of slowly growing labels.
+
+Rules used here (a faithful, slightly simplified careting discipline):
+
+* valid node labels end in an odd component;
+* document order is plain tuple comparison;
+* ancestry is proper-prefix testing;
+* depth counts only odd components.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence, Tuple
+
+from repro.errors import IdExhaustedError, IdOrderError
+from repro.ids.base import LabelingScheme
+
+OrdpathLabel = Tuple[int, ...]
+
+_COMPONENT_BIAS = 2**31  # order-preserving fixed-width component encoding
+
+
+class OrdpathScheme(LabelingScheme[OrdpathLabel]):
+    """Careting ORDPATH labels: zero-relabeling sibling insertion."""
+
+    name = "ordpath"
+
+    def label_root(self) -> OrdpathLabel:
+        return (1,)
+
+    def first_child(self, parent: OrdpathLabel) -> OrdpathLabel:
+        self._check_label(parent)
+        return parent + (1,)
+
+    def next_sibling(self, last_sibling: OrdpathLabel) -> OrdpathLabel:
+        self._check_label(last_sibling)
+        return last_sibling[:-1] + (last_sibling[-1] + 2,)
+
+    def previous_sibling_slot(self, first_sibling: OrdpathLabel) -> OrdpathLabel:
+        """A label ordered before ``first_sibling`` at the same depth."""
+        self._check_label(first_sibling)
+        head = first_sibling[-1]
+        component = head - 1 if (head - 1) % 2 else head - 2
+        return first_sibling[:-1] + (component,)
+
+    def between(self, left: OrdpathLabel, right: OrdpathLabel) -> OrdpathLabel:
+        """A fresh label strictly between two labels, never relabeling.
+
+        ``left`` and ``right`` must be distinct, ordered, and neither an
+        ancestor of the other (i.e. adjacent siblings, possibly careted).
+        """
+        self._check_label(left)
+        self._check_label(right)
+        if not left < right:
+            raise IdOrderError(f"{left} is not before {right}")
+        if self.is_ancestor(left, right):
+            raise IdOrderError(f"{left} is an ancestor of {right}")
+        index = self._first_difference(left, right)
+        a, b = left[index], right[index]
+        if b - a > 1:
+            candidate = a + 1 if (a + 1) % 2 else a + 2
+            if candidate < b:
+                return left[: index + 1][:-1] + (candidate,)
+            # only the even value a+1 fits: caret in
+            return left[:index] + (a + 1, 1)
+        # adjacent components (b == a + 1): no room at this position
+        if len(left) > index + 1:
+            # left's tail continues: go right after it inside left's branch
+            tail_head = left[index + 1]
+            component = tail_head + 1 if (tail_head + 1) % 2 else tail_head + 2
+            return left[: index + 1] + (component,)
+        # left ends here (a is odd, b = a+1 is even and right continues):
+        # descend on the right side, before right's tail
+        tail_head = right[index + 1]
+        component = tail_head - 1 if (tail_head - 1) % 2 else tail_head - 2
+        return right[: index + 1] + (component,)
+
+    def document_order(self, a: OrdpathLabel, b: OrdpathLabel) -> int:
+        return -1 if a < b else (1 if b < a else 0)
+
+    def is_ancestor(self, ancestor: OrdpathLabel, descendant: OrdpathLabel) -> bool:
+        return (
+            len(ancestor) < len(descendant)
+            and descendant[: len(ancestor)] == ancestor
+        )
+
+    def depth(self, label: OrdpathLabel) -> int:
+        """Tree depth: carets (even components) add no level."""
+        return sum(1 for component in label if component % 2)
+
+    def encode(self, label: OrdpathLabel) -> bytes:
+        """Byte-comparable encoding: fixed-width biased components, so
+        ``encode(a) < encode(b)`` iff ``a < b``."""
+        return b"".join(
+            struct.pack(">I", component + _COMPONENT_BIAS) for component in label
+        )
+
+    def decode(self, data: bytes) -> OrdpathLabel:
+        if len(data) % 4:
+            raise IdExhaustedError(f"bad ORDPATH encoding length {len(data)}")
+        return tuple(
+            struct.unpack_from(">I", data, offset)[0] - _COMPONENT_BIAS
+            for offset in range(0, len(data), 4)
+        )
+
+    def relabel_cost(
+        self, existing: Sequence[OrdpathLabel], insert_after: OrdpathLabel
+    ) -> int:
+        """Careting never moves existing labels."""
+        return 0
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _first_difference(left: OrdpathLabel, right: OrdpathLabel) -> int:
+        for index, (a, b) in enumerate(zip(left, right)):
+            if a != b:
+                return index
+        raise IdOrderError(f"{left} and {right} are nested, not adjacent")
+
+    @staticmethod
+    def _check_label(label: OrdpathLabel) -> None:
+        if not label:
+            raise IdExhaustedError("empty ORDPATH label")
+        if label[-1] % 2 == 0:
+            raise IdExhaustedError(
+                f"label {label} ends in an even (caret) component"
+            )

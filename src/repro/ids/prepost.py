@@ -1,0 +1,100 @@
+"""Pre/post containment labels [9, 16]: the read-optimized strawman.
+
+Each node carries ``(pre, post)`` — its position in a preorder and a
+postorder traversal.  Containment is a pair of integer comparisons
+(``a`` contains ``d`` iff ``a.pre < d.pre`` and ``d.post < a.post``),
+which is what makes containment joins and XPath location steps fast; but
+any insertion shifts the pre numbers of everything after the insert point
+and the post numbers of everything after *and above* it, so updates are
+O(document).  This is exactly the trade-off the paper's §1 names: "good
+identifier schemes ... help evaluating XPath expressions based on
+containment, but show poor performance for updates."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import IdSchemeError
+from repro.xmltoken.tokens import Token, TokenKind
+
+
+@dataclass(frozen=True, order=True)
+class PrePostLabel:
+    pre: int
+    post: int
+
+    def contains(self, other: "PrePostLabel") -> bool:
+        """Proper ancestry via the containment test."""
+        return self.pre < other.pre and other.post < self.post
+
+
+class PrePostLabeler:
+    """Assigns and maintains pre/post labels for element trees."""
+
+    name = "prepost"
+
+    def label_stream(self, tokens: Sequence[Token]) -> List[PrePostLabel]:
+        """Labels for every *element* node in the token stream, in
+        document (begin-token) order."""
+        labels: List[PrePostLabel] = []
+        open_stack: List[int] = []  # indexes into `labels`
+        pre = post = 0
+        pres: List[int] = []
+        posts: Dict[int, int] = {}
+        for token in tokens:
+            if token.kind == TokenKind.BEGIN_ELEMENT:
+                open_stack.append(len(pres))
+                pres.append(pre)
+                pre += 1
+            elif token.kind == TokenKind.END_ELEMENT:
+                if not open_stack:
+                    raise IdSchemeError("unbalanced token stream")
+                posts[open_stack.pop()] = post
+                post += 1
+        if open_stack:
+            raise IdSchemeError("unbalanced token stream")
+        for index, pre_value in enumerate(pres):
+            labels.append(PrePostLabel(pre_value, posts[index]))
+        return labels
+
+    @staticmethod
+    def document_order(a: PrePostLabel, b: PrePostLabel) -> int:
+        return -1 if a.pre < b.pre else (1 if a.pre > b.pre else 0)
+
+    @staticmethod
+    def is_ancestor(ancestor: PrePostLabel, descendant: PrePostLabel) -> bool:
+        return ancestor.contains(descendant)
+
+    @staticmethod
+    def relabel_cost(
+        existing: Sequence[PrePostLabel], insert_pre: int, insert_post: int
+    ) -> int:
+        """Labels that change when a leaf is inserted at ``(insert_pre,
+        insert_post)``: everything with ``pre >= insert_pre`` shifts its
+        pre, everything with ``post >= insert_post`` shifts its post."""
+        return sum(
+            1
+            for label in existing
+            if label.pre >= insert_pre or label.post >= insert_post
+        )
+
+    @staticmethod
+    def insert_leaf(
+        existing: Sequence[PrePostLabel], insert_pre: int, insert_post: int
+    ) -> Tuple[PrePostLabel, List[PrePostLabel]]:
+        """Insert a leaf node; returns its label and the full relabeled
+        sequence (gap-free schemes rewrite in place)."""
+        relabeled: List[PrePostLabel] = []
+        for label in existing:
+            pre = label.pre + 1 if label.pre >= insert_pre else label.pre
+            post = label.post + 1 if label.post >= insert_post else label.post
+            relabeled.append(PrePostLabel(pre, post))
+        return PrePostLabel(insert_pre, insert_post), relabeled
+
+    @staticmethod
+    def encode(label: PrePostLabel) -> bytes:
+        import struct
+
+        return struct.pack(">II", label.pre, label.post)

@@ -1,0 +1,17 @@
+"""Ordered-index substrate: a paged B+-tree over the buffer pool."""
+
+from repro.index.bptree import (
+    BYTES_KEY_CODEC,
+    INT_KEY_CODEC,
+    INT_TUPLE_KEY_CODEC,
+    KeyCodec,
+    PagedBPlusTree,
+)
+
+__all__ = [
+    "BYTES_KEY_CODEC",
+    "INT_KEY_CODEC",
+    "INT_TUPLE_KEY_CODEC",
+    "KeyCodec",
+    "PagedBPlusTree",
+]

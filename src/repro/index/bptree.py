@@ -1,0 +1,542 @@
+"""A paged B+-tree over the buffer pool.
+
+This is the ordered-index substrate under both the coarse Range Index and
+the full-index baseline.  In the paper's prototype this role was played by
+MySQL's B-trees; building our own — *on the same buffer pool and
+instrumented device as the data blocks* — means every index node touch is
+charged to the same simulated clock as data I/O, so the cost asymmetry the
+paper measures (full index: one index insert per node; range index: one
+per range) emerges from first principles.
+
+Each tree node occupies one block.  Keys are arbitrary Python objects
+serialized through an order-agnostic codec; ordering uses the *decoded*
+keys' natural ``<``, so any totally ordered key type works (ints, tuples,
+bytes).  Leaves are chained for range scans.  Deletion rebalances by
+borrowing from or merging with siblings, so the tree never degrades.
+
+The tree keeps only its root block number as external state
+(:attr:`PagedBPlusTree.root_block`); persist that in a catalog to reopen.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_NODE_HEADER = struct.Struct("<Bq")  # is_leaf, next_leaf / first_child
+
+
+@dataclass(frozen=True)
+class KeyCodec(Generic[K]):
+    """Order-agnostic key serialization (ordering uses decoded values)."""
+
+    encode: Callable[[K], bytes]
+    decode: Callable[[bytes], K]
+
+
+def _encode_int(value: int) -> bytes:
+    return struct.pack("<q", value)
+
+
+def _decode_int(data: bytes) -> int:
+    return struct.unpack("<q", data)[0]
+
+
+INT_KEY_CODEC: KeyCodec[int] = KeyCodec(encode=_encode_int, decode=_decode_int)
+
+
+def _encode_int_tuple(value: Tuple[int, ...]) -> bytes:
+    return struct.pack(f"<H{len(value)}q", len(value), *value)
+
+
+def _decode_int_tuple(data: bytes) -> Tuple[int, ...]:
+    (count,) = struct.unpack_from("<H", data, 0)
+    return struct.unpack_from(f"<{count}q", data, 2)
+
+
+INT_TUPLE_KEY_CODEC: KeyCodec[Tuple[int, ...]] = KeyCodec(
+    encode=_encode_int_tuple, decode=_decode_int_tuple
+)
+
+BYTES_KEY_CODEC: KeyCodec[bytes] = KeyCodec(encode=bytes, decode=bytes)
+
+
+class _Node(Generic[K]):
+    """Decoded form of one tree node."""
+
+    __slots__ = ("is_leaf", "keys", "values", "children", "next_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: List[K] = []
+        self.values: List[bytes] = []  # leaf only
+        self.children: List[int] = []  # internal only; len == len(keys)+1
+        self.next_leaf: Optional[int] = None
+
+
+class PagedBPlusTree(Generic[K]):
+    """B+-tree with byte-string values and pluggable key codec.
+
+    ``order`` is the maximum number of keys per node; it must be chosen so
+    a full node serializes into one block (checked at write time).
+    """
+
+    #: Allocation stream for tree pages: keeps index extents separate from
+    #: the data chain's, as a real system's separate index file would.
+    INDEX_STREAM = 1
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        key_codec: KeyCodec[K],
+        order: int = 64,
+        root_block: Optional[int] = None,
+        alloc_stream: int = INDEX_STREAM,
+    ) -> None:
+        if order < 3:
+            raise StorageError("B+-tree order must be >= 3")
+        self.pool = pool
+        self.key_codec = key_codec
+        self.order = order
+        self.alloc_stream = alloc_stream
+        #: entries decoded while loading nodes — the CPU-cost ledger used
+        #: by the simulated clock (analogous to tokens scanned).
+        self.entries_loaded = 0
+        if root_block is None:
+            root = _Node[K](is_leaf=True)
+            with pool.new_page(self.alloc_stream) as guard:
+                self.root_block = guard.block_no
+                self._store(guard, root)
+        else:
+            self.root_block = root_block
+
+    # ------------------------------------------------------------------ io --
+
+    def _load(self, block_no: int) -> _Node[K]:
+        with self.pool.fetch(block_no) as guard:
+            records = guard.page.records()
+        is_leaf_flag, pointer = _NODE_HEADER.unpack(records[0])
+        node = _Node[K](is_leaf=bool(is_leaf_flag))
+        if node.is_leaf:
+            node.next_leaf = None if pointer == -1 else pointer
+            for record in records[1:]:
+                (key_len,) = struct.unpack_from("<H", record, 0)
+                node.keys.append(self.key_codec.decode(record[2 : 2 + key_len]))
+                node.values.append(record[2 + key_len :])
+        else:
+            node.children.append(pointer)
+            for record in records[1:]:
+                (key_len,) = struct.unpack_from("<H", record, 0)
+                node.keys.append(self.key_codec.decode(record[2 : 2 + key_len]))
+                (child,) = struct.unpack_from("<q", record, 2 + key_len)
+                node.children.append(child)
+        self.entries_loaded += len(node.keys)
+        return node
+
+    def _save(self, block_no: int, node: _Node[K]) -> None:
+        with self.pool.fetch(block_no) as guard:
+            self._store(guard, node)
+
+    def _store(self, guard, node: _Node[K]) -> None:
+        page = guard.page
+        while len(page):
+            page.delete(len(page) - 1)
+        if node.is_leaf:
+            pointer = -1 if node.next_leaf is None else node.next_leaf
+            page.append(_NODE_HEADER.pack(1, pointer))
+            for key, value in zip(node.keys, node.values):
+                encoded = self.key_codec.encode(key)
+                page.append(struct.pack("<H", len(encoded)) + encoded + value)
+        else:
+            page.append(_NODE_HEADER.pack(0, node.children[0]))
+            for key, child in zip(node.keys, node.children[1:]):
+                encoded = self.key_codec.encode(key)
+                page.append(
+                    struct.pack("<H", len(encoded))
+                    + encoded
+                    + struct.pack("<q", child)
+                )
+        guard.mark_dirty()
+
+    def _new_node(self, node: _Node[K]) -> int:
+        with self.pool.new_page(self.alloc_stream) as guard:
+            self._store(guard, node)
+            return guard.block_no
+
+    # -------------------------------------------------------------- queries --
+
+    def get(self, key: K) -> Optional[bytes]:
+        """The value stored under ``key``, or None."""
+        node = self._load(self._find_leaf(key))
+        index = _lower_bound(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return node.values[index]
+        return None
+
+    def __contains__(self, key: K) -> bool:
+        return self.get(key) is not None
+
+    def floor_item(self, key: K) -> Optional[Tuple[K, bytes]]:
+        """The entry with the largest key ``<= key`` (the Range Index's
+        lookup primitive), or None if every key is greater."""
+        block_no = self._find_leaf(key)
+        node = self._load(block_no)
+        index = _upper_bound(node.keys, key) - 1
+        if index >= 0:
+            return node.keys[index], node.values[index]
+        # Everything in this leaf is greater; the floor, if any, is the
+        # last entry of the previous leaf.  Leaves are singly linked, so
+        # walk down the left spine tracking the predecessor leaf.
+        prev = self._predecessor_leaf(block_no)
+        if prev is None:
+            return None
+        prev_node = self._load(prev)
+        if not prev_node.keys:
+            return None
+        return prev_node.keys[-1], prev_node.values[-1]
+
+    def ceiling_item(self, key: K) -> Optional[Tuple[K, bytes]]:
+        """The entry with the smallest key ``>= key``, or None."""
+        node = self._load(self._find_leaf(key))
+        index = _lower_bound(node.keys, key)
+        if index < len(node.keys):
+            return node.keys[index], node.values[index]
+        if node.next_leaf is None:
+            return None
+        nxt = self._load(node.next_leaf)
+        if not nxt.keys:
+            return None
+        return nxt.keys[0], nxt.values[0]
+
+    def items(
+        self, low: Optional[K] = None, high: Optional[K] = None
+    ) -> Iterator[Tuple[K, bytes]]:
+        """Iterate entries with ``low <= key <= high`` in key order."""
+        if low is None:
+            block_no: Optional[int] = self._leftmost_leaf()
+        else:
+            block_no = self._find_leaf(low)
+        while block_no is not None:
+            node = self._load(block_no)
+            for key, value in zip(node.keys, node.values):
+                if low is not None and key < low:
+                    continue
+                if high is not None and high < key:
+                    return
+                yield key, value
+            block_no = node.next_leaf
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    @property
+    def is_empty(self) -> bool:
+        for _ in self.items():
+            return False
+        return True
+
+    def height(self) -> int:
+        """Number of levels (1 = a single leaf)."""
+        levels = 1
+        node = self._load(self.root_block)
+        while not node.is_leaf:
+            levels += 1
+            node = self._load(node.children[0])
+        return levels
+
+    # ------------------------------------------------------------- mutation --
+
+    def insert(self, key: K, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        split = self._insert(self.root_block, key, value)
+        if split is not None:
+            middle_key, right_block = split
+            new_root = _Node[K](is_leaf=False)
+            new_root.keys = [middle_key]
+            new_root.children = [self.root_block, right_block]
+            self.root_block = self._new_node(new_root)
+
+    def delete(self, key: K) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        removed = self._delete(self.root_block, key)
+        root = self._load(self.root_block)
+        if not root.is_leaf and len(root.children) == 1:
+            # shrink the tree: the lone child becomes the root
+            old_root = self.root_block
+            self.root_block = root.children[0]
+            self.pool.free_page(old_root)
+        return removed
+
+    def clear(self) -> None:
+        """Remove every entry (frees all non-root blocks)."""
+        self._free_subtree(self.root_block, keep_root=True)
+        root = _Node[K](is_leaf=True)
+        self._save(self.root_block, root)
+
+    # ----------------------------------------------------------- insertion --
+
+    def _insert(
+        self, block_no: int, key: K, value: bytes
+    ) -> Optional[Tuple[K, int]]:
+        node = self._load(block_no)
+        if node.is_leaf:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+            if len(node.keys) > self.order:
+                return self._split_leaf(block_no, node)
+            self._save(block_no, node)
+            return None
+        index = _upper_bound(node.keys, key)
+        split = self._insert(node.children[index], key, value)
+        if split is None:
+            return None
+        middle_key, right_block = split
+        node.keys.insert(index, middle_key)
+        node.children.insert(index + 1, right_block)
+        if len(node.keys) > self.order:
+            return self._split_internal(block_no, node)
+        self._save(block_no, node)
+        return None
+
+    def _split_leaf(self, block_no: int, node: _Node[K]) -> Tuple[K, int]:
+        half = len(node.keys) // 2
+        right = _Node[K](is_leaf=True)
+        right.keys = node.keys[half:]
+        right.values = node.values[half:]
+        right.next_leaf = node.next_leaf
+        node.keys = node.keys[:half]
+        node.values = node.values[:half]
+        right_block = self._new_node(right)
+        node.next_leaf = right_block
+        self._save(block_no, node)
+        return right.keys[0], right_block
+
+    def _split_internal(self, block_no: int, node: _Node[K]) -> Tuple[K, int]:
+        half = len(node.keys) // 2
+        middle_key = node.keys[half]
+        right = _Node[K](is_leaf=False)
+        right.keys = node.keys[half + 1 :]
+        right.children = node.children[half + 1 :]
+        node.keys = node.keys[:half]
+        node.children = node.children[: half + 1]
+        right_block = self._new_node(right)
+        self._save(block_no, node)
+        return middle_key, right_block
+
+    # ------------------------------------------------------------ deletion --
+
+    def _delete(self, block_no: int, key: K) -> bool:
+        node = self._load(block_no)
+        if node.is_leaf:
+            index = _lower_bound(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                return False
+            del node.keys[index]
+            del node.values[index]
+            self._save(block_no, node)
+            return True
+        index = _upper_bound(node.keys, key)
+        removed = self._delete(node.children[index], key)
+        if removed:
+            self._rebalance_child(block_no, index)
+        return removed
+
+    def _min_keys(self) -> int:
+        return self.order // 2
+
+    def _rebalance_child(self, parent_block: int, index: int) -> None:
+        parent = self._load(parent_block)
+        child_block = parent.children[index]
+        child = self._load(child_block)
+        if len(child.keys) >= self._min_keys():
+            return
+        # Try borrowing from the left sibling.
+        if index > 0:
+            left_block = parent.children[index - 1]
+            left = self._load(left_block)
+            if len(left.keys) > self._min_keys():
+                self._borrow_from_left(parent, index, left, child)
+                self._save(left_block, left)
+                self._save(child_block, child)
+                self._save(parent_block, parent)
+                return
+        # Try borrowing from the right sibling.
+        if index < len(parent.children) - 1:
+            right_block = parent.children[index + 1]
+            right = self._load(right_block)
+            if len(right.keys) > self._min_keys():
+                self._borrow_from_right(parent, index, child, right)
+                self._save(right_block, right)
+                self._save(child_block, child)
+                self._save(parent_block, parent)
+                return
+        # Merge with a sibling.
+        if index > 0:
+            self._merge_children(parent_block, parent, index - 1)
+        else:
+            self._merge_children(parent_block, parent, index)
+
+    def _borrow_from_left(
+        self, parent: _Node[K], index: int, left: _Node[K], child: _Node[K]
+    ) -> None:
+        if child.is_leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[index - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[index - 1])
+            parent.keys[index - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(
+        self, parent: _Node[K], index: int, child: _Node[K], right: _Node[K]
+    ) -> None:
+        if child.is_leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[index] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[index])
+            parent.keys[index] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge_children(self, parent_block: int, parent: _Node[K], left_index: int) -> None:
+        left_block = parent.children[left_index]
+        right_block = parent.children[left_index + 1]
+        left = self._load(left_block)
+        right = self._load(right_block)
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[left_index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[left_index]
+        del parent.children[left_index + 1]
+        self._save(left_block, left)
+        self._save(parent_block, parent)
+        self.pool.free_page(right_block)
+
+    # ------------------------------------------------------------ traversal --
+
+    def _find_leaf(self, key: K) -> int:
+        block_no = self.root_block
+        node = self._load(block_no)
+        while not node.is_leaf:
+            block_no = node.children[_upper_bound(node.keys, key)]
+            node = self._load(block_no)
+        return block_no
+
+    def _leftmost_leaf(self) -> int:
+        block_no = self.root_block
+        node = self._load(block_no)
+        while not node.is_leaf:
+            block_no = node.children[0]
+            node = self._load(block_no)
+        return block_no
+
+    def _predecessor_leaf(self, leaf_block: int) -> Optional[int]:
+        previous = None
+        current = self._leftmost_leaf()
+        while current != leaf_block:
+            node = self._load(current)
+            previous = current
+            current = node.next_leaf
+            if current is None:
+                raise StorageError("leaf chain is broken (bug)")
+        return previous
+
+    def _free_subtree(self, block_no: int, keep_root: bool = False) -> None:
+        node = self._load(block_no)
+        if not node.is_leaf:
+            for child in node.children:
+                self._free_subtree(child)
+        if not keep_root:
+            self.pool.free_page(block_no)
+
+    # ------------------------------------------------------------ integrity --
+
+    def check_integrity(self) -> None:
+        """Verify ordering, balance and leaf-chain consistency (test aid)."""
+        leaves: List[int] = []
+        self._check_node(self.root_block, None, None, leaves, is_root=True)
+        # the leaf chain must visit exactly the leaves, left to right
+        chained = []
+        current: Optional[int] = self._leftmost_leaf()
+        while current is not None:
+            chained.append(current)
+            current = self._load(current).next_leaf
+        if chained != leaves:
+            raise StorageError(f"leaf chain {chained} != tree leaves {leaves}")
+
+    def _check_node(
+        self,
+        block_no: int,
+        low: Optional[K],
+        high: Optional[K],
+        leaves: List[int],
+        is_root: bool = False,
+        depth: int = 0,
+        leaf_depth: Optional[List[int]] = None,
+    ) -> None:
+        if leaf_depth is None:
+            leaf_depth = []
+        node = self._load(block_no)
+        keys = node.keys
+        for left, right in zip(keys, keys[1:]):
+            if not left < right:
+                raise StorageError(f"keys out of order in block {block_no}")
+        if low is not None and keys and keys[0] < low:
+            raise StorageError(f"key below lower bound in block {block_no}")
+        if high is not None and keys and not keys[-1] < high:
+            raise StorageError(f"key at/above upper bound in block {block_no}")
+        if not is_root and len(keys) < self._min_keys() and not node.is_leaf:
+            raise StorageError(f"underfull internal node {block_no}")
+        if node.is_leaf:
+            if leaf_depth and depth != leaf_depth[0]:
+                raise StorageError("leaves at differing depths")
+            leaf_depth.append(depth)
+            leaves.append(block_no)
+            return
+        if len(node.children) != len(keys) + 1:
+            raise StorageError(f"child count mismatch in block {block_no}")
+        bounds = [low] + list(keys) + [high]
+        for child, (lo, hi) in zip(node.children, zip(bounds, bounds[1:])):
+            self._check_node(child, lo, hi, leaves, depth=depth + 1, leaf_depth=leaf_depth)
+
+
+def _lower_bound(keys: List[K], key: K) -> int:
+    """First index whose key is >= key."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _upper_bound(keys: List[K], key: K) -> int:
+    """First index whose key is > key."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key < keys[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

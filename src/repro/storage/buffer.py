@@ -1,0 +1,209 @@
+"""Buffer pool with LRU replacement, pin counts and write-back caching.
+
+The pool caches *decoded* :class:`~repro.storage.pages.SlottedPage` objects
+keyed by block number.  A fetched page is pinned; a pinned page is never
+evicted.  Dirty pages are written back (as full block images) on eviction
+and on :meth:`BufferPool.flush_all`.
+
+Device I/O statistics (and hence the simulated clock used by benchmarks)
+only advance on real block reads and writes, so the buffer pool's hit rate
+directly shapes benchmark results — exactly as in the paper's setup, where
+MySQL's buffer pool stood between the store and the disk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.errors import BufferPoolExhaustedError, StorageError
+from repro.storage.disk import BlockDevice
+from repro.storage.pages import SlottedPage
+
+DEFAULT_POOL_CAPACITY = 64
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss counters for a :class:`BufferPool`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_writebacks = 0
+
+
+class _Frame:
+    __slots__ = ("page", "pin_count", "dirty")
+
+    def __init__(self, page: SlottedPage) -> None:
+        self.page = page
+        self.pin_count = 0
+        self.dirty = False
+
+
+class PageGuard:
+    """Context manager returned by :meth:`BufferPool.fetch`.
+
+    Unpins the page on exit.  Call :meth:`mark_dirty` after mutating the
+    page so the pool writes it back.
+    """
+
+    __slots__ = ("_pool", "block_no", "_frame", "_released")
+
+    def __init__(self, pool: "BufferPool", block_no: int, frame: _Frame) -> None:
+        self._pool = pool
+        self.block_no = block_no
+        self._frame = frame
+        self._released = False
+
+    @property
+    def page(self) -> SlottedPage:
+        return self._frame.page
+
+    def mark_dirty(self) -> None:
+        self._frame.dirty = True
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._pool._unpin(self.block_no)
+
+    def __enter__(self) -> "PageGuard":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of decoded pages over a block device."""
+
+    def __init__(self, device: BlockDevice, capacity: int = DEFAULT_POOL_CAPACITY) -> None:
+        if capacity < 1:
+            raise StorageError("buffer pool capacity must be >= 1")
+        self.device = device
+        self.capacity = capacity
+        self.stats = BufferStats()
+        # OrderedDict in LRU order: least-recently-used first.
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        # Blocks logically freed but not yet released to the device.
+        # Deallocation is deferred to flush_all() so that a crash (drop_all)
+        # leaves every block the last checkpoint's catalog references
+        # intact — the deallocation analogue of write-ahead logging.
+        self._pending_frees: list = []
+
+    # -- public API ---------------------------------------------------------
+
+    def fetch(self, block_no: int) -> PageGuard:
+        """Pin and return the page in ``block_no``."""
+        frame = self._frames.get(block_no)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(block_no)
+        else:
+            self.stats.misses += 1
+            data = self.device.read_block(block_no)
+            frame = _Frame(SlottedPage.from_bytes(data))
+            self._admit(block_no, frame)
+        frame.pin_count += 1
+        return PageGuard(self, block_no, frame)
+
+    def new_page(self, stream: int = 0) -> PageGuard:
+        """Allocate a fresh block (from ``stream``'s extents) and return
+        its (empty, dirty) page."""
+        block_no = self.device.allocate_block(stream)
+        frame = _Frame(SlottedPage(self.device.block_size))
+        frame.dirty = True
+        self._admit(block_no, frame)
+        frame.pin_count += 1
+        return PageGuard(self, block_no, frame)
+
+    def free_page(self, block_no: int) -> None:
+        """Drop a page from the pool and schedule its block for release.
+
+        The device-level free happens at the next :meth:`flush_all` (i.e.
+        checkpoint); until then the block's last flushed content remains
+        readable, so a crash recovers the checkpointed state intact.
+        """
+        frame = self._frames.pop(block_no, None)
+        if frame is not None and frame.pin_count:
+            raise StorageError(f"cannot free pinned block {block_no}")
+        self._pending_frees.append(block_no)
+
+    def flush(self, block_no: int) -> None:
+        """Write back one dirty page (keeps it cached)."""
+        frame = self._frames.get(block_no)
+        if frame is not None and frame.dirty:
+            self.device.write_block(block_no, frame.page.to_bytes())
+            self.stats.dirty_writebacks += 1
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write back every dirty page, release deferred frees, and sync."""
+        for block_no in list(self._frames):
+            self.flush(block_no)
+        for block_no in self._pending_frees:
+            self.device.free_block(block_no)
+        self._pending_frees.clear()
+        self.device.sync()
+
+    def drop_all(self) -> None:
+        """Forget every cached page *without* writing back, and abandon
+        deferred frees (crash simulation: the blocks stay allocated on the
+        device, wasting space but keeping the last checkpoint readable)."""
+        for frame in self._frames.values():
+            if frame.pin_count:
+                raise StorageError("cannot drop pinned pages")
+        self._frames.clear()
+        self._pending_frees.clear()
+
+    def cached_blocks(self) -> Iterator[int]:
+        return iter(self._frames)
+
+    @property
+    def num_cached(self) -> int:
+        return len(self._frames)
+
+    # -- internals ----------------------------------------------------------
+
+    def _admit(self, block_no: int, frame: _Frame) -> None:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[block_no] = frame
+
+    def _evict_one(self) -> None:
+        for victim_no, victim in self._frames.items():
+            if victim.pin_count == 0:
+                if victim.dirty:
+                    self.device.write_block(victim_no, victim.page.to_bytes())
+                    self.stats.dirty_writebacks += 1
+                del self._frames[victim_no]
+                self.stats.evictions += 1
+                return
+        raise BufferPoolExhaustedError(
+            f"all {self.capacity} frames are pinned; cannot evict"
+        )
+
+    def _unpin(self, block_no: int) -> None:
+        frame = self._frames.get(block_no)
+        if frame is None:
+            return  # page was explicitly freed while the guard was alive
+        if frame.pin_count <= 0:
+            raise StorageError(f"unpin of unpinned block {block_no} (bug)")
+        frame.pin_count -= 1

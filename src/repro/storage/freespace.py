@@ -1,0 +1,69 @@
+"""Free-space map: which chained blocks have room for more records.
+
+The paper stores tokens "in the corresponding positions in the storage:
+blocks are allocated accordingly" (§3.3).  The free-space map lets the
+insert path find, without touching the disk, whether the block at an insert
+position can absorb new tokens or whether a split/allocation is needed.
+
+The map is a write-through cache of per-block free bytes, updated by the
+store whenever it mutates a page.  It is advisory: a stale entry only costs
+an extra page fetch, never correctness.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, Optional, Tuple
+
+_ENTRY = struct.Struct("<qI")
+_HEADER = struct.Struct("<I")
+
+
+class FreeSpaceMap:
+    """Tracks an estimate of free payload bytes per block."""
+
+    def __init__(self) -> None:
+        self._free: Dict[int, int] = {}
+
+    def record(self, block_no: int, free_bytes: int) -> None:
+        """Update the estimate for ``block_no``."""
+        self._free[block_no] = max(0, free_bytes)
+
+    def forget(self, block_no: int) -> None:
+        self._free.pop(block_no, None)
+
+    def free_bytes(self, block_no: int) -> Optional[int]:
+        """Last known free bytes for ``block_no`` (None if unknown)."""
+        return self._free.get(block_no)
+
+    def has_room(self, block_no: int, need: int) -> Optional[bool]:
+        """Whether ``block_no`` can absorb ``need`` bytes (None if unknown)."""
+        free = self._free.get(block_no)
+        if free is None:
+            return None
+        return free >= need
+
+    def blocks_with_room(self, need: int) -> Iterator[Tuple[int, int]]:
+        """All known ``(block_no, free)`` pairs with at least ``need`` free."""
+        return ((b, f) for b, f in self._free.items() if f >= need)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    # -- catalog serialization -------------------------------------------------
+
+    def to_catalog(self) -> bytes:
+        parts = [_HEADER.pack(len(self._free))]
+        parts.extend(_ENTRY.pack(b, f) for b, f in self._free.items())
+        return b"".join(parts)
+
+    @classmethod
+    def from_catalog(cls, data: bytes) -> "FreeSpaceMap":
+        fsm = cls()
+        (count,) = _HEADER.unpack_from(data, 0)
+        offset = _HEADER.size
+        for _ in range(count):
+            block_no, free = _ENTRY.unpack_from(data, offset)
+            offset += _ENTRY.size
+            fsm._free[block_no] = free
+        return fsm

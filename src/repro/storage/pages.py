@@ -1,0 +1,205 @@
+"""Slotted pages with an *ordered* slot directory.
+
+A page stores a sequence of variable-length records.  Unlike a classic
+relational slotted page, the slot order is meaningful: within a block, the
+slot order *is* document order of the tokens stored there (see
+:mod:`repro.storage.heap`).  Records can therefore be inserted at an
+arbitrary slot position, which shifts the following slots.
+
+Pages are value objects that serialize to exactly ``page_size`` bytes.  The
+on-page layout is::
+
+    u16 record_count | u16 len_0 | u16 len_1 | ... | payload_0 payload_1 ...
+
+Because a page is rewritten wholesale when flushed (the buffer pool always
+writes full block images), records do not need stable on-page offsets and
+no tombstone/compaction machinery is necessary: deletion simply removes the
+slot.  ``free_space`` reports how many more payload bytes fit.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Sequence
+
+from repro.errors import PageFullError, RecordTooLargeError, SlotNotFoundError, StorageError
+
+_HEADER = struct.Struct("<H")
+_SLOT = struct.Struct("<H")
+
+#: Per-record overhead in bytes (the length field in the slot directory).
+RECORD_OVERHEAD = _SLOT.size
+
+#: Fixed page overhead in bytes (the record-count header).
+PAGE_HEADER_SIZE = _HEADER.size
+
+
+def page_capacity(page_size: int) -> int:
+    """Maximum payload bytes a single record may occupy in a page."""
+    return page_size - PAGE_HEADER_SIZE - RECORD_OVERHEAD
+
+
+class SlottedPage:
+    """A page holding an ordered sequence of variable-length records."""
+
+    __slots__ = ("page_size", "_records", "_used")
+
+    def __init__(self, page_size: int, records: Sequence[bytes] = ()) -> None:
+        self.page_size = page_size
+        self._records: List[bytes] = []
+        self._used = PAGE_HEADER_SIZE
+        for record in records:
+            self.append(record)
+
+    # -- capacity -----------------------------------------------------------
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for one more record's payload (its overhead
+        already accounted for)."""
+        return max(0, self.page_size - self._used - RECORD_OVERHEAD)
+
+    def fits(self, record: bytes) -> bool:
+        return len(record) + RECORD_OVERHEAD <= self.page_size - self._used
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    # -- record access ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self._records)
+
+    def record(self, slot: int) -> bytes:
+        try:
+            return self._records[self._check(slot)]
+        except IndexError:
+            raise SlotNotFoundError(f"slot {slot} out of range") from None
+
+    def records(self) -> List[bytes]:
+        """A copy of all records in slot order."""
+        return list(self._records)
+
+    # -- mutation -----------------------------------------------------------
+
+    def append(self, record: bytes) -> int:
+        """Add ``record`` after the last slot; return its slot index."""
+        return self.insert(len(self._records), record)
+
+    def insert(self, slot: int, record: bytes) -> int:
+        """Insert ``record`` *at* ``slot`` (shifting later slots right)."""
+        if not 0 <= slot <= len(self._records):
+            raise SlotNotFoundError(
+                f"insert position {slot} out of range 0..{len(self._records)}"
+            )
+        need = len(record) + RECORD_OVERHEAD
+        if len(record) + RECORD_OVERHEAD + PAGE_HEADER_SIZE > self.page_size:
+            raise RecordTooLargeError(
+                f"record of {len(record)} bytes can never fit in a "
+                f"{self.page_size}-byte page"
+            )
+        if self._used + need > self.page_size:
+            raise PageFullError(
+                f"record of {len(record)} bytes does not fit "
+                f"({self.page_size - self._used} bytes free)"
+            )
+        self._records.insert(slot, bytes(record))
+        self._used += need
+        return slot
+
+    def delete(self, slot: int) -> bytes:
+        """Remove and return the record at ``slot`` (shifting later slots
+        left)."""
+        record = self._records.pop(self._check(slot))
+        self._used -= len(record) + RECORD_OVERHEAD
+        return record
+
+    def replace(self, slot: int, record: bytes) -> None:
+        """Replace the record at ``slot`` in place."""
+        index = self._check(slot)
+        old = self._records[index]
+        new_used = self._used - len(old) + len(record)
+        if new_used > self.page_size:
+            raise PageFullError(
+                f"replacement record of {len(record)} bytes does not fit"
+            )
+        self._records[index] = bytes(record)
+        self._used = new_used
+
+    def split(self, slot: int) -> "SlottedPage":
+        """Move slots ``[slot:]`` into a fresh page and return it.
+
+        Used when inserting into the middle of a full block: the tail of
+        the block moves to a new block chained right after it.
+        """
+        index = self._check_boundary(slot)
+        tail = SlottedPage(self.page_size)
+        for record in self._records[index:]:
+            tail.append(record)
+        for record in self._records[index:]:
+            self._used -= len(record) + RECORD_OVERHEAD
+        del self._records[index:]
+        return tail
+
+    def extend(self, records: Sequence[bytes]) -> None:
+        """Append many records; raises before mutating if they do not all
+        fit."""
+        need = sum(len(r) + RECORD_OVERHEAD for r in records)
+        if self._used + need > self.page_size:
+            raise PageFullError(f"{len(records)} records need {need} bytes")
+        for record in records:
+            self._records.append(bytes(record))
+        self._used += need
+
+    # -- serialization ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        parts = [_HEADER.pack(len(self._records))]
+        parts.extend(_SLOT.pack(len(r)) for r in self._records)
+        parts.extend(self._records)
+        data = b"".join(parts)
+        if len(data) > self.page_size:
+            raise StorageError("page serialization exceeded page size (bug)")
+        return data + b"\x00" * (self.page_size - len(data))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SlottedPage":
+        page_size = len(data)
+        (count,) = _HEADER.unpack_from(data, 0)
+        lengths = []
+        offset = PAGE_HEADER_SIZE
+        for _ in range(count):
+            (length,) = _SLOT.unpack_from(data, offset)
+            lengths.append(length)
+            offset += RECORD_OVERHEAD
+        page = cls(page_size)
+        for length in lengths:
+            page.append(data[offset : offset + length])
+            offset += length
+        return page
+
+    # -- internal -----------------------------------------------------------
+
+    def _check(self, slot: int) -> int:
+        if not 0 <= slot < len(self._records):
+            raise SlotNotFoundError(
+                f"slot {slot} out of range 0..{len(self._records) - 1}"
+            )
+        return slot
+
+    def _check_boundary(self, slot: int) -> int:
+        if not 0 <= slot <= len(self._records):
+            raise SlotNotFoundError(
+                f"split position {slot} out of range 0..{len(self._records)}"
+            )
+        return slot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlottedPage(records={len(self._records)}, "
+            f"used={self._used}/{self.page_size})"
+        )

@@ -1,0 +1,40 @@
+"""Workload generators and operation streams for the benchmarks."""
+
+from repro.workloads.generator import (
+    element_tree_with_nodes,
+    purchase_order,
+    purchase_order_stream,
+    purchase_orders_document,
+    text_heavy_document,
+    words,
+)
+from repro.workloads.operations import (
+    Operation,
+    append_stream,
+    apply_operation,
+    apply_stream,
+    hot_cold_choices,
+    mixed_stream,
+    read_stream,
+    zipf_choices,
+)
+from repro.workloads.xmark import bidder_fragment, xmark_document
+
+__all__ = [
+    "Operation",
+    "append_stream",
+    "apply_operation",
+    "apply_stream",
+    "bidder_fragment",
+    "element_tree_with_nodes",
+    "hot_cold_choices",
+    "mixed_stream",
+    "purchase_order",
+    "purchase_order_stream",
+    "purchase_orders_document",
+    "read_stream",
+    "text_heavy_document",
+    "words",
+    "xmark_document",
+    "zipf_choices",
+]

@@ -1,0 +1,113 @@
+"""Deterministic synthetic XML generators.
+
+The paper's micro-benchmarks are parameterized by node counts and insert
+granularity; these generators produce documents and fragments with *exact*
+node counts so experiments are reproducible bit-for-bit (all randomness is
+seeded).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+_WORDS = (
+    "alpha bravo charlie delta echo foxtrot golf hotel india juliet kilo "
+    "lima mike november oscar papa quebec romeo sierra tango uniform victor "
+    "whiskey xray yankee zulu"
+).split()
+
+
+def words(rng: random.Random, count: int) -> str:
+    """A deterministic phrase of ``count`` vocabulary words."""
+    return " ".join(rng.choice(_WORDS) for _ in range(count))
+
+
+def element_tree_with_nodes(
+    node_count: int,
+    rng: Optional[random.Random] = None,
+    tag: str = "n",
+    fanout: int = 8,
+) -> str:
+    """An element-only tree with exactly ``node_count`` element nodes.
+
+    Children are distributed breadth-first with the given fanout, so the
+    tree's depth grows logarithmically — shaped like real documents rather
+    than a degenerate chain.
+    """
+    if node_count < 1:
+        raise ValueError("node_count must be >= 1")
+    rng = rng if rng is not None else random.Random(0)
+    # children[i] = indexes of node i's children
+    children: List[List[int]] = [[] for _ in range(node_count)]
+    frontier = [0]
+    next_node = 1
+    while next_node < node_count:
+        parent = frontier.pop(0)
+        take = min(fanout, node_count - next_node)
+        for _ in range(take):
+            children[parent].append(next_node)
+            frontier.append(next_node)
+            next_node += 1
+    parts: List[str] = []
+
+    def render(index: int) -> None:
+        name = f"{tag}{index}"
+        if children[index]:
+            parts.append(f"<{name}>")
+            for child in children[index]:
+                render(child)
+            parts.append(f"</{name}>")
+        else:
+            parts.append(f"<{name}/>")
+
+    render(0)
+    return "".join(parts)
+
+
+def purchase_order(order_no: int, items: int, rng: random.Random) -> str:
+    """One ``<purchase-order>`` element — the paper's §4.1 usage pattern
+    ("insert a <purchase-order> element as the last child of the root")."""
+    parts = [f'<purchase-order no="{order_no}">']
+    parts.append(f"<customer>{words(rng, 2)}</customer>")
+    parts.append(f"<date>2005-{1 + order_no % 12:02d}-{1 + order_no % 28:02d}</date>")
+    for item_no in range(items):
+        price = f"{rng.randrange(1, 500)}.{rng.randrange(100):02d}"
+        parts.append(
+            f'<item sku="sku-{rng.randrange(10_000):04d}">'
+            f"<description>{words(rng, 3)}</description>"
+            f"<quantity>{rng.randrange(1, 20)}</quantity>"
+            f"<price>{price}</price>"
+            f"</item>"
+        )
+    parts.append("</purchase-order>")
+    return "".join(parts)
+
+
+def purchase_orders_document(
+    orders: int, items_per_order: int = 3, seed: int = 7
+) -> str:
+    """A complete ``<purchase-orders>`` document."""
+    rng = random.Random(seed)
+    body = "".join(
+        purchase_order(order_no, items_per_order, rng) for order_no in range(orders)
+    )
+    return f"<purchase-orders>{body}</purchase-orders>"
+
+
+def purchase_order_stream(
+    count: int, items_per_order: int = 3, seed: int = 7, start_no: int = 0
+) -> Iterator[str]:
+    """A stream of order fragments, for append workloads."""
+    rng = random.Random(seed)
+    for order_no in range(start_no, start_no + count):
+        yield purchase_order(order_no, items_per_order, rng)
+
+
+def text_heavy_document(paragraphs: int, words_each: int = 30, seed: int = 11) -> str:
+    """A document dominated by character data (articles, not records)."""
+    rng = random.Random(seed)
+    body = "".join(
+        f"<p>{words(rng, words_each)}</p>" for _ in range(paragraphs)
+    )
+    return f"<article><title>{words(rng, 5)}</title>{body}</article>"

@@ -1,0 +1,115 @@
+"""Operation streams: the access patterns the benchmarks replay.
+
+A workload is a deterministic sequence of (operation, arguments) drawn
+from seeded distributions — uniform or Zipf-skewed node choices, and mixed
+read/update streams with a configurable read fraction (the knob Ablation E
+sweeps).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+def zipf_choices(
+    population: Sequence[int], count: int, skew: float, seed: int = 0
+) -> List[int]:
+    """``count`` draws from ``population`` under a Zipf(skew) rank
+    distribution (rank 1 = first element).  ``skew=0`` is uniform."""
+    if not population:
+        raise ValueError("population is empty")
+    rng = random.Random(seed)
+    if skew <= 0:
+        return [rng.choice(population) for _ in range(count)]
+    weights = [1.0 / (rank ** skew) for rank in range(1, len(population) + 1)]
+    return rng.choices(list(population), weights=weights, k=count)
+
+
+def hot_cold_choices(
+    population: Sequence[int],
+    count: int,
+    hot_fraction: float = 0.2,
+    hot_probability: float = 0.8,
+    seed: int = 0,
+) -> List[int]:
+    """The classic 80/20 pattern: ``hot_probability`` of draws hit the
+    first ``hot_fraction`` of the population."""
+    if not population:
+        raise ValueError("population is empty")
+    rng = random.Random(seed)
+    hot_size = max(1, int(len(population) * hot_fraction))
+    hot, cold = population[:hot_size], population[hot_size:] or population[:hot_size]
+    return [
+        rng.choice(hot) if rng.random() < hot_probability else rng.choice(cold)
+        for _ in range(count)
+    ]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One workload step."""
+
+    kind: str  # 'read' | 'insert' | 'delete' | 'replace' | 'scan'
+    node_id: Optional[int] = None
+    payload: str = ""
+
+
+def read_stream(node_ids: Sequence[int]) -> List[Operation]:
+    return [Operation("read", node_id) for node_id in node_ids]
+
+
+def append_stream(target_id: int, fragments: Sequence[str]) -> List[Operation]:
+    return [Operation("insert", target_id, fragment) for fragment in fragments]
+
+
+def mixed_stream(
+    read_ids: Sequence[int],
+    target_id: int,
+    fragments: Sequence[str],
+    read_fraction: float,
+    count: int,
+    seed: int = 0,
+) -> List[Operation]:
+    """A stream of ``count`` operations with the given read fraction;
+    updates consume ``fragments`` round-robin."""
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    operations: List[Operation] = []
+    fragment_index = 0
+    for _ in range(count):
+        if rng.random() < read_fraction:
+            operations.append(Operation("read", rng.choice(list(read_ids))))
+        else:
+            operations.append(
+                Operation("insert", target_id, fragments[fragment_index % len(fragments)])
+            )
+            fragment_index += 1
+    return operations
+
+
+def apply_operation(store, operation: Operation) -> None:
+    """Execute one workload step against a store."""
+    if operation.kind == "read":
+        assert operation.node_id is not None
+        store.read(operation.node_id)
+    elif operation.kind == "scan":
+        store.read()
+    elif operation.kind == "insert":
+        assert operation.node_id is not None
+        store.insert_into_last(operation.node_id, operation.payload)
+    elif operation.kind == "delete":
+        assert operation.node_id is not None
+        store.delete_node(operation.node_id)
+    elif operation.kind == "replace":
+        assert operation.node_id is not None
+        store.replace_node(operation.node_id, operation.payload)
+    else:
+        raise ValueError(f"unknown operation kind {operation.kind!r}")
+
+
+def apply_stream(store, operations: Sequence[Operation]) -> None:
+    for operation in operations:
+        apply_operation(store, operation)

@@ -1,0 +1,119 @@
+"""XMark-like auction documents.
+
+A scaled-down, dependency-free rendition of the XMark benchmark's auction
+site schema (site → regions/categories/people/open_auctions).  Not the
+official generator — the shape (deep regions, flat people, cross-reference
+attributes, mixed text) is what matters for exercising the store the way
+XML benchmarks of the paper's era did.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.workloads.generator import words
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+
+def _item(region: str, number: int, rng: random.Random) -> str:
+    return (
+        f'<item id="item-{region}-{number}">'
+        f"<name>{words(rng, 3)}</name>"
+        f"<location>{words(rng, 1)}</location>"
+        f"<quantity>{rng.randrange(1, 10)}</quantity>"
+        f"<payment>{rng.choice(('Cash', 'Creditcard', 'Money order'))}</payment>"
+        f"<description><parlist><listitem>{words(rng, 8)}</listitem>"
+        f"<listitem>{words(rng, 6)}</listitem></parlist></description>"
+        f"</item>"
+    )
+
+
+def _person(number: int, rng: random.Random) -> str:
+    email = f"mailto:{words(rng, 1)}{number}@example.org"
+    parts = [
+        f'<person id="person{number}">',
+        f"<name>{words(rng, 2)}</name>",
+        f"<emailaddress>{email}</emailaddress>",
+    ]
+    if rng.random() < 0.5:
+        parts.append(f"<phone>+41 {rng.randrange(10, 99)} {rng.randrange(100, 999)}</phone>")
+    if rng.random() < 0.3:
+        parts.append(
+            "<address>"
+            f"<street>{rng.randrange(1, 99)} {words(rng, 1)} St</street>"
+            f"<city>{words(rng, 1)}</city>"
+            f"<country>{rng.choice(('Switzerland', 'Germany', 'France'))}</country>"
+            "</address>"
+        )
+    parts.append("</person>")
+    return "".join(parts)
+
+
+def _auction(number: int, people: int, items: int, rng: random.Random) -> str:
+    parts = [
+        f'<open_auction id="open_auction{number}">',
+        f"<initial>{rng.randrange(1, 300)}.{rng.randrange(100):02d}</initial>",
+    ]
+    for _ in range(rng.randrange(1, 4)):
+        parts.append(
+            "<bidder>"
+            f"<date>2005-{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}</date>"
+            f'<personref person="person{rng.randrange(people)}"/>'
+            f"<increase>{rng.randrange(1, 50)}.00</increase>"
+            "</bidder>"
+        )
+    parts.append(f'<itemref item="item-{rng.choice(_REGIONS)}-{rng.randrange(items)}"/>')
+    parts.append(f"<current>{rng.randrange(10, 1000)}.{rng.randrange(100):02d}</current>")
+    parts.append("</open_auction>")
+    return "".join(parts)
+
+
+def xmark_document(
+    items_per_region: int = 4,
+    people: int = 12,
+    auctions: int = 8,
+    seed: int = 42,
+) -> str:
+    """An auction site document; size scales roughly linearly with each
+    parameter (items_per_region=4, people=12, auctions=8 ≈ 25 KB)."""
+    rng = random.Random(seed)
+    parts: List[str] = ["<site>", "<regions>"]
+    for region in _REGIONS:
+        parts.append(f"<{region}>")
+        for number in range(items_per_region):
+            parts.append(_item(region, number, rng))
+        parts.append(f"</{region}>")
+    parts.append("</regions>")
+    parts.append("<categories>")
+    for number in range(max(2, items_per_region // 2)):
+        parts.append(
+            f'<category id="category{number}">'
+            f"<name>{words(rng, 2)}</name>"
+            f"<description>{words(rng, 10)}</description>"
+            f"</category>"
+        )
+    parts.append("</categories>")
+    parts.append("<people>")
+    for number in range(people):
+        parts.append(_person(number, rng))
+    parts.append("</people>")
+    parts.append("<open_auctions>")
+    for number in range(auctions):
+        parts.append(_auction(number, people, items_per_region, rng))
+    parts.append("</open_auctions>")
+    parts.append("</site>")
+    return "".join(parts)
+
+
+def bidder_fragment(people: int, seed: int) -> str:
+    """A ``<bidder>`` fragment — XMark's canonical append update."""
+    rng = random.Random(seed)
+    return (
+        "<bidder>"
+        f"<date>2005-{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}</date>"
+        f'<personref person="person{rng.randrange(people)}"/>'
+        f"<increase>{rng.randrange(1, 50)}.00</increase>"
+        "</bidder>"
+    )

@@ -1,0 +1,138 @@
+"""Binary token codec: the on-page record format.
+
+Each token serializes to one compact record.  Layout::
+
+    u8 header | [varint len + utf8]*   (name, value, type — present per flags)
+
+The header packs the token kind in the low 5 bits and three presence flags
+(name / value / type annotation) in the high bits, so the common tokens
+(end tags, short text) cost very few bytes — "low storage overhead" is one
+of the paper's desiderata (§2, requirement 6).  Node identifiers are *not*
+part of the record (paper §4.3): they are regenerated from the range's
+start id.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.errors import CodecError
+from repro.xmltoken.tokens import Token, TokenKind
+
+_KIND_MASK = 0x1F
+_FLAG_NAME = 0x20
+_FLAG_VALUE = 0x40
+_FLAG_TYPE = 0x80
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise CodecError(f"varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint at ``offset``; returns (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise CodecError("varint too long")
+
+
+def _encode_string(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return encode_varint(len(raw)) + raw
+
+
+def _decode_string(data: bytes, offset: int) -> Tuple[str, int]:
+    length, offset = decode_varint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise CodecError("truncated string payload")
+    return data[offset:end].decode("utf-8"), end
+
+
+def encode_token(token: Token) -> bytes:
+    """Serialize one token to its record bytes."""
+    header = int(token.kind)
+    parts = [b""]  # placeholder for header
+    if token.name:
+        header |= _FLAG_NAME
+        parts.append(_encode_string(token.name))
+    if token.value:
+        header |= _FLAG_VALUE
+        parts.append(_encode_string(token.value))
+    if token.type_annotation:
+        header |= _FLAG_TYPE
+        parts.append(_encode_string(token.type_annotation))
+    parts[0] = bytes([header])
+    return b"".join(parts)
+
+
+def decode_token(data: bytes) -> Token:
+    """Deserialize one token record."""
+    token, offset = decode_token_at(data, 0)
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after token")
+    return token
+
+
+def decode_token_at(data: bytes, offset: int) -> Tuple[Token, int]:
+    """Decode a token at ``offset``; returns (token, next_offset)."""
+    if offset >= len(data):
+        raise CodecError("empty token record")
+    header = data[offset]
+    offset += 1
+    kind_value = header & _KIND_MASK
+    try:
+        kind = TokenKind(kind_value)
+    except ValueError:
+        raise CodecError(f"unknown token kind {kind_value}") from None
+    name = value = type_annotation = ""
+    if header & _FLAG_NAME:
+        name, offset = _decode_string(data, offset)
+    if header & _FLAG_VALUE:
+        value, offset = _decode_string(data, offset)
+    if header & _FLAG_TYPE:
+        type_annotation, offset = _decode_string(data, offset)
+    return Token(kind, name=name, value=value, type_annotation=type_annotation), offset
+
+
+def encode_tokens(tokens: Iterable[Token]) -> List[bytes]:
+    """Encode each token to its own record (the store's storage unit)."""
+    return [encode_token(token) for token in tokens]
+
+
+def decode_tokens(records: Iterable[bytes]) -> List[Token]:
+    return [decode_token(record) for record in records]
+
+
+def encode_stream(tokens: Iterable[Token]) -> bytes:
+    """Encode a whole token sequence into one contiguous blob (used by the
+    WAL and by tests; pages store one record per token instead)."""
+    return b"".join(encode_token(token) for token in tokens)
+
+
+def decode_stream(data: bytes) -> Iterator[Token]:
+    offset = 0
+    while offset < len(data):
+        token, offset = decode_token_at(data, offset)
+        yield token

@@ -1,0 +1,160 @@
+"""PSVI support: post-schema-validation type annotations on tokens.
+
+The paper requires PSVI support (§2, requirement 7) "in order to avoid
+repeated evaluation of XML schema": once a document is validated, its type
+annotations travel with the tokens, so consumers never re-derive them.
+
+Full XML Schema is out of scope (see DESIGN.md substitutions); what the
+store needs — and what this module provides — is:
+
+* a small vocabulary of simple types with string→value conversion and
+  validation (:class:`SimpleType`),
+* a schema table mapping element/attribute names to simple types
+  (:class:`Schema`),
+* an annotation pass that stamps ``type_annotation`` on the tokens of a
+  stream and *validates* typed content (:func:`annotate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from decimal import Decimal, InvalidOperation
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import TokenError
+from repro.xmltoken.tokens import Token, TokenKind
+
+
+class SchemaValidationError(TokenError):
+    """Typed content does not conform to its declared simple type."""
+
+
+@dataclass(frozen=True)
+class SimpleType:
+    """A named simple type with parse/validate behaviour."""
+
+    name: str
+    parse: Callable[[str], Any]
+
+    def validate(self, lexical: str) -> Any:
+        try:
+            return self.parse(lexical)
+        except (ValueError, InvalidOperation) as exc:
+            raise SchemaValidationError(
+                f"value {lexical!r} is not a valid {self.name}"
+            ) from exc
+
+
+def _parse_boolean(lexical: str) -> bool:
+    value = lexical.strip()
+    if value in ("true", "1"):
+        return True
+    if value in ("false", "0"):
+        return False
+    raise ValueError(f"not a boolean: {lexical!r}")
+
+
+XS_STRING = SimpleType("xs:string", str)
+XS_INTEGER = SimpleType("xs:integer", lambda s: int(s.strip()))
+XS_DECIMAL = SimpleType("xs:decimal", lambda s: Decimal(s.strip()))
+XS_DOUBLE = SimpleType("xs:double", lambda s: float(s.strip()))
+XS_BOOLEAN = SimpleType("xs:boolean", _parse_boolean)
+
+BUILTIN_TYPES: Dict[str, SimpleType] = {
+    t.name: t for t in (XS_STRING, XS_INTEGER, XS_DECIMAL, XS_DOUBLE, XS_BOOLEAN)
+}
+
+
+@dataclass
+class Schema:
+    """Maps element and attribute QNames to simple types.
+
+    ``elements['price'] = 'xs:decimal'`` declares that the *text content*
+    of every ``<price>`` element is a decimal.  Undeclared names stay
+    untyped (annotation ``""``), mirroring partial validation.
+    """
+
+    elements: Dict[str, str] = field(default_factory=dict)
+    attributes: Dict[str, str] = field(default_factory=dict)
+    types: Dict[str, SimpleType] = field(default_factory=lambda: dict(BUILTIN_TYPES))
+
+    def element_type(self, name: str) -> Optional[SimpleType]:
+        return self._resolve(self.elements.get(name))
+
+    def attribute_type(self, name: str) -> Optional[SimpleType]:
+        return self._resolve(self.attributes.get(name))
+
+    def register_type(self, simple_type: SimpleType) -> None:
+        self.types[simple_type.name] = simple_type
+
+    def _resolve(self, type_name: Optional[str]) -> Optional[SimpleType]:
+        if type_name is None:
+            return None
+        try:
+            return self.types[type_name]
+        except KeyError:
+            raise SchemaValidationError(f"unknown simple type {type_name!r}") from None
+
+
+def annotate(tokens: Sequence[Token], schema: Schema) -> List[Token]:
+    """Return a copy of ``tokens`` with PSVI annotations applied.
+
+    Element begin tokens, their text children, attribute begin tokens and
+    attribute values all receive the declared type's name.  Typed content
+    is validated eagerly, so an annotated stream is guaranteed parseable
+    into typed values.
+    """
+    annotated: List[Token] = []
+    element_types: List[Optional[SimpleType]] = []
+    attribute_type: Optional[SimpleType] = None
+    for token in tokens:
+        kind = token.kind
+        if kind == TokenKind.BEGIN_ELEMENT:
+            simple = schema.element_type(token.name)
+            element_types.append(simple)
+            annotated.append(token.with_type(simple.name) if simple else token)
+        elif kind == TokenKind.END_ELEMENT:
+            if element_types:
+                element_types.pop()
+            annotated.append(token)
+        elif kind == TokenKind.BEGIN_ATTRIBUTE:
+            attribute_type = schema.attribute_type(token.name)
+            annotated.append(
+                token.with_type(attribute_type.name) if attribute_type else token
+            )
+        elif kind == TokenKind.END_ATTRIBUTE:
+            attribute_type = None
+            annotated.append(token)
+        elif kind == TokenKind.ATTRIBUTE_VALUE:
+            if attribute_type is not None:
+                attribute_type.validate(token.value)
+                annotated.append(token.with_type(attribute_type.name))
+            else:
+                annotated.append(token)
+        elif kind == TokenKind.TEXT:
+            simple = element_types[-1] if element_types else None
+            if simple is not None:
+                simple.validate(token.value)
+                annotated.append(token.with_type(simple.name))
+            else:
+                annotated.append(token)
+        else:
+            annotated.append(token)
+    return annotated
+
+
+def typed_value(token: Token, schema: Optional[Schema] = None) -> Any:
+    """The typed value of an annotated TEXT/ATTRIBUTE_VALUE token.
+
+    Untyped tokens return their string value, following the XQuery Data
+    Model's ``xs:untypedAtomic`` behaviour.
+    """
+    if not token.type_annotation:
+        return token.value
+    types = schema.types if schema is not None else BUILTIN_TYPES
+    simple = types.get(token.type_annotation)
+    if simple is None:
+        raise SchemaValidationError(
+            f"unknown type annotation {token.type_annotation!r}"
+        )
+    return simple.validate(token.value)

@@ -1,0 +1,100 @@
+"""Unit tests for the benchmark harness and reporting."""
+
+import pytest
+
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+from repro.bench.harness import (
+    PhaseResult,
+    insert_phase,
+    make_cold,
+    random_read_phase,
+    run_phase,
+    sequential_scan_phase,
+)
+from repro.bench.reporting import format_csv, format_table
+
+
+def small_store(**kwargs):
+    store = XMLStore.open(StoreConfig(buffer_pool_capacity=8, **kwargs))
+    store.load_document("<r>" + "".join(f"<x>{i}</x>" for i in range(100)) + "</r>")
+    return store
+
+
+class TestPhases:
+    def test_run_phase_accounts_bytes_and_time(self):
+        store = small_store()
+        result = run_phase(store, "noop-read", lambda: len(store.read()), 1)
+        assert result.xml_bytes > 0
+        assert result.simulated_seconds > 0
+        assert result.kb_per_second > 0
+        assert result.label == "noop-read"
+
+    def test_cold_phase_reads_from_device(self):
+        store = small_store()
+        store.read()  # warm the pool
+        result = sequential_scan_phase(store)
+        assert result.device_reads > 0
+
+    def test_insert_phase_counts_fragments(self):
+        store = small_store()
+        result = insert_phase(store, 1, ["<a/>", "<b/>", "<c/>"])
+        assert result.operations == 3
+        assert result.xml_bytes == len("<a/>") * 3
+        assert "<c/>" in store.read()
+
+    def test_random_read_phase(self):
+        store = small_store()
+        result = random_read_phase(store, [2, 2, 4])
+        assert result.operations == 3
+        assert result.xml_bytes > 0
+
+    def test_make_cold_empties_pool(self):
+        store = small_store()
+        store.read()
+        make_cold(store)
+        assert store.pool.num_cached == 0
+
+    def test_simulated_time_includes_cpu(self):
+        # a phase that only scans cached pages must still cost time
+        store = XMLStore.open(StoreConfig(buffer_pool_capacity=64))
+        store.load_document("<r>" + "<x/>" * 200 + "</r>")
+        store.read()  # everything cached now
+        result = run_phase(store, "cpu-only", lambda: len(store.read()), 1)
+        assert result.device_reads == 0
+        assert result.simulated_seconds > 0  # per-token CPU cost
+
+    def test_kb_per_second_guard_against_zero_time(self):
+        result = PhaseResult("x", 1, 1024, 0.0, 0.0, 0, 0, 0)
+        assert result.kb_per_second > 0
+        assert result.wall_kb_per_second > 0
+
+    def test_str_rendering(self):
+        result = PhaseResult("p", 2, 2048, 0.5, 0.1, 3, 4, 5)
+        assert "p:" in str(result)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [("alpha", 1.5), ("b", 22.25)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.50" in text and "22.25" in text
+
+    def test_format_table_empty(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_format_csv(self):
+        text = format_csv(["a", "b"], [("x,y", 1.5)])
+        assert text.splitlines()[0] == "a,b"
+        assert '"x,y"' in text
+
+    def test_format_csv_quotes(self):
+        text = format_csv(["v"], [('say "hi"',)])
+        assert '"say ""hi"""' in text

@@ -1,0 +1,69 @@
+"""Unit tests for the Table-5 shape checker (synthetic rows, no runs)."""
+
+from repro.bench.harness import PhaseResult
+from repro.bench.table5 import Table5Row, check_shape
+
+
+def phase(kb_per_second: float) -> PhaseResult:
+    # one KB over 1/kb seconds gives the desired throughput
+    return PhaseResult(
+        label="synthetic",
+        operations=1,
+        xml_bytes=1024,
+        simulated_seconds=1.0 / kb_per_second,
+        wall_seconds=0.0,
+        device_reads=0,
+        device_writes=0,
+        tokens_scanned=0,
+    )
+
+
+def rows_from(values):
+    """values: {approach: (insert, scan, random)}"""
+    return [
+        Table5Row(name, phase(i), phase(s), phase(r))
+        for name, (i, s, r) in values.items()
+    ]
+
+
+PAPER_LIKE = {
+    "Full Index (max. granularity)": (28, 1150, 672),
+    "Range Index (many, granular entries)": (97, 1496, 137),
+    "Range Index (few, coarse, large entries)": (91, 1496, 33),
+    "Range Index (coarse) + Partial Index (memory)": (182, 1496, 994),
+}
+
+
+class TestCheckShape:
+    def test_paper_numbers_pass(self):
+        assert check_shape(rows_from(PAPER_LIKE)) == []
+
+    def test_slow_partial_inserts_detected(self):
+        values = dict(PAPER_LIKE)
+        values["Range Index (coarse) + Partial Index (memory)"] = (50, 1496, 994)
+        violated = check_shape(rows_from(values))
+        assert any("fastest inserts" in claim for claim in violated)
+
+    def test_fast_coarse_random_reads_detected(self):
+        values = dict(PAPER_LIKE)
+        values["Range Index (few, coarse, large entries)"] = (91, 1496, 700)
+        violated = check_shape(rows_from(values))
+        assert any("slowest random reads" in claim for claim in violated)
+
+    def test_scan_sensitivity_detected(self):
+        values = dict(PAPER_LIKE)
+        values["Range Index (many, granular entries)"] = (97, 400, 137)
+        violated = check_shape(rows_from(values))
+        assert any("insensitive" in claim for claim in violated)
+
+    def test_partial_below_full_reads_detected(self):
+        values = dict(PAPER_LIKE)
+        values["Range Index (coarse) + Partial Index (memory)"] = (182, 1496, 300)
+        violated = check_shape(rows_from(values))
+        assert any("at least match the full index" in claim for claim in violated)
+
+    def test_full_beating_scan_detected(self):
+        values = dict(PAPER_LIKE)
+        values["Full Index (max. granularity)"] = (28, 2500, 672)
+        violated = check_shape(rows_from(values))
+        assert any("sequential scan" in claim for claim in violated)

@@ -1,0 +1,201 @@
+"""Unit tests for the hierarchical lock manager."""
+
+import pytest
+
+from repro.errors import ConcurrencyError, DeadlockError
+from repro.concurrency.locks import (
+    LockManager,
+    LockMode,
+    STORE_RESOURCE,
+    compatible,
+    parent_resource,
+    range_resource,
+    supremum,
+    token_resource,
+)
+
+
+class TestModeLattice:
+    def test_shared_locks_compatible(self):
+        assert compatible(LockMode.S, LockMode.S)
+        assert compatible(LockMode.IS, LockMode.S)
+
+    def test_exclusive_conflicts_with_everything(self):
+        for mode in LockMode:
+            assert not compatible(LockMode.X, mode)
+            assert not compatible(mode, LockMode.X)
+
+    def test_intention_compatibility(self):
+        assert compatible(LockMode.IX, LockMode.IX)
+        assert compatible(LockMode.IX, LockMode.IS)
+        assert not compatible(LockMode.IX, LockMode.S)
+
+    def test_six_allows_only_is(self):
+        assert compatible(LockMode.SIX, LockMode.IS)
+        for mode in (LockMode.IX, LockMode.S, LockMode.SIX, LockMode.X):
+            assert not compatible(LockMode.SIX, mode)
+
+    def test_supremum_upgrades(self):
+        assert supremum(LockMode.S, LockMode.IX) is LockMode.SIX
+        assert supremum(LockMode.IS, LockMode.IX) is LockMode.IX
+        assert supremum(LockMode.S, LockMode.X) is LockMode.X
+        assert supremum(LockMode.S, LockMode.S) is LockMode.S
+
+    def test_parent_resource(self):
+        assert parent_resource(token_resource(3, 17)) == range_resource(3)
+        assert parent_resource(range_resource(3)) == STORE_RESOURCE
+        assert parent_resource(STORE_RESOURCE) is None
+
+
+class TestBasicLocking:
+    def test_grant_free_lock(self):
+        lm = LockManager()
+        assert lm.acquire(1, range_resource(1), LockMode.X)
+        assert lm.held_mode(1, range_resource(1)) is LockMode.X
+
+    def test_reacquire_same_mode_is_noop(self):
+        lm = LockManager()
+        lm.acquire(1, range_resource(1), LockMode.S)
+        assert lm.acquire(1, range_resource(1), LockMode.S)
+
+    def test_compatible_locks_coexist(self):
+        lm = LockManager()
+        assert lm.acquire(1, range_resource(1), LockMode.S)
+        assert lm.acquire(2, range_resource(1), LockMode.S)
+        assert set(lm.holders(range_resource(1))) == {1, 2}
+
+    def test_conflicting_lock_fails_fast(self):
+        lm = LockManager()
+        lm.acquire(1, range_resource(1), LockMode.X)
+        with pytest.raises(ConcurrencyError):
+            lm.acquire(2, range_resource(1), LockMode.S, wait=False)
+
+    def test_conflicting_lock_queues(self):
+        lm = LockManager()
+        lm.acquire(1, range_resource(1), LockMode.X)
+        assert lm.acquire(2, range_resource(1), LockMode.S, wait=True) is False
+        assert lm.is_waiting(2, range_resource(1))
+
+    def test_release_grants_waiter(self):
+        lm = LockManager()
+        lm.acquire(1, range_resource(1), LockMode.X)
+        lm.acquire(2, range_resource(1), LockMode.S, wait=True)
+        lm.release(1, range_resource(1))
+        assert lm.held_mode(2, range_resource(1)) is LockMode.S
+        assert not lm.is_waiting(2, range_resource(1))
+
+    def test_fifo_fairness(self):
+        lm = LockManager()
+        lm.acquire(1, range_resource(1), LockMode.X)
+        lm.acquire(2, range_resource(1), LockMode.X, wait=True)
+        # txn 3's S would be compatible once 1 releases, but 2 queued first
+        lm.acquire(3, range_resource(1), LockMode.S, wait=True)
+        lm.release(1, range_resource(1))
+        assert lm.held_mode(2, range_resource(1)) is LockMode.X
+        assert lm.is_waiting(3, range_resource(1))
+
+    def test_new_request_cannot_overtake_queue(self):
+        lm = LockManager()
+        lm.acquire(1, range_resource(1), LockMode.S)
+        lm.acquire(2, range_resource(1), LockMode.X, wait=True)  # waits
+        # txn 3's S is compatible with txn 1's S, but must not starve txn 2
+        assert lm.acquire(3, range_resource(1), LockMode.S, wait=True) is False
+
+    def test_lock_upgrade(self):
+        lm = LockManager()
+        lm.acquire(1, range_resource(1), LockMode.S)
+        assert lm.acquire(1, range_resource(1), LockMode.X)
+        assert lm.held_mode(1, range_resource(1)) is LockMode.X
+
+    def test_upgrade_blocked_by_other_holder(self):
+        lm = LockManager()
+        lm.acquire(1, range_resource(1), LockMode.S)
+        lm.acquire(2, range_resource(1), LockMode.S)
+        assert lm.acquire(1, range_resource(1), LockMode.X, wait=True) is False
+
+    def test_release_unheld_lock_raises(self):
+        lm = LockManager()
+        with pytest.raises(ConcurrencyError):
+            lm.release(1, range_resource(1))
+
+    def test_release_all(self):
+        lm = LockManager()
+        lm.acquire(1, STORE_RESOURCE, LockMode.IX)
+        lm.acquire(1, range_resource(1), LockMode.X)
+        lm.acquire(2, range_resource(1), LockMode.S, wait=True)
+        lm.release_all(1)
+        assert lm.held_mode(1, range_resource(1)) is None
+        assert lm.held_mode(2, range_resource(1)) is LockMode.S
+
+
+class TestHierarchy:
+    def test_lock_hierarchy_takes_intentions(self):
+        lm = LockManager()
+        assert lm.lock_hierarchy(1, token_resource(3, 17), LockMode.X)
+        assert lm.held_mode(1, STORE_RESOURCE) is LockMode.IX
+        assert lm.held_mode(1, range_resource(3)) is LockMode.IX
+        assert lm.held_mode(1, token_resource(3, 17)) is LockMode.X
+
+    def test_shared_hierarchy_uses_is(self):
+        lm = LockManager()
+        lm.lock_hierarchy(1, range_resource(3), LockMode.S)
+        assert lm.held_mode(1, STORE_RESOURCE) is LockMode.IS
+
+    def test_intention_conflict_blocks_table_lock(self):
+        lm = LockManager()
+        lm.lock_hierarchy(1, range_resource(3), LockMode.X)  # IX on store
+        with pytest.raises(ConcurrencyError):
+            lm.acquire(2, STORE_RESOURCE, LockMode.S, wait=False)
+
+    def test_disjoint_ranges_do_not_conflict(self):
+        lm = LockManager()
+        assert lm.lock_hierarchy(1, range_resource(1), LockMode.X)
+        assert lm.lock_hierarchy(2, range_resource(2), LockMode.X)
+
+    def test_same_range_conflicts(self):
+        lm = LockManager()
+        lm.lock_hierarchy(1, range_resource(1), LockMode.X)
+        with pytest.raises(ConcurrencyError):
+            lm.lock_hierarchy(2, range_resource(1), LockMode.S, wait=False)
+
+    def test_reader_and_writer_on_different_tokens(self):
+        lm = LockManager()
+        assert lm.lock_hierarchy(1, token_resource(1, 5), LockMode.X)
+        assert lm.lock_hierarchy(2, token_resource(1, 9), LockMode.S)
+
+
+class TestDeadlockDetection:
+    def test_two_txn_cycle_detected(self):
+        lm = LockManager()
+        lm.acquire(1, range_resource(1), LockMode.X)
+        lm.acquire(2, range_resource(2), LockMode.X)
+        lm.acquire(1, range_resource(2), LockMode.X, wait=True)  # 1 waits on 2
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, range_resource(1), LockMode.X, wait=True)
+
+    def test_three_txn_cycle_detected(self):
+        lm = LockManager()
+        for txn, resource in ((1, 1), (2, 2), (3, 3)):
+            lm.acquire(txn, range_resource(resource), LockMode.X)
+        lm.acquire(1, range_resource(2), LockMode.X, wait=True)
+        lm.acquire(2, range_resource(3), LockMode.X, wait=True)
+        with pytest.raises(DeadlockError):
+            lm.acquire(3, range_resource(1), LockMode.X, wait=True)
+
+    def test_waiting_without_cycle_is_fine(self):
+        lm = LockManager()
+        lm.acquire(1, range_resource(1), LockMode.X)
+        assert lm.acquire(2, range_resource(1), LockMode.X, wait=True) is False
+        assert lm.acquire(3, range_resource(1), LockMode.X, wait=True) is False
+
+    def test_rejected_request_is_not_left_queued(self):
+        lm = LockManager()
+        lm.acquire(1, range_resource(1), LockMode.X)
+        lm.acquire(2, range_resource(2), LockMode.X)
+        lm.acquire(1, range_resource(2), LockMode.X, wait=True)
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, range_resource(1), LockMode.X, wait=True)
+        assert not lm.is_waiting(2, range_resource(1))
+        # releasing 1's lock should now grant nothing to txn 2
+        lm.release_all(1)
+        assert lm.held_mode(2, range_resource(1)) is None

@@ -1,0 +1,193 @@
+"""Unit tests for 2PL transactions with logical undo."""
+
+import pytest
+
+from repro.errors import ConcurrencyError, TransactionStateError
+from repro.concurrency.transactions import TransactionManager, TxnState
+from repro.core.store import XMLStore
+
+
+@pytest.fixture
+def store():
+    s = XMLStore.open()
+    s.load_document("<lib><book>one</book><book>two</book></lib>")
+    return s
+
+
+@pytest.fixture
+def manager(store):
+    return TransactionManager(store)
+
+
+class TestCommit:
+    def test_committed_insert_is_visible(self, store, manager):
+        txn = manager.begin()
+        txn.insert_into_last(1, "<book>three</book>")
+        txn.commit()
+        assert store.read().count("<book>") == 3
+        assert txn.state is TxnState.COMMITTED
+
+    def test_context_manager_commits_on_success(self, store, manager):
+        with manager.begin() as txn:
+            txn.insert_into_last(1, "<book>three</book>")
+        assert "three" in store.read()
+
+    def test_context_manager_aborts_on_exception(self, store, manager):
+        with pytest.raises(RuntimeError):
+            with manager.begin() as txn:
+                txn.insert_into_last(1, "<book>three</book>")
+                raise RuntimeError("boom")
+        assert "three" not in store.read()
+
+    def test_locks_released_at_commit(self, store, manager):
+        txn1 = manager.begin()
+        txn1.insert_into_last(1, "<book>x</book>")
+        txn1.commit()
+        txn2 = manager.begin()
+        txn2.insert_into_last(1, "<book>y</book>")
+        txn2.commit()
+        assert store.read().count("<book>") == 4
+
+    def test_operations_after_commit_rejected(self, manager):
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            txn.read()
+
+
+class TestAbortUndo:
+    def test_abort_undoes_insert(self, store, manager):
+        before = store.read()
+        txn = manager.begin()
+        txn.insert_into_last(1, "<book>three</book>")
+        txn.abort()
+        assert store.read() == before
+        store.check_integrity()
+
+    def test_abort_undoes_multi_node_insert(self, store, manager):
+        before = store.read()
+        txn = manager.begin()
+        txn.insert_into_last(1, "<a/><b/>text")
+        txn.abort()
+        assert store.read() == before
+
+    def test_abort_undoes_delete_of_middle_sibling(self, store, manager):
+        before = store.read()
+        txn = manager.begin()
+        txn.delete_node(2)  # first <book>
+        assert "one" not in store.read()
+        txn.abort()
+        assert store.read() == before
+        store.check_integrity()
+
+    def test_abort_undoes_delete_of_last_child(self, store, manager):
+        before = store.read()
+        txn = manager.begin()
+        txn.delete_node(4)  # second <book>
+        txn.abort()
+        assert store.read() == before
+
+    def test_abort_undoes_replace_node(self, store, manager):
+        txn = manager.begin()
+        txn.replace_node(2, "<book>uno</book>")
+        assert "uno" in store.read()
+        txn.abort()
+        text = store.read()
+        assert "uno" not in text and "one" in text
+
+    def test_abort_undoes_replace_content(self, store, manager):
+        txn = manager.begin()
+        txn.replace_content(2, "ONE")
+        txn.abort()
+        assert "<book>one</book>" in store.read()
+
+    def test_abort_undoes_mixed_sequence_in_reverse(self, store, manager):
+        before = store.read()
+        txn = manager.begin()
+        new_id = txn.insert_into_last(1, "<book>three</book>")
+        txn.replace_content(new_id, "THREE")
+        txn.delete_node(2)
+        txn.abort()
+        assert store.read() == before
+        store.check_integrity()
+
+    def test_abort_undoes_load_document(self, store, manager):
+        before = store.read()
+        txn = manager.begin()
+        txn.load_document("<extra/>")
+        txn.abort()
+        assert store.read() == before
+
+    def test_abort_undoes_delete_of_top_level_node(self, manager, store):
+        before = store.read()
+        txn = manager.begin()
+        txn.delete_node(1)
+        txn.abort()
+        assert store.read() == before
+
+
+class TestIsolation:
+    def test_write_write_conflict(self, manager):
+        txn1 = manager.begin()
+        txn2 = manager.begin()
+        txn1.insert_into_last(1, "<book>x</book>")
+        with pytest.raises(ConcurrencyError):
+            txn2.insert_into_last(1, "<book>y</book>")
+
+    def test_read_write_conflict(self, manager):
+        txn1 = manager.begin()
+        txn2 = manager.begin()
+        txn1.read(2)
+        with pytest.raises(ConcurrencyError):
+            txn2.delete_node(2)
+
+    def test_concurrent_reads_allowed(self, manager):
+        txn1 = manager.begin()
+        txn2 = manager.begin()
+        assert "one" in txn1.read(2)
+        assert "one" in txn2.read(2)
+        txn1.commit()
+        txn2.commit()
+
+    def test_whole_store_read_blocks_writers(self, manager):
+        txn1 = manager.begin()
+        txn2 = manager.begin()
+        txn1.read()  # S on the store root
+        with pytest.raises(ConcurrencyError):
+            txn2.insert_into_last(1, "<book>y</book>")
+
+    def test_conflict_released_after_abort(self, manager, store):
+        txn1 = manager.begin()
+        txn1.insert_into_last(1, "<book>x</book>")
+        txn1.abort()
+        txn2 = manager.begin()
+        txn2.insert_into_last(1, "<book>y</book>")
+        txn2.commit()
+        assert "y" in store.read()
+
+    def test_xpath_takes_shared_store_lock(self, manager):
+        txn1 = manager.begin()
+        results = txn1.xpath("//book")
+        assert len(results) == 2
+        txn2 = manager.begin()
+        with pytest.raises(ConcurrencyError):
+            txn2.insert_into_last(1, "<book>z</book>")
+
+
+class TestManagerBookkeeping:
+    def test_txn_ids_increase(self, manager):
+        a = manager.begin()
+        b = manager.begin()
+        assert b.txn_id > a.txn_id
+
+    def test_active_set_tracks_lifecycle(self, manager):
+        txn = manager.begin()
+        assert txn.txn_id in manager.active
+        txn.commit()
+        assert txn.txn_id not in manager.active
+
+    def test_double_commit_rejected(self, manager):
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            txn.commit()

@@ -1,0 +1,141 @@
+"""Unit tests for range compaction (§9 extension)."""
+
+import pytest
+
+from repro.core.compaction import CompactionReport, can_merge, compact
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+
+
+def fragmented_store(appends=10, policy=IndexingPolicy.RANGE_PLUS_PARTIAL):
+    store = XMLStore.open(StoreConfig(policy=policy))
+    root = store.load_document("<r/>")
+    for index in range(appends):
+        store.insert_into_last(root, f"<e{index}/>")
+    return store
+
+
+class TestCompaction:
+    def test_appends_fragment_then_compact_merges(self):
+        store = fragmented_store(10)
+        before = len(store.range_snapshot())
+        assert before > 5
+        report = store.compact()
+        assert report.ranges_after < report.ranges_before
+        assert len(store.range_snapshot()) == report.ranges_after
+
+    def test_content_unchanged(self):
+        store = fragmented_store(8)
+        text = store.read()
+        store.compact()
+        assert store.read() == text
+        store.check_integrity()
+
+    def test_node_ids_survive(self):
+        store = fragmented_store(8)
+        readable = {i: store.read(i) for i in range(1, 10) if store.exists(i)}
+        store.compact()
+        for node_id, xml in readable.items():
+            assert store.read(node_id) == xml
+
+    def test_updates_work_after_compaction(self):
+        store = fragmented_store(6)
+        store.compact()
+        store.insert_into_last(1, "<after-compact/>")
+        store.delete_node(2)
+        assert "<after-compact/>" in store.read()
+        store.check_integrity()
+
+    def test_max_tokens_bounds_merges(self):
+        store = fragmented_store(10)
+        report = store.compact(max_tokens=4)
+        # each appended element is 2 tokens; merges of more than 2 ranges
+        # would exceed 4 tokens plus the root tokens
+        for meta in store.ranges.in_order():
+            assert meta.token_count <= 4 or meta.token_count == 0
+        store.check_integrity()
+
+    def test_compact_idempotent(self):
+        store = fragmented_store(10)
+        first = store.compact()
+        second = store.compact()
+        assert second.merges == 0
+        assert second.ranges_before == first.ranges_after
+
+    def test_compact_empty_store(self):
+        store = XMLStore.open()
+        report = store.compact()
+        assert report.merges == 0
+
+    def test_compact_single_range(self):
+        store = XMLStore.open()
+        store.load_document("<a><b/></a>")
+        report = store.compact()
+        assert report.merges == 0
+
+    def test_id_gaps_block_merging(self):
+        """Deleting from the middle leaves non-contiguous id intervals,
+        which must not merge (regeneration would mis-assign ids)."""
+        store = XMLStore.open()
+        store.load_document("<r><a/><b/><c/></r>")   # ids 1..4, one range
+        store.delete_node(3)                         # splits, gap at id 3
+        snapshot_before = store.range_snapshot()
+        store.compact()
+        store.check_integrity()
+        assert store.read(2) == "<a/>"
+        assert store.read(4) == "<c/>"
+
+    def test_compaction_shrinks_range_index(self):
+        store = fragmented_store(10)
+        entries_before = len(store.range_index)
+        store.compact()
+        assert len(store.range_index) < entries_before
+        store.range_index.check_integrity(store.ranges)
+
+    def test_lookup_still_correct_after_compaction(self):
+        store = fragmented_store(10)
+        store.compact()
+        for node_id in range(2, 11):
+            assert store.read(node_id).startswith("<e")
+
+    def test_compaction_under_full_policy(self):
+        store = fragmented_store(8, policy=IndexingPolicy.FULL)
+        text = store.read()
+        store.compact()
+        assert store.read() == text
+        assert store.read(3) is not None
+        store.check_integrity()
+
+    def test_report_fields(self):
+        report = CompactionReport(ranges_before=10, ranges_after=3, merges=7)
+        assert report.removed == 7
+
+
+class TestCanMerge:
+    def test_contiguous_intervals_merge(self):
+        from repro.core.ranges import RangeTable
+        from repro.storage.heap import Position
+
+        table = RangeTable()
+        left = table.new_range(Position(0, 0), 4, 1, 4)
+        right = table.new_range(Position(0, 4), 4, 5, 8)
+        assert can_merge(left, right)
+
+    def test_gapped_intervals_do_not_merge(self):
+        from repro.core.ranges import RangeTable
+        from repro.storage.heap import Position
+
+        table = RangeTable()
+        left = table.new_range(Position(0, 0), 4, 1, 4)
+        right = table.new_range(Position(0, 4), 4, 9, 12)
+        assert not can_merge(left, right)
+
+    def test_empty_interval_always_merges(self):
+        from repro.core.ranges import RangeTable
+        from repro.storage.heap import Position
+
+        table = RangeTable()
+        left = table.new_range(Position(0, 0), 4, 1, 4)
+        empty = table.new_range(Position(0, 4), 2, None, None)
+        assert can_merge(left, empty)
+        assert can_merge(empty, left)

@@ -1,0 +1,176 @@
+"""Edge-case coverage for the store: odd node kinds, odd sizes, limits."""
+
+import pytest
+
+from repro.errors import (
+    InvalidOperationError,
+    NodeNotFoundError,
+    RecordTooLargeError,
+)
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+
+
+class TestAttributeAndNamespaceNodes:
+    def test_read_attribute_node(self):
+        store = XMLStore.open()
+        store.load_document("<r a='1'><b/></r>")
+        assert store.read(2) == 'a="1"'
+
+    def test_read_attribute_escapes_value(self):
+        store = XMLStore.open()
+        store.load_document("<r a='x&quot;y'/>")
+        assert store.read(2) == 'a="x&quot;y"'
+
+    def test_read_namespace_node(self):
+        store = XMLStore.open()
+        store.load_document('<p:r xmlns:p="urn:x"/>')
+        assert store.read(2) == 'xmlns:p="urn:x"'
+
+    def test_read_default_namespace_node(self):
+        store = XMLStore.open()
+        store.load_document('<r xmlns="urn:y"/>')
+        assert store.read(2) == 'xmlns="urn:y"'
+
+    def test_delete_attribute_node(self):
+        store = XMLStore.open()
+        store.load_document("<r a='1' b='2'/>")
+        store.delete_node(2)
+        assert store.read() == '<r b="2"/>'
+        store.check_integrity()
+
+    def test_insert_sibling_of_attribute_rejected(self):
+        store = XMLStore.open()
+        store.load_document("<r a='1'/>")
+        with pytest.raises(InvalidOperationError):
+            store.insert_after(2, "<x/>")
+        with pytest.raises(InvalidOperationError):
+            store.insert_before(2, "<x/>")
+
+    def test_namespaces_roundtrip_through_updates(self):
+        store = XMLStore.open()
+        store.load_document('<p:r xmlns:p="urn:x"><p:c/></p:r>')
+        store.insert_into_last(1, "<p:d/>")
+        assert store.read() == '<p:r xmlns:p="urn:x"><p:c/><p:d/></p:r>'
+
+
+class TestCommentsAndPIs:
+    def test_comment_node_operations(self):
+        store = XMLStore.open()
+        store.load_document("<r><!--note--><b/></r>")
+        assert store.read(2) == "<!--note-->"
+        store.delete_node(2)
+        assert store.read() == "<r><b/></r>"
+
+    def test_pi_node_operations(self):
+        store = XMLStore.open()
+        store.load_document("<r><?target data?></r>")
+        assert store.read(2) == "<?target data?>"
+        store.replace_node(2, "<!--was a pi-->")
+        assert store.read() == "<r><!--was a pi--></r>"
+
+    def test_top_level_comment(self):
+        store = XMLStore.open()
+        store.load_document("<!--prolog--><r/>")
+        assert store.read() == "<!--prolog--><r/>"
+        assert store.read(1) == "<!--prolog-->"
+
+
+class TestSizesAndLimits:
+    def test_text_larger_than_page_raises_cleanly(self):
+        store = XMLStore.open(StoreConfig(page_size=512))
+        with pytest.raises(RecordTooLargeError):
+            store.load_document(f"<a>{'x' * 2000}</a>")
+
+    def test_text_just_under_page_limit_works(self):
+        store = XMLStore.open(StoreConfig(page_size=512))
+        text = "x" * 400
+        store.load_document(f"<a>{text}</a>")
+        assert text in store.read()
+
+    def test_unicode_heavy_content(self):
+        store = XMLStore.open()
+        xml = "<r>héllo wörld ✓ — ∀x∈X: ≤ 𝄞</r>"
+        store.load_document(xml)
+        assert store.read() == xml
+        assert store.read(2) == "héllo wörld ✓ — ∀x∈X: ≤ 𝄞"
+
+    def test_deep_nesting(self):
+        store = XMLStore.open()
+        depth = 200
+        xml = "".join(f"<d{i}>" for i in range(depth)) + "".join(
+            f"</d{i}>" for i in reversed(range(depth))
+        )
+        store.load_document(xml)
+        assert store.read(depth) == f"<d{depth - 1}/>"  # the innermost node
+        store.check_integrity()
+
+    def test_wide_document(self):
+        store = XMLStore.open(StoreConfig(page_size=1024, buffer_pool_capacity=8))
+        children = "".join(f"<c{i}/>" for i in range(500))
+        store.load_document(f"<r>{children}</r>")
+        assert store.read(400) == "<c398/>"
+        store.check_integrity()
+
+    def test_many_attributes(self):
+        store = XMLStore.open()
+        attrs = " ".join(f'a{i}="{i}"' for i in range(50))
+        store.load_document(f"<r {attrs}/>")
+        assert store.read(25) == f'a{23}="{23}"'
+        assert len(store.attributes_of(1)) == 50
+
+
+class TestDegenerateOperations:
+    def test_operations_on_empty_store(self):
+        store = XMLStore.open()
+        with pytest.raises(NodeNotFoundError):
+            store.read(1)
+        with pytest.raises(NodeNotFoundError):
+            store.delete_node(1)
+        assert store.read() == ""
+
+    def test_load_markup_only_fragment(self):
+        store = XMLStore.open()
+        result = store.load_document("   ")
+        assert result is None
+        assert store.is_empty
+
+    def test_replace_node_with_multiple_nodes(self):
+        store = XMLStore.open()
+        store.load_document("<r><a/></r>")
+        store.replace_node(2, "<x/><y/>text")
+        assert store.read() == "<r><x/><y/>text</r>"
+        store.check_integrity()
+
+    def test_alternating_insert_delete_churn(self):
+        store = XMLStore.open(StoreConfig(page_size=512, buffer_pool_capacity=8))
+        root = store.load_document("<r/>")
+        live = []
+        for index in range(60):
+            live.append(store.insert_into_last(root, f"<e{index}/>"))
+            if index % 3 == 2:
+                store.delete_node(live.pop(0))
+        store.check_integrity()
+        text = store.read()
+        for node_id in live:
+            assert store.exists(node_id)
+
+    def test_whole_document_rewrite_loop(self):
+        store = XMLStore.open()
+        store.load_document("<v n='0'/>")
+        current_root = 1
+        for version in range(1, 10):
+            current_root = store.replace_node(current_root, f"<v n='{version}'/>")
+        assert store.read() == '<v n="9"/>'
+        store.check_integrity()
+
+    def test_mixed_policies_same_answers_after_churn(self):
+        outputs = set()
+        for policy in IndexingPolicy:
+            store = XMLStore.open(StoreConfig(policy=policy))
+            root = store.load_document("<r><a/><b>t</b></r>")
+            store.insert_into_first(root, "<first/>")
+            store.delete_node(store.xpath("//b")[0].node_id)
+            store.insert_after(store.xpath("//a")[0].node_id, "<after/>")
+            outputs.add(store.read())
+        assert len(outputs) == 1

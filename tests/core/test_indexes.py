@@ -1,0 +1,262 @@
+"""Unit tests for the range index, partial index and full index."""
+
+import pytest
+
+from repro.core.full_index import FullIndex
+from repro.core.partial_index import LocationEntry, PartialIndex
+from repro.core.range_index import RangeIndex
+from repro.core.ranges import RangeTable
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InstrumentedDevice, MemoryBlockDevice
+from repro.storage.heap import Position
+
+
+def make_pool():
+    device = InstrumentedDevice(MemoryBlockDevice())
+    return BufferPool(device, capacity=32)
+
+
+def make_table_with_paper_ranges():
+    """Ranges of the paper's Table 3: [1,70], [101,140], [71,100]."""
+    table = RangeTable()
+    r1 = table.new_range(Position(1, 0), 140, 1, 70)
+    r2 = table.new_range(Position(1, 70), 80, 101, 140, after=r1.range_id)
+    r3 = table.new_range(Position(2, 0), 60, 71, 100, after=r2.range_id)
+    return table, r1, r2, r3
+
+
+class TestRangeIndex:
+    def test_locate_inside_interval(self):
+        table, r1, r2, r3 = make_table_with_paper_ranges()
+        index = RangeIndex(make_pool())
+        for meta in (r1, r2, r3):
+            index.register(meta)
+        assert index.locate(60, table).range_id == r1.range_id
+        assert index.locate(101, table).range_id == r2.range_id
+        assert index.locate(140, table).range_id == r2.range_id
+        assert index.locate(71, table).range_id == r3.range_id
+
+    def test_locate_boundaries(self):
+        table, r1, r2, r3 = make_table_with_paper_ranges()
+        index = RangeIndex(make_pool())
+        for meta in (r1, r2, r3):
+            index.register(meta)
+        assert index.locate(1, table).range_id == r1.range_id
+        assert index.locate(70, table).range_id == r1.range_id
+
+    def test_locate_miss_below(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        index = RangeIndex(make_pool())
+        index.register(r1)
+        assert index.locate(0, table) is None
+
+    def test_locate_miss_in_gap(self):
+        table = RangeTable()
+        r1 = table.new_range(Position(0, 0), 10, 1, 10)
+        r2 = table.new_range(Position(0, 10), 10, 100, 110, after=r1.range_id)
+        index = RangeIndex(make_pool())
+        index.register(r1)
+        index.register(r2)
+        assert index.locate(50, table) is None  # floor hits r1 but 50 > 10
+
+    def test_empty_interval_not_registered(self):
+        table = RangeTable()
+        empty = table.new_range(Position(0, 0), 3, None, None)
+        index = RangeIndex(make_pool())
+        index.register(empty)
+        assert len(index) == 0
+
+    def test_unregister(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        index = RangeIndex(make_pool())
+        index.register(r1)
+        index.unregister(r1.start_id)
+        assert index.locate(60, table) is None
+        index.unregister(None)  # no-op
+
+    def test_rekey(self):
+        table = RangeTable()
+        meta = table.new_range(Position(0, 0), 10, 10, 20)
+        index = RangeIndex(make_pool())
+        index.register(meta)
+        meta.start_id = 15
+        index.rekey(10, meta)
+        assert index.locate(16, table).range_id == meta.range_id
+        assert dict(index.entries()) == {15: meta.range_id}
+
+    def test_one_entry_per_range_not_per_node(self):
+        """The paper's core claim: index size tracks ranges, not nodes."""
+        table, r1, r2, r3 = make_table_with_paper_ranges()
+        index = RangeIndex(make_pool())
+        for meta in (r1, r2, r3):
+            index.register(meta)
+        assert len(index) == 3  # 140 nodes but only 3 entries
+
+    def test_stale_table_entry_ignored(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        index = RangeIndex(make_pool())
+        index.register(r1)
+        table.drop(r1.range_id)
+        assert index.locate(60, table) is None
+
+    def test_check_integrity(self):
+        table, r1, r2, r3 = make_table_with_paper_ranges()
+        index = RangeIndex(make_pool())
+        for meta in (r1, r2, r3):
+            index.register(meta)
+        index.check_integrity(table)
+
+
+def entry(node_id, range_id, version=0, block=0, slot=0, offset=0):
+    return LocationEntry(
+        node_id=node_id,
+        range_id=range_id,
+        version=version,
+        begin_pos=Position(block, slot),
+        begin_offset=offset,
+    )
+
+
+class TestPartialIndex:
+    def test_probe_miss_then_hit(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        partial = PartialIndex()
+        assert partial.probe(60, table) is None
+        partial.remember(entry(60, r1.range_id, version=r1.version))
+        hit = partial.probe(60, table)
+        assert hit is not None and hit.node_id == 60
+        assert partial.stats.hits == 1 and partial.stats.misses == 1
+
+    def test_stale_entry_dropped_on_probe(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        partial = PartialIndex()
+        partial.remember(entry(60, r1.range_id, version=r1.version))
+        r1.bump()
+        assert partial.probe(60, table) is None
+        assert partial.stats.stale_hits == 1
+        assert len(partial) == 0
+
+    def test_entry_for_dropped_range_is_stale(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        partial = PartialIndex()
+        partial.remember(entry(60, r1.range_id, version=r1.version))
+        table.drop(r1.range_id)
+        assert partial.probe(60, table) is None
+
+    def test_lru_eviction(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        partial = PartialIndex(capacity=2)
+        for node_id in (1, 2, 3):
+            partial.remember(entry(node_id, r1.range_id, version=r1.version))
+        assert len(partial) == 2
+        assert partial.probe(1, table) is None  # evicted
+        assert partial.probe(3, table) is not None
+        assert partial.stats.evictions == 1
+
+    def test_probe_refreshes_lru_position(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        partial = PartialIndex(capacity=2)
+        partial.remember(entry(1, r1.range_id, version=r1.version))
+        partial.remember(entry(2, r1.range_id, version=r1.version))
+        partial.probe(1, table)  # 1 becomes MRU
+        partial.remember(entry(3, r1.range_id, version=r1.version))
+        assert partial.probe(2, table) is None  # 2 was evicted, not 1
+        assert partial.probe(1, table) is not None
+
+    def test_unbounded_capacity(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        partial = PartialIndex(capacity=None)
+        for node_id in range(1000):
+            partial.remember(entry(node_id, r1.range_id, version=r1.version))
+        assert len(partial) == 1000
+        assert partial.stats.evictions == 0
+
+    def test_remember_merges_end_knowledge(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        partial = PartialIndex()
+        rich = entry(60, r1.range_id, version=r1.version)
+        rich.end_range_id = r1.range_id
+        rich.end_version = r1.version
+        rich.end_pos = Position(3, 4)
+        rich.end_offset = 99
+        partial.remember(rich)
+        # a later begin-only memoization must not lose the end location
+        partial.remember(entry(60, r1.range_id, version=r1.version))
+        hit = partial.probe(60, table)
+        assert hit.end_pos == Position(3, 4)
+
+    def test_forget_range(self):
+        table, r1, r2, _ = make_table_with_paper_ranges()
+        partial = PartialIndex()
+        partial.remember(entry(60, r1.range_id, version=r1.version))
+        partial.remember(entry(101, r2.range_id, version=r2.version))
+        partial.forget_range(r1.range_id)
+        assert partial.probe(60, table) is None
+        assert partial.probe(101, table) is not None
+
+    def test_sweep_stale(self):
+        table, r1, r2, _ = make_table_with_paper_ranges()
+        partial = PartialIndex()
+        partial.remember(entry(60, r1.range_id, version=r1.version))
+        partial.remember(entry(101, r2.range_id, version=r2.version))
+        r1.bump()
+        assert partial.sweep_stale(table) == 1
+        assert len(partial) == 1
+
+    def test_clear(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        partial = PartialIndex()
+        partial.remember(entry(60, r1.range_id, version=r1.version))
+        partial.clear()
+        assert len(partial) == 0
+
+
+class TestFullIndex:
+    def test_put_and_lookup(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        full = FullIndex(make_pool())
+        full.put(60, r1.range_id, r1.version, Position(1, 59), 59)
+        found = full.lookup(60, table)
+        assert found is not None
+        assert found.begin_pos == Position(1, 59)
+        assert found.begin_offset == 59
+
+    def test_stale_version_returns_none(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        full = FullIndex(make_pool())
+        full.put(60, r1.range_id, r1.version, Position(1, 59), 59)
+        r1.bump()
+        assert full.lookup(60, table) is None
+        assert full.stale_lookups == 1
+
+    def test_missing_id(self):
+        table, *_ = make_table_with_paper_ranges()
+        full = FullIndex(make_pool())
+        assert full.lookup(999, table) is None
+
+    def test_remove(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        full = FullIndex(make_pool())
+        full.put(60, r1.range_id, r1.version, Position(1, 59), 59)
+        assert full.remove(60) is True
+        assert full.remove(60) is False
+        assert 60 not in full
+
+    def test_remove_interval(self):
+        table, r1, *_ = make_table_with_paper_ranges()
+        full = FullIndex(make_pool())
+        for node_id in range(1, 71):
+            full.put(node_id, r1.range_id, r1.version, Position(1, node_id - 1), node_id - 1)
+        removed = full.remove_interval(10, 20)
+        assert removed == 11
+        assert len(full) == 70 - 11
+        assert 10 not in full and 15 not in full and 21 in full
+
+    def test_entry_count_tracks_every_node(self):
+        """The paper's complaint: one entry per node."""
+        table, r1, r2, r3 = make_table_with_paper_ranges()
+        full = FullIndex(make_pool())
+        for meta in (r1, r2, r3):
+            for node_id in range(meta.start_id, meta.end_id + 1):
+                full.put(node_id, meta.range_id, meta.version, Position(0, 0), 0)
+        assert len(full) == 140  # vs 3 range-index entries

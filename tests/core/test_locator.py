@@ -1,0 +1,157 @@
+"""Unit tests for the locator's scan and resolution machinery."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+from repro.xmltoken.tokens import TokenKind
+
+
+def make_store(**kwargs):
+    return XMLStore.open(StoreConfig(**kwargs))
+
+
+class TestScan:
+    def test_scan_regenerates_ids_in_document_order(self):
+        store = make_store()
+        store.load_document("<ticket><hour>15</hour><name>Paul</name></ticket>")
+        ids = [
+            item.last_id
+            for item in store.locator.scan()
+            if item.token.starts_node
+        ]
+        assert ids == [1, 2, 3, 4, 5]
+
+    def test_scan_tracks_offsets_and_ranges(self):
+        store = make_store()
+        store.load_document("<a><b/></a>")
+        items = list(store.locator.scan())
+        assert [item.offset for item in items] == [0, 1, 2, 3]
+        assert all(item.meta.range_id == items[0].meta.range_id for item in items)
+
+    def test_scan_across_ranges_resets_cursor(self):
+        store = make_store()
+        store.load_document("<a/>")           # range 1: id 1
+        store.load_document("<b/><c/>")       # range 2: ids 2, 3
+        items = list(store.locator.scan())
+        node_items = [item for item in items if item.token.starts_node]
+        assert [item.last_id for item in node_items] == [1, 2, 3]
+        assert node_items[0].meta.range_id != node_items[1].meta.range_id
+
+    def test_scan_empty_store(self):
+        store = make_store()
+        assert list(store.locator.scan()) == []
+
+    def test_continue_scan_resumes_exactly(self):
+        store = make_store()
+        store.load_document("<r><a/><b/><c/></r>")
+        items = list(store.locator.scan())
+        resumed = list(store.locator.continue_scan(items[2]))
+        assert [item.pos for item in resumed] == [item.pos for item in items[3:]]
+        assert [item.last_id for item in resumed] == [
+            item.last_id for item in items[3:]
+        ]
+
+    def test_scan_attribute_ids(self):
+        store = make_store()
+        store.load_document('<a x="1"><b/></a>')
+        kinds_and_ids = [
+            (item.token.kind, item.last_id)
+            for item in store.locator.scan()
+            if item.token.starts_node
+        ]
+        assert kinds_and_ids == [
+            (TokenKind.BEGIN_ELEMENT, 1),
+            (TokenKind.BEGIN_ATTRIBUTE, 2),
+            (TokenKind.BEGIN_ELEMENT, 3),
+        ]
+
+
+class TestFindEnd:
+    def test_end_of_leaf_element(self):
+        store = make_store()
+        store.load_document("<r><a/></r>")
+        location = store.locator.locate(2)
+        end = store.locator.find_end(location.begin)
+        assert end.token.kind == TokenKind.END_ELEMENT
+        assert end.offset == location.begin.offset + 1
+
+    def test_end_of_subtree(self):
+        store = make_store()
+        store.load_document("<r><a><x/><y/></a></r>")
+        location = store.locator.locate(2)
+        end = store.locator.find_end(location.begin)
+        # a's subtree: begin a, begin x, end x, begin y, end y, end a
+        assert end.offset == location.begin.offset + 5
+
+    def test_end_of_atomic_node_is_itself(self):
+        store = make_store()
+        store.load_document("<r>text</r>")
+        location = store.locator.locate(2)
+        end = store.locator.find_end(location.begin)
+        assert end.pos == location.begin.pos
+
+
+class TestResolutionPaths:
+    def test_scan_then_partial(self):
+        store = make_store()
+        store.load_document("<r><a/><b/><c/></r>")
+        store.locator.locate(3)
+        assert store.locator.stats.scan_resolutions == 1
+        store.locator.locate(3)
+        assert store.locator.stats.scan_resolutions == 1
+        assert store.locator.stats.partial_resolutions == 1
+
+    def test_partial_entry_invalidated_by_update(self):
+        store = make_store()
+        root = store.load_document("<r><a/><b/></r>")
+        store.locator.locate(3)
+        # an interior insert splits the range and bumps versions
+        store.insert_before(3, "<new/>")
+        store.locator.locate(3)
+        # the stale entry was dropped; resolution went through a scan again
+        assert store.locator.stats.scan_resolutions >= 2
+        assert store.read(3) == "<b/>"
+
+    def test_locate_after_deletion_raises(self):
+        store = make_store()
+        store.load_document("<r><a/><b/></r>")
+        store.locator.locate(2)
+        store.delete_node(2)
+        with pytest.raises(NodeNotFoundError):
+            store.locator.locate(2)
+
+    def test_full_index_repair_after_relocation(self):
+        store = make_store(policy=IndexingPolicy.FULL)
+        store.load_document("<r><a/><b/><c/></r>")
+        store.insert_before(3, "<new/>")  # bumps versions -> entries stale
+        assert store.read(4) == "<c/>"  # falls back to scan, then repairs
+        scans = store.locator.stats.scan_resolutions
+        assert store.read(4) == "<c/>"  # repaired entry serves this one
+        assert store.locator.stats.scan_resolutions == scans
+
+    def test_populate_partial_flag(self):
+        store = make_store()
+        store.load_document("<r><a/></r>")
+        store.locator.populate_partial = False
+        store.locator.locate(2)
+        assert len(store.partial_index) == 0
+        store.locator.populate_partial = True
+        store.locator.locate(2)
+        assert len(store.partial_index) == 1
+
+    def test_memoized_end_within_same_range(self):
+        store = make_store()
+        store.load_document("<r><a/><b/></r>")
+        store.read(2)  # locate_span memoizes begin and end
+        entry = store.partial_index.probe(2, store.ranges)
+        assert entry is not None
+        assert entry.end_pos is not None
+
+    def test_tokens_scanned_counter_grows(self):
+        store = make_store()
+        store.load_document("<r><a/><b/></r>")
+        before = store.locator.stats.tokens_scanned
+        store.read(3)
+        assert store.locator.stats.tokens_scanned > before

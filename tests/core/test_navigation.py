@@ -1,0 +1,123 @@
+"""Unit tests for structural navigation (§9 extension)."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+
+
+@pytest.fixture
+def store():
+    s = XMLStore.open()
+    # ids: r=1, a=2(attr), x=3, y=4, 't'=5, z=6
+    s.load_document("<r a='1'><x><y>t</y></x><z/></r>")
+    return s
+
+
+class TestParentOf:
+    def test_parent_of_nested_element(self, store):
+        assert store.parent_of(4) == 3
+        assert store.parent_of(3) == 1
+
+    def test_parent_of_root_is_none(self, store):
+        assert store.parent_of(1) is None
+
+    def test_parent_of_text_node(self, store):
+        assert store.parent_of(5) == 4
+
+    def test_parent_of_attribute(self, store):
+        assert store.parent_of(2) == 1
+
+    def test_parent_of_top_level_sibling(self, store):
+        store.load_document("<second/>")
+        second = store.xpath("//second")[0].node_id
+        assert store.parent_of(second) is None
+
+    def test_parent_of_missing_node_raises(self, store):
+        with pytest.raises(NodeNotFoundError):
+            store.parent_of(99)
+
+    def test_parent_hints_are_memoized(self, store):
+        store.parent_of(5)
+        scans_before = store.locator.stats.tokens_scanned
+        assert store.parent_of(5) == 4
+        assert store.parent_of(4) == 3  # ancestor chain was hinted too
+        assert store.locator.stats.tokens_scanned - scans_before < 10
+
+    def test_parent_survives_sibling_inserts(self, store):
+        store.parent_of(4)
+        store.insert_before(3, "<newcomer/>")
+        assert store.parent_of(4) == 3  # hint is id-based, still correct
+        assert store.read(4) == "<y>t</y>"
+
+    def test_parent_of_freshly_inserted_node(self, store):
+        new_id = store.insert_into_last(3, "<fresh/>")
+        assert store.parent_of(new_id) == 3
+
+
+class TestChildrenAndAttributes:
+    def test_children_excludes_attributes(self, store):
+        assert store.children_of(1) == [3, 6]
+
+    def test_children_of_leaf(self, store):
+        assert store.children_of(6) == []
+
+    def test_children_of_text_node(self, store):
+        assert store.children_of(5) == []
+
+    def test_children_includes_text_nodes(self, store):
+        assert store.children_of(4) == [5]
+
+    def test_attributes_of(self, store):
+        assert store.attributes_of(1) == [2]
+        assert store.attributes_of(3) == []
+
+    def test_children_after_update(self, store):
+        new_id = store.insert_into_last(1, "<w/>")
+        assert store.children_of(1) == [3, 6, new_id]
+
+    def test_children_hint_parents(self, store):
+        store.children_of(1)
+        scans = store.locator.stats.tokens_scanned
+        assert store.parent_of(3) == 1  # no new full scan
+        assert store.locator.stats.tokens_scanned - scans < 10
+
+
+class TestSiblingsAndAncestors:
+    def test_next_sibling(self, store):
+        assert store.next_sibling_of(3) == 6
+
+    def test_last_child_has_no_next_sibling(self, store):
+        assert store.next_sibling_of(6) is None
+
+    def test_next_sibling_sees_fresh_inserts(self, store):
+        new_id = store.insert_after(3, "<mid/>")
+        assert store.next_sibling_of(3) == new_id
+        assert store.next_sibling_of(new_id) == 6
+
+    def test_next_sibling_of_text(self, store):
+        store.load_document("<m>one<b/></m>")
+        text_id = store.xpath("//m/text()")[0].node_id
+        b_id = store.xpath("//m/b")[0].node_id
+        assert store.next_sibling_of(text_id) == b_id
+
+    def test_ancestors(self, store):
+        assert store.ancestors_of(5) == [4, 3, 1]
+        assert store.ancestors_of(1) == []
+
+    def test_next_sibling_across_top_level(self, store):
+        store.load_document("<second/>")
+        second = store.xpath("//second")[0].node_id
+        assert store.next_sibling_of(1) == second
+        assert store.next_sibling_of(second) is None
+
+
+class TestAcrossPolicies:
+    @pytest.mark.parametrize("policy", list(IndexingPolicy))
+    def test_navigation_consistent_across_policies(self, policy):
+        store = XMLStore.open(StoreConfig(policy=policy))
+        store.load_document("<r><a><b/></a><c/></r>")
+        assert store.parent_of(3) == 2
+        assert store.children_of(1) == [2, 4]
+        assert store.next_sibling_of(2) == 4

@@ -1,0 +1,184 @@
+"""Unit tests for range metadata and the range table."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.core.ranges import RangeMeta, RangeTable
+from repro.storage.heap import Position
+
+
+def make_meta(table, start_id=1, end_id=10, count=20, block=0):
+    return table.new_range(
+        start=Position(block, 0), token_count=count, start_id=start_id, end_id=end_id
+    )
+
+
+class TestRangeMeta:
+    def test_covers(self):
+        table = RangeTable()
+        meta = make_meta(table, 10, 20)
+        assert meta.covers(10) and meta.covers(20) and meta.covers(15)
+        assert not meta.covers(9) and not meta.covers(21)
+
+    def test_empty_interval_covers_nothing(self):
+        table = RangeTable()
+        meta = table.new_range(Position(0, 0), 5, None, None)
+        assert not meta.has_interval
+        assert not meta.covers(1)
+
+    def test_bump_increments_version(self):
+        table = RangeTable()
+        meta = make_meta(table)
+        v = meta.version
+        meta.bump()
+        assert meta.version == v + 1
+
+
+class TestOrdering:
+    def test_append_order(self):
+        table = RangeTable()
+        a = make_meta(table, 1, 10)
+        b = make_meta(table, 11, 20)
+        assert [m.range_id for m in table.in_order()] == [a.range_id, b.range_id]
+
+    def test_insert_after(self):
+        table = RangeTable()
+        a = make_meta(table, 1, 10)
+        c = make_meta(table, 21, 30)
+        b = table.new_range(Position(0, 5), 5, 11, 20, after=a.range_id)
+        assert [m.range_id for m in table.in_order()] == [
+            a.range_id, b.range_id, c.range_id
+        ]
+
+    def test_insert_before(self):
+        table = RangeTable()
+        b = make_meta(table, 11, 20)
+        a = table.new_range(Position(0, 0), 5, 1, 10, before=b.range_id)
+        assert [m.range_id for m in table.in_order()] == [a.range_id, b.range_id]
+
+    def test_successor_predecessor(self):
+        table = RangeTable()
+        a = make_meta(table, 1, 10)
+        b = make_meta(table, 11, 20)
+        assert table.successor(a.range_id).range_id == b.range_id
+        assert table.predecessor(b.range_id).range_id == a.range_id
+        assert table.successor(b.range_id) is None
+        assert table.predecessor(a.range_id) is None
+
+    def test_first_last(self):
+        table = RangeTable()
+        assert table.first is None and table.last is None
+        a = make_meta(table, 1, 10)
+        b = make_meta(table, 11, 20)
+        assert table.first.range_id == a.range_id
+        assert table.last.range_id == b.range_id
+
+    def test_drop(self):
+        table = RangeTable()
+        a = make_meta(table, 1, 10)
+        b = make_meta(table, 11, 20)
+        table.drop(a.range_id)
+        assert len(table) == 1
+        assert a.range_id not in table
+        with pytest.raises(StoreError):
+            table.get(a.range_id)
+
+    def test_range_ids_never_reused(self):
+        table = RangeTable()
+        a = make_meta(table, 1, 10)
+        table.drop(a.range_id)
+        b = make_meta(table, 11, 20)
+        assert b.range_id != a.range_id
+
+
+class TestResidency:
+    def test_add_and_query(self):
+        table = RangeTable()
+        a = make_meta(table)
+        table.add_resident(5, a.range_id)
+        assert a.range_id in table.residents(5)
+        assert table.residents(6) == set()
+
+    def test_bump_block_bumps_residents(self):
+        table = RangeTable()
+        a = make_meta(table, 1, 10)
+        b = make_meta(table, 11, 20)
+        table.add_resident(3, a.range_id)
+        va, vb = a.version, b.version
+        table.bump_block(3)
+        assert a.version == va + 1
+        assert b.version == vb
+
+    def test_copy_residents(self):
+        table = RangeTable()
+        a = make_meta(table)
+        table.add_resident(1, a.range_id)
+        table.copy_residents(1, 2)
+        assert a.range_id in table.residents(2)
+
+    def test_blocks_of(self):
+        table = RangeTable()
+        a = make_meta(table)
+        table.add_resident(1, a.range_id)
+        table.add_resident(4, a.range_id)
+        assert sorted(table.blocks_of(a.range_id)) == [1, 4]
+
+    def test_drop_removes_residency(self):
+        table = RangeTable()
+        a = make_meta(table)
+        table.add_resident(1, a.range_id)
+        table.drop(a.range_id)
+        assert table.residents(1) == set()
+
+    def test_forget_block(self):
+        table = RangeTable()
+        a = make_meta(table)
+        table.add_resident(1, a.range_id)
+        table.forget_block(1)
+        assert table.residents(1) == set()
+
+
+class TestIntegrityAndCatalog:
+    def test_disjoint_intervals_ok(self):
+        table = RangeTable()
+        make_meta(table, 1, 70)
+        make_meta(table, 101, 140)
+        make_meta(table, 71, 100)
+        table.check_integrity()
+
+    def test_overlapping_intervals_detected(self):
+        table = RangeTable()
+        make_meta(table, 1, 70)
+        make_meta(table, 60, 100)
+        with pytest.raises(StoreError, match="overlapping"):
+            table.check_integrity()
+
+    def test_catalog_roundtrip(self):
+        table = RangeTable()
+        a = make_meta(table, 1, 70, count=140, block=1)
+        b = table.new_range(Position(2, 3), 80, 101, 140, after=a.range_id)
+        empty = table.new_range(Position(3, 0), 2, None, None)
+        a.bump()
+        restored = RangeTable.from_catalog(table.to_catalog())
+        assert [m.range_id for m in restored.in_order()] == [
+            m.range_id for m in table.in_order()
+        ]
+        ra = restored.get(a.range_id)
+        assert ra.start == Position(1, 0)
+        assert ra.version == a.version
+        assert (ra.start_id, ra.end_id) == (1, 70)
+        re = restored.get(empty.range_id)
+        assert not re.has_interval
+
+    def test_catalog_preserves_next_range_id(self):
+        table = RangeTable()
+        a = make_meta(table)
+        restored = RangeTable.from_catalog(table.to_catalog())
+        b = make_meta(restored, 100, 110)
+        assert b.range_id == a.range_id + 1
+
+    def test_total_tokens(self):
+        table = RangeTable()
+        make_meta(table, 1, 10, count=20)
+        make_meta(table, 11, 20, count=30)
+        assert table.total_tokens == 50

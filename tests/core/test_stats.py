@@ -1,0 +1,62 @@
+"""Unit tests for statistics aggregation."""
+
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.stats import OperationCounts
+from repro.core.store import XMLStore
+
+
+class TestOperationCounts:
+    def test_updates_aggregate(self):
+        counts = OperationCounts(loads=1, inserts=2, deletes=3, replaces=4)
+        assert counts.updates == 10
+
+    def test_read_ops_aggregate(self):
+        counts = OperationCounts(reads=2, node_reads=5)
+        assert counts.read_ops == 7
+
+    def test_reset(self):
+        counts = OperationCounts(loads=5, nodes_inserted=100)
+        counts.reset()
+        assert counts.loads == 0 and counts.nodes_inserted == 0
+
+
+class TestSimulatedClock:
+    def test_clock_monotone_over_operations(self):
+        store = XMLStore.open()
+        t0 = store.simulated_seconds
+        store.load_document("<r><a/></r>")
+        t1 = store.simulated_seconds
+        store.read(2)
+        t2 = store.simulated_seconds
+        assert t0 <= t1 <= t2
+
+    def test_scan_tokens_cost_less_than_emitted(self):
+        config = StoreConfig()
+        assert config.cpu_cost_per_scan_token < config.cpu_cost_per_token
+
+    def test_index_entries_counted_under_full_policy(self):
+        store = XMLStore.open(StoreConfig(policy=IndexingPolicy.FULL))
+        store.load_document("<r><a/><b/></r>")
+        assert store.index_entries_loaded > 0
+
+    def test_tokens_emitted_counts_serialization(self):
+        store = XMLStore.open()
+        store.load_document("<r><a/></r>")
+        before = store.tokens_emitted
+        store.read()
+        assert store.tokens_emitted == before + 4  # r, a begins+ends
+
+    def test_stats_object_reflects_policy(self):
+        plain = XMLStore.open(StoreConfig(policy=IndexingPolicy.RANGE))
+        assert plain.stats.partial is None
+        lazy = XMLStore.open(StoreConfig(policy=IndexingPolicy.RANGE_PLUS_PARTIAL))
+        assert lazy.stats.partial is not None
+
+    def test_stats_reset(self):
+        store = XMLStore.open()
+        store.load_document("<r/>")
+        store.read()
+        store.stats.reset()
+        assert store.operations.loads == 0
+        assert store.locator.stats.tokens_scanned == 0
+        assert store.pool.stats.accesses == 0

@@ -1,0 +1,134 @@
+"""Unit tests for ORDPATH labels."""
+
+import pytest
+
+from repro.errors import IdExhaustedError, IdOrderError
+from repro.ids.ordpath import OrdpathScheme
+
+
+@pytest.fixture
+def scheme():
+    return OrdpathScheme()
+
+
+class TestGeneration:
+    def test_root(self, scheme):
+        assert scheme.label_root() == (1,)
+
+    def test_first_child(self, scheme):
+        assert scheme.first_child((1,)) == (1, 1)
+
+    def test_next_sibling_skips_to_next_odd(self, scheme):
+        assert scheme.next_sibling((1, 1)) == (1, 3)
+        assert scheme.next_sibling((1, 3)) == (1, 5)
+
+    def test_previous_sibling_slot(self, scheme):
+        assert scheme.previous_sibling_slot((1, 1)) == (1, -1)
+        assert scheme.previous_sibling_slot((1, 5)) == (1, 3)
+
+    def test_invalid_caret_terminated_label_rejected(self, scheme):
+        with pytest.raises(IdExhaustedError):
+            scheme.next_sibling((1, 4))
+
+
+class TestBetween:
+    def test_simple_gap_uses_odd(self, scheme):
+        assert scheme.between((1, 1), (1, 5)) == (1, 3)
+
+    def test_adjacent_odds_caret_in(self, scheme):
+        label = scheme.between((1, 3), (1, 5))
+        assert label == (1, 4, 1)
+        assert (1, 3) < label < (1, 5)
+
+    def test_between_caret_and_next_odd(self, scheme):
+        left = (1, 4, 1)
+        right = (1, 5)
+        label = scheme.between(left, right)
+        assert left < label < right
+        assert label[-1] % 2 == 1
+
+    def test_between_odd_and_caret(self, scheme):
+        left = (1, 3)
+        right = (1, 4, 1)
+        label = scheme.between(left, right)
+        assert left < label < right
+        assert not scheme.is_ancestor(left, label)
+        assert not scheme.is_ancestor(label, right)
+
+    def test_repeated_splitting_always_fits(self, scheme):
+        """Insert 200 times into the same gap; order must always hold and
+        no label is ever an ancestor of its neighbours."""
+        left, right = (1, 1), (1, 3)
+        for _ in range(200):
+            mid = scheme.between(left, right)
+            assert left < mid < right
+            assert not scheme.is_ancestor(left, mid)
+            assert not scheme.is_ancestor(mid, right)
+            assert not scheme.is_ancestor(mid, left)
+            right = mid  # keep inserting before the previous insert
+
+    def test_repeated_splitting_after(self, scheme):
+        left, right = (1, 1), (1, 3)
+        for _ in range(200):
+            mid = scheme.between(left, right)
+            assert left < mid < right
+            left = mid  # keep inserting after the previous insert
+
+    def test_unordered_arguments_rejected(self, scheme):
+        with pytest.raises(IdOrderError):
+            scheme.between((1, 5), (1, 3))
+
+    def test_ancestor_argument_rejected(self, scheme):
+        with pytest.raises(IdOrderError):
+            scheme.between((1,), (1, 1))
+
+    def test_relabel_cost_is_zero(self, scheme):
+        assert scheme.relabel_cost([(1, 1), (1, 3), (1, 5)], (1, 3)) == 0
+
+
+class TestOrderAndAncestry:
+    def test_document_order_comparator(self, scheme):
+        assert scheme.document_order((1, 1), (1, 3)) < 0
+        assert scheme.document_order((1, 3), (1, 1)) > 0
+        assert scheme.document_order((1, 3), (1, 3)) == 0
+
+    def test_parent_before_children(self, scheme):
+        assert scheme.document_order((1,), (1, 1)) < 0
+
+    def test_careted_label_orders_between_odds(self, scheme):
+        assert (1, 3) < (1, 4, 1) < (1, 5)
+
+    def test_is_ancestor(self, scheme):
+        assert scheme.is_ancestor((1,), (1, 5, 3))
+        assert scheme.is_ancestor((1, 5), (1, 5, 3))
+        assert not scheme.is_ancestor((1, 5), (1, 7))
+        assert not scheme.is_ancestor((1, 5), (1, 5))
+
+    def test_caret_does_not_create_false_children(self, scheme):
+        # (1, 4, 1) sits between (1, 3) and (1, 5) but descends from
+        # neither sibling, only from the shared parent (1,)
+        assert not scheme.is_ancestor((1, 3), (1, 4, 1))
+        assert not scheme.is_ancestor((1, 5), (1, 4, 1))
+        assert scheme.is_ancestor((1,), (1, 4, 1))
+
+    def test_depth_ignores_carets(self, scheme):
+        assert scheme.depth((1,)) == 1
+        assert scheme.depth((1, 3)) == 2
+        assert scheme.depth((1, 4, 1)) == 2  # careted sibling, same depth
+        assert scheme.depth((1, 4, 1, 7)) == 3
+
+
+class TestEncoding:
+    def test_roundtrip(self, scheme):
+        for label in [(1,), (1, 4, 1), (1, -3, 5), (2**20, 1)]:
+            assert scheme.decode(scheme.encode(label)) == label
+
+    def test_encoding_is_byte_comparable(self, scheme):
+        labels = [(1,), (1, 1), (1, 3), (1, 4, 1), (1, 5), (3,), (1, -1)]
+        by_tuple = sorted(labels)
+        by_bytes = sorted(labels, key=scheme.encode)
+        assert by_tuple == by_bytes
+
+    def test_bad_length_rejected(self, scheme):
+        with pytest.raises(IdExhaustedError):
+            scheme.decode(b"\x00\x01")

@@ -1,0 +1,85 @@
+"""Integration tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import run
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "store")
+
+
+class TestCLI:
+    def test_load_from_file_and_read(self, store_dir, tmp_path):
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<r><a/></r>")
+        out = run([store_dir, "load", str(doc)])
+        assert "first node id = 1" in out
+        assert run([store_dir, "read"]) == "<r><a/></r>"
+
+    def test_load_from_stdin(self, store_dir):
+        out = run([store_dir, "load", "-"], stdin=io.StringIO("<x>hi</x>"))
+        assert "first node id" in out
+        assert run([store_dir, "read"]) == "<x>hi</x>"
+
+    def test_read_single_node(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a>1</a></r>"))
+        assert run([store_dir, "read", "2"]) == "<a>1</a>"
+
+    def test_pretty_read(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a><b/></a></r>"))
+        out = run([store_dir, "read", "--pretty"])
+        assert "\n" in out
+
+    def test_xpath(self, store_dir):
+        run([store_dir, "load", "-"],
+            stdin=io.StringIO("<r><a n='1'/><a n='2'/></r>"))
+        out = run([store_dir, "xpath", "/r/a[@n = '2']"])
+        assert out.startswith("1 match(es)")
+        assert 'n="2"' in out
+
+    def test_updates_persist_across_invocations(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<log/>"))
+        run([store_dir, "insert-last", "1", "<e1/>"])
+        run([store_dir, "insert-last", "1", "<e2/>"])
+        run([store_dir, "insert-before", "2", "<e0/>"])
+        assert run([store_dir, "read"]) == "<log><e0/><e1/><e2/></log>"
+
+    def test_delete_and_replace(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a/><b/></r>"))
+        run([store_dir, "delete", "2"])
+        run([store_dir, "replace", "3", "<B/>"])
+        assert run([store_dir, "read"]) == "<r><B/></r>"
+
+    def test_ranges_snapshot(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a/></r>"))
+        out = run([store_dir, "ranges"])
+        assert "RangeId" in out
+        assert len(out.splitlines()) >= 2
+
+    def test_stats(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        out = run([store_dir, "stats"])
+        assert "operations" in out
+
+    def test_compact(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        for index in range(4):
+            run([store_dir, "insert-last", "1", f"<e{index}/>"])
+        out = run([store_dir, "compact"])
+        assert "compacted" in out
+        assert run([store_dir, "verify"]) == "integrity ok"
+
+    def test_verify(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        assert run([store_dir, "verify"]) == "integrity ok"
+
+    def test_error_surfaces_as_repro_error(self, store_dir):
+        from repro.errors import NodeNotFoundError
+
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        with pytest.raises(NodeNotFoundError):
+            run([store_dir, "delete", "99"])

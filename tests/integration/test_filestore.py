@@ -1,0 +1,107 @@
+"""Integration tests for directory-backed stores."""
+
+import os
+
+import pytest
+
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.filestore import (
+    StoreDirectory,
+    close_directory,
+    open_directory,
+)
+
+
+class TestOpenClose:
+    def test_create_fresh_store(self, tmp_path):
+        path = str(tmp_path / "orders")
+        store = open_directory(path)
+        assert store.is_empty
+        assert os.path.exists(os.path.join(path, "store.db"))
+        assert os.path.exists(os.path.join(path, "store.catalog"))
+        close_directory(path, store)
+
+    def test_clean_reopen_preserves_content(self, tmp_path):
+        path = str(tmp_path / "orders")
+        store = open_directory(path)
+        root = store.load_document("<orders/>")
+        store.insert_into_last(root, "<order no='1'/>")
+        close_directory(path, store)
+        reopened = open_directory(path)
+        assert reopened.read() == '<orders><order no="1"/></orders>'
+        reopened.check_integrity()
+        close_directory(path, reopened)
+
+    def test_ids_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "s")
+        store = open_directory(path)
+        store.load_document("<r><a/><b/></r>")
+        close_directory(path, store)
+        reopened = open_directory(path)
+        assert reopened.read(2) == "<a/>"
+        # the id allocator resumes exactly past the old ids (1..3 used)
+        new_id = reopened.insert_into_last(1, "<c/>")
+        assert new_id == 4
+        assert reopened.read(4) == "<c/>"
+        close_directory(path, reopened)
+
+    def test_crash_between_checkpoints_recovers_via_wal(self, tmp_path):
+        path = str(tmp_path / "s")
+        store = open_directory(path)
+        store.load_document("<ledger/>")
+        catalog_checkpointed = store.checkpoint()
+        from repro.core.filestore import _write_catalog, CATALOG_FILE
+
+        _write_catalog(os.path.join(path, CATALOG_FILE), catalog_checkpointed)
+        store.insert_into_last(1, "<entry>after checkpoint</entry>")
+        # crash: no close_directory; just drop everything
+        store.wal.close()
+        store.device.close()
+        recovered = open_directory(path)
+        assert "after checkpoint" in recovered.read()
+        recovered.check_integrity()
+        close_directory(path, recovered)
+
+    def test_custom_config(self, tmp_path):
+        path = str(tmp_path / "s")
+        config = StoreConfig(policy=IndexingPolicy.RANGE, page_size=1024)
+        store = open_directory(path, config)
+        store.load_document("<a/>")
+        close_directory(path, store)
+        reopened = open_directory(path, config)
+        assert reopened.read() == "<a/>"
+        close_directory(path, reopened)
+
+
+class TestContextManager:
+    def test_with_statement_round_trip(self, tmp_path):
+        path = str(tmp_path / "cm")
+        with StoreDirectory(path) as store:
+            store.load_document("<r><x/></r>")
+        with StoreDirectory(path) as store:
+            assert store.read() == "<r><x/></r>"
+
+    def test_exception_does_not_write_catalog(self, tmp_path):
+        path = str(tmp_path / "cm")
+        with StoreDirectory(path) as store:
+            store.load_document("<r/>")
+        catalog_mtime = os.path.getmtime(os.path.join(path, "store.catalog"))
+        with pytest.raises(RuntimeError):
+            with StoreDirectory(path) as store:
+                store.insert_into_last(1, "<x/>")
+                raise RuntimeError("boom")
+        assert os.path.getmtime(os.path.join(path, "store.catalog")) == catalog_mtime
+        # but the WAL carried the operation: reopening replays it
+        with StoreDirectory(path) as store:
+            assert "<x/>" in store.read()
+
+    def test_updates_accumulate_across_sessions(self, tmp_path):
+        path = str(tmp_path / "cm")
+        for index in range(3):
+            with StoreDirectory(path) as store:
+                if store.is_empty:
+                    store.load_document("<log/>")
+                store.insert_into_last(1, f"<run n='{index}'/>")
+        with StoreDirectory(path) as store:
+            assert store.read().count("<run") == 3
+            store.check_integrity()

@@ -1,0 +1,191 @@
+"""Integration tests: checkpoint, crash, WAL replay."""
+
+import pytest
+
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+from repro.storage.disk import (
+    DiskFaultError,
+    FaultInjector,
+    FileBlockDevice,
+    InstrumentedDevice,
+    MemoryBlockDevice,
+)
+from repro.storage.recovery import replay
+from repro.storage.wal import WriteAheadLog
+
+
+def crash_and_recover(store, catalog, config=None):
+    """Simulate a crash: drop dirty pages, reopen from catalog, replay WAL."""
+    store.pool.drop_all()
+    recovered = XMLStore.from_catalog(
+        store.device, catalog, config=config, wal=store.wal
+    )
+    replay(recovered, store.wal)
+    return recovered
+
+
+class TestCheckpointRecovery:
+    def test_recover_checkpointed_state(self):
+        store = XMLStore.open()
+        store.load_document("<r><a/><b/></r>")
+        catalog = store.checkpoint()
+        recovered = crash_and_recover(store, catalog)
+        assert recovered.read() == "<r><a/><b/></r>"
+        recovered.check_integrity()
+
+    def test_replay_operations_after_checkpoint(self):
+        store = XMLStore.open()
+        root = store.load_document("<r/>")
+        catalog = store.checkpoint()
+        store.insert_into_last(root, "<after-checkpoint/>")
+        store.insert_into_last(root, "<second/>")
+        recovered = crash_and_recover(store, catalog)
+        assert recovered.read() == "<r><after-checkpoint/><second/></r>"
+        recovered.check_integrity()
+
+    def test_replay_preserves_node_ids(self):
+        store = XMLStore.open()
+        root = store.load_document("<r/>")
+        catalog = store.checkpoint()
+        new_id = store.insert_into_last(root, "<x/>")
+        recovered = crash_and_recover(store, catalog)
+        assert recovered.read(new_id) == "<x/>"
+
+    def test_replay_deletes_and_replaces(self):
+        store = XMLStore.open()
+        store.load_document("<r><a/><b/><c/></r>")
+        catalog = store.checkpoint()
+        store.delete_node(2)
+        store.replace_node(3, "<B/>")
+        recovered = crash_and_recover(store, catalog)
+        assert recovered.read() == "<r><B/><c/></r>"
+
+    def test_recovery_without_checkpoint_replays_everything(self):
+        """Crash before any checkpoint: full-log logical restore."""
+        store = XMLStore.open()
+        store.load_document("<r/>")
+        store.insert_into_last(1, "<a/>")
+        recovered = XMLStore.recover(store.wal)
+        assert recovered.read() == "<r><a/></r>"
+        recovered.check_integrity()
+
+    def test_uncheckpointed_work_is_lost_without_wal(self):
+        """Sanity check on the crash simulation itself."""
+        store = XMLStore.open(wal=WriteAheadLog())
+        store.load_document("<r/>")
+        catalog = store.checkpoint()
+        store.insert_into_last(1, "<lost/>")
+        store.pool.drop_all()
+        store.wal.truncate()  # "lose" the log too
+        recovered = XMLStore.from_catalog(store.device, catalog, wal=store.wal)
+        assert recovered.read() == "<r/>"
+
+    def test_recovered_store_accepts_new_operations(self):
+        store = XMLStore.open()
+        root = store.load_document("<r/>")
+        catalog = store.checkpoint()
+        store.insert_into_last(root, "<a/>")
+        recovered = crash_and_recover(store, catalog)
+        recovered.insert_into_last(root, "<b/>")
+        assert recovered.read() == "<r><a/><b/></r>"
+        recovered.check_integrity()
+
+    def test_full_policy_recovery(self):
+        config = StoreConfig(policy=IndexingPolicy.FULL)
+        store = XMLStore.open(config)
+        root = store.load_document("<r><a/></r>")
+        catalog = store.checkpoint()
+        store.insert_into_last(root, "<b/>")
+        recovered = crash_and_recover(store, catalog, config=config)
+        assert recovered.read() == "<r><a/><b/></r>"
+        assert recovered.read(3) == "<b/>"
+
+
+class TestFileBackedDurability:
+    def test_clean_shutdown_reopens_from_catalog(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        wal_path = str(tmp_path / "store.wal")
+        device = InstrumentedDevice(FileBlockDevice(path))
+        wal = WriteAheadLog(wal_path)
+        store = XMLStore.open(device=device, wal=wal)
+        root = store.load_document("<inventory/>")
+        store.insert_into_last(root, "<item>widget</item>")
+        store.insert_into_last(root, "<item>gadget</item>")
+        catalog = store.checkpoint()  # clean shutdown: checkpoint is last
+        wal.close()
+        device.close()
+        # "restart": fresh objects over the same files
+        device2 = InstrumentedDevice(FileBlockDevice(path))
+        wal2 = WriteAheadLog(wal_path)
+        recovered = XMLStore.from_catalog(device2, catalog, wal=wal2)
+        assert replay(recovered, wal2) == []  # nothing after the checkpoint
+        text = recovered.read()
+        assert "widget" in text and "gadget" in text
+        recovered.check_integrity()
+        device2.close()
+        wal2.close()
+
+    def test_crash_recovery_from_file_backed_wal(self, tmp_path):
+        """Crash with a durable WAL: full-log restore onto a fresh device."""
+        wal_path = str(tmp_path / "store.wal")
+        wal = WriteAheadLog(wal_path)
+        store = XMLStore.open(wal=wal)
+        root = store.load_document("<inventory/>")
+        widget_id = store.insert_into_last(root, "<item>widget</item>")
+        store.insert_into_last(root, "<item>gadget</item>")
+        store.delete_node(widget_id)
+        wal.close()
+        # process dies; only the WAL file survives
+        wal2 = WriteAheadLog(wal_path)
+        recovered = XMLStore.recover(wal2)
+        assert recovered.read() == store.read()
+        recovered.check_integrity()
+        wal2.close()
+
+
+class TestFaultInjection:
+    def test_fault_during_insert_surfaces(self):
+        boom = FaultInjector(
+            lambda op, block, stats: op == "write" and stats.writes >= 20,
+            message="disk died",
+        )
+        device = InstrumentedDevice(MemoryBlockDevice(), fault_injector=boom)
+        store = XMLStore.open(device=device)
+        root = store.load_document("<r/>")
+        with pytest.raises(DiskFaultError):
+            for index in range(500):
+                store.insert_into_last(root, f"<e{index}/>")
+                store.pool.flush_all()
+
+    def test_state_recoverable_after_fault(self):
+        """After a mid-operation disk fault, a full-log restore recovers
+        every fully-applied operation."""
+        fired = {"count": 0}
+
+        def predicate(op, block, stats):
+            if op == "write" and stats.writes == 25:
+                fired["count"] += 1
+                return fired["count"] == 1  # fire exactly once
+            return False
+
+        device = InstrumentedDevice(
+            MemoryBlockDevice(), fault_injector=FaultInjector(predicate)
+        )
+        store = XMLStore.open(device=device)
+        root = store.load_document("<r/>")
+        applied = []
+        try:
+            for index in range(500):
+                store.insert_into_last(root, f"<e{index}/>", log=True)
+                store.pool.flush_all()
+                applied.append(index)
+        except DiskFaultError:
+            pass
+        assert applied, "the fault fired before any insert completed"
+        recovered = XMLStore.recover(store.wal)
+        recovered.check_integrity()
+        text = recovered.read()
+        # every fully-applied (logged + executed) operation must be present
+        for index in applied:
+            assert f"<e{index}/>" in text

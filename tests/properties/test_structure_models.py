@@ -1,0 +1,209 @@
+"""Model-based tests for the storage substrates: B+-tree vs dict,
+chained file vs list, ORDPATH ordering under random insertion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.index.bptree import INT_KEY_CODEC, PagedBPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InstrumentedDevice, MemoryBlockDevice
+from repro.storage.heap import ChainedFile, Position
+
+
+class BPlusTreeAgreesWithDict(RuleBasedStateMachine):
+    """Insert/delete/lookup/scan against a dict oracle."""
+
+    @initialize(order=st.sampled_from([3, 4, 8, 32]))
+    def setup(self, order):
+        device = InstrumentedDevice(MemoryBlockDevice())
+        pool = BufferPool(device, capacity=64)
+        self.tree = PagedBPlusTree(pool, INT_KEY_CODEC, order=order)
+        self.model = {}
+
+    @rule(key=st.integers(-100, 100), value=st.binary(max_size=8))
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=st.integers(-100, 100))
+    def delete(self, key):
+        removed = self.tree.delete(key)
+        assert removed == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=st.integers(-120, 120))
+    def lookup(self, key):
+        assert self.tree.get(key) == self.model.get(key)
+
+    @rule(key=st.integers(-120, 120))
+    def floor(self, key):
+        eligible = [k for k in self.model if k <= key]
+        found = self.tree.floor_item(key)
+        if eligible:
+            best = max(eligible)
+            assert found == (best, self.model[best])
+        else:
+            assert found is None
+
+    @rule(key=st.integers(-120, 120))
+    def ceiling(self, key):
+        eligible = [k for k in self.model if k >= key]
+        found = self.tree.ceiling_item(key)
+        if eligible:
+            best = min(eligible)
+            assert found == (best, self.model[best])
+        else:
+            assert found is None
+
+    @rule(low=st.integers(-120, 120), span=st.integers(0, 60))
+    def range_scan(self, low, span):
+        high = low + span
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if low <= k <= high
+        )
+        assert list(self.tree.items(low=low, high=high)) == expected
+
+    @invariant()
+    def tree_is_structurally_sound(self):
+        self.tree.check_integrity()
+
+    @invariant()
+    def full_scan_matches(self):
+        assert list(self.tree.items()) == sorted(self.model.items())
+
+
+TestBPlusTree = BPlusTreeAgreesWithDict.TestCase
+TestBPlusTree.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+
+
+class ChainAgreesWithList(RuleBasedStateMachine):
+    """Chained-file record operations against a Python list oracle."""
+
+    @initialize(block_size=st.sampled_from([64, 128, 512]))
+    def setup(self, block_size):
+        device = InstrumentedDevice(MemoryBlockDevice(block_size=block_size))
+        pool = BufferPool(device, capacity=16)
+        self.chain = ChainedFile(pool)
+        self.model = []
+
+    def _contents(self):
+        return [record for _, record in self.chain.records()]
+
+    def _position_of(self, index):
+        """Physical position of the index-th record."""
+        for count, (pos, _) in enumerate(self.chain.records()):
+            if count == index:
+                return pos
+        raise AssertionError("index out of range")
+
+    @rule(records=st.lists(st.binary(min_size=1, max_size=20), min_size=1, max_size=5))
+    def append(self, records):
+        self.chain.append_records(records)
+        self.model.extend(records)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), records=st.lists(st.binary(min_size=1, max_size=20), min_size=1, max_size=4))
+    def insert_at(self, data, records):
+        index = data.draw(st.integers(0, len(self.model) - 1))
+        self.chain.insert_records(self._position_of(index), records)
+        self.model[index:index] = records
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_at(self, data):
+        index = data.draw(st.integers(0, len(self.model) - 1))
+        removed = self.chain.delete_record(self._position_of(index))
+        assert removed == self.model.pop(index)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), record=st.binary(min_size=1, max_size=30))
+    def replace_at(self, data, record):
+        index = data.draw(st.integers(0, len(self.model) - 1))
+        self.chain.replace_record(self._position_of(index), record)
+        self.model[index] = record
+
+    @invariant()
+    def same_sequence(self):
+        assert self._contents() == self.model
+
+    @invariant()
+    def chain_is_sound(self):
+        self.chain.check_integrity()
+
+
+TestChainedFile = ChainAgreesWithList.TestCase
+TestChainedFile.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+
+
+class OrdpathOrderInvariants(RuleBasedStateMachine):
+    """Random sibling insertions: order always strict and stable, no label
+    ever becomes an ancestor of a sibling."""
+
+    def __init__(self):
+        super().__init__()
+        from repro.ids.ordpath import OrdpathScheme
+
+        self.scheme = OrdpathScheme()
+        self.labels = [(1, 1), (1, 3)]
+
+    @rule(data=st.data())
+    def insert_between(self, data):
+        index = data.draw(st.integers(0, len(self.labels) - 2))
+        left, right = self.labels[index], self.labels[index + 1]
+        new_label = self.scheme.between(left, right)
+        assert left < new_label < right
+        self.labels.insert(index + 1, new_label)
+
+    @rule()
+    def append_sibling(self):
+        self.labels.append(self.scheme.next_sibling(self.labels[-1]))
+
+    @rule()
+    def prepend_sibling(self):
+        self.labels.insert(0, self.scheme.previous_sibling_slot(self.labels[0]))
+
+    @invariant()
+    def strictly_ordered(self):
+        for left, right in zip(self.labels, self.labels[1:]):
+            assert left < right
+
+    @invariant()
+    def no_sibling_ancestry(self):
+        for left, right in zip(self.labels, self.labels[1:]):
+            assert not self.scheme.is_ancestor(left, right)
+            assert not self.scheme.is_ancestor(right, left)
+
+    @invariant()
+    def labels_end_odd(self):
+        for label in self.labels:
+            assert label[-1] % 2 == 1
+
+    @invariant()
+    def byte_encoding_preserves_order(self):
+        encoded = [self.scheme.encode(label) for label in self.labels]
+        assert encoded == sorted(encoded)
+
+
+TestOrdpathInvariants = OrdpathOrderInvariants.TestCase
+TestOrdpathInvariants.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=10), max_size=30))
+def test_slotted_page_roundtrip_property(records):
+    from repro.storage.pages import SlottedPage
+
+    page = SlottedPage(4096, records)
+    assert SlottedPage.from_bytes(page.to_bytes()).records() == records

@@ -1,0 +1,197 @@
+"""Unit tests for the buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolExhaustedError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InstrumentedDevice, MemoryBlockDevice
+
+
+def make_pool(capacity=4, block_size=256):
+    device = InstrumentedDevice(MemoryBlockDevice(block_size=block_size))
+    return BufferPool(device, capacity=capacity), device
+
+
+class TestFetchAndCache:
+    def test_new_page_is_empty_and_cached(self):
+        pool, _ = make_pool()
+        with pool.new_page() as guard:
+            assert len(guard.page) == 0
+        assert pool.num_cached == 1
+
+    def test_fetch_hits_cache_second_time(self):
+        pool, device = make_pool()
+        with pool.new_page() as guard:
+            block = guard.block_no
+        pool.flush_all()
+        reads_before = device.stats.reads
+        with pool.fetch(block):
+            pass
+        with pool.fetch(block):
+            pass
+        assert device.stats.reads == reads_before  # no device reads at all
+        assert pool.stats.hits >= 2
+
+    def test_miss_reads_from_device(self):
+        pool, device = make_pool(capacity=1)
+        with pool.new_page() as g1:
+            b1 = g1.block_no
+            g1.page.append(b"one")
+            g1.mark_dirty()
+        with pool.new_page() as g2:
+            b2 = g2.block_no  # evicts b1
+        reads_before = device.stats.reads
+        with pool.fetch(b1) as guard:
+            assert guard.page.records() == [b"one"]
+        assert device.stats.reads == reads_before + 1
+
+    def test_hit_rate(self):
+        pool, _ = make_pool()
+        with pool.new_page() as guard:
+            block = guard.block_no
+        with pool.fetch(block):
+            pass
+        assert 0 < pool.stats.hit_rate <= 1
+
+
+class TestEvictionAndDirty:
+    def test_dirty_page_written_back_on_eviction(self):
+        pool, device = make_pool(capacity=1)
+        with pool.new_page() as g1:
+            b1 = g1.block_no
+            g1.page.append(b"dirty-data")
+            g1.mark_dirty()
+        with pool.new_page():
+            pass  # forces eviction of b1
+        # read through a fresh pool to prove it reached the device
+        pool2 = BufferPool(device, capacity=1)
+        with pool2.fetch(b1) as guard:
+            assert guard.page.records() == [b"dirty-data"]
+
+    def test_clean_page_eviction_writes_nothing(self):
+        pool, device = make_pool(capacity=1)
+        with pool.new_page() as g1:
+            pass
+        pool.flush_all()
+        writes_before = device.stats.writes
+        with pool.new_page():
+            pass  # evicts the clean page
+        assert device.stats.writes == writes_before
+
+    def test_pinned_pages_are_not_evicted(self):
+        pool, _ = make_pool(capacity=2)
+        g1 = pool.new_page()
+        g2 = pool.new_page()
+        with pytest.raises(BufferPoolExhaustedError):
+            pool.new_page()
+        g1.release()
+        g2.release()
+
+    def test_lru_order(self):
+        pool, _ = make_pool(capacity=2)
+        with pool.new_page() as g1:
+            b1 = g1.block_no
+        with pool.new_page() as g2:
+            b2 = g2.block_no
+        with pool.fetch(b1):  # touch b1 so b2 becomes LRU
+            pass
+        with pool.new_page():  # should evict b2
+            pass
+        assert b1 in set(pool.cached_blocks())
+        assert b2 not in set(pool.cached_blocks())
+
+
+class TestFlush:
+    def test_flush_all_persists_and_cleans(self):
+        pool, device = make_pool()
+        with pool.new_page() as guard:
+            block = guard.block_no
+            guard.page.append(b"payload")
+            guard.mark_dirty()
+        pool.flush_all()
+        fresh = BufferPool(device, capacity=2)
+        with fresh.fetch(block) as guard:
+            assert guard.page.records() == [b"payload"]
+
+    def test_double_flush_writes_once(self):
+        pool, device = make_pool()
+        with pool.new_page() as guard:
+            block = guard.block_no
+            guard.mark_dirty()
+        pool.flush(block)
+        writes = device.stats.writes
+        pool.flush(block)
+        assert device.stats.writes == writes
+
+    def test_drop_all_simulates_crash(self):
+        pool, device = make_pool()
+        with pool.new_page() as guard:
+            block = guard.block_no
+            guard.page.append(b"lost")
+            guard.mark_dirty()
+        pool.drop_all()
+        with pool.fetch(block) as guard:
+            assert guard.page.records() == []  # never reached the device
+
+    def test_drop_all_refuses_pinned(self):
+        pool, _ = make_pool()
+        guard = pool.new_page()
+        with pytest.raises(StorageError):
+            pool.drop_all()
+        guard.release()
+
+
+class TestFreePage:
+    def test_free_page_is_deferred_until_flush(self):
+        pool, device = make_pool()
+        with pool.new_page() as guard:
+            block = guard.block_no
+        pool.free_page(block)
+        assert block not in set(pool.cached_blocks())
+        assert device.stats.frees == 0  # deferred (checkpoint-consistent)
+        pool.flush_all()
+        assert device.stats.frees == 1
+
+    def test_drop_all_abandons_pending_frees(self):
+        pool, device = make_pool()
+        with pool.new_page() as guard:
+            block = guard.block_no
+        pool.free_page(block)
+        pool.drop_all()  # crash: the free never reaches the device
+        pool.flush_all()
+        assert device.stats.frees == 0
+        # the block's content is still readable (checkpoint state intact)
+        device.read_block(block)
+
+    def test_free_pinned_page_refused(self):
+        pool, _ = make_pool()
+        guard = pool.new_page()
+        with pytest.raises(StorageError):
+            pool.free_page(guard.block_no)
+        guard.release()
+
+    def test_guard_release_after_free_is_harmless(self):
+        pool, _ = make_pool()
+        guard = pool.new_page()
+        block = guard.block_no
+        # bypass the pin check by releasing first in realistic flows; here we
+        # verify double-release semantics instead
+        guard.release()
+        pool.free_page(block)
+        guard.release()  # idempotent
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self):
+        _, device = make_pool()
+        with pytest.raises(StorageError):
+            BufferPool(device, capacity=0)
+
+    def test_stats_reset(self):
+        pool, _ = make_pool()
+        with pool.new_page() as g:
+            block = g.block_no
+        with pool.fetch(block):
+            pass
+        pool.stats.reset()
+        assert pool.stats.hits == 0 and pool.stats.misses == 0

@@ -1,0 +1,207 @@
+"""Unit tests for block devices, instrumentation and the cost model."""
+
+import pytest
+
+from repro.errors import BlockNotFoundError, DiskFaultError, StorageError
+from repro.storage.disk import (
+    DiskCostModel,
+    DiskStats,
+    FaultInjector,
+    FileBlockDevice,
+    InstrumentedDevice,
+    MemoryBlockDevice,
+)
+
+
+class TestMemoryBlockDevice:
+    def test_allocate_returns_zeroed_block(self):
+        dev = MemoryBlockDevice(block_size=128)
+        block = dev.allocate_block()
+        assert dev.read_block(block) == b"\x00" * 128
+
+    def test_write_then_read_roundtrip(self):
+        dev = MemoryBlockDevice(block_size=128)
+        block = dev.allocate_block()
+        dev.write_block(block, b"hello")
+        assert dev.read_block(block).startswith(b"hello")
+        assert len(dev.read_block(block)) == 128
+
+    def test_write_pads_to_block_size(self):
+        dev = MemoryBlockDevice(block_size=64)
+        block = dev.allocate_block()
+        dev.write_block(block, b"ab")
+        assert dev.read_block(block) == b"ab" + b"\x00" * 62
+
+    def test_oversized_write_rejected(self):
+        dev = MemoryBlockDevice(block_size=64)
+        block = dev.allocate_block()
+        with pytest.raises(StorageError):
+            dev.write_block(block, b"x" * 65)
+
+    def test_read_unallocated_block_raises(self):
+        dev = MemoryBlockDevice()
+        with pytest.raises(BlockNotFoundError):
+            dev.read_block(0)
+
+    def test_write_unallocated_block_raises(self):
+        dev = MemoryBlockDevice()
+        with pytest.raises(BlockNotFoundError):
+            dev.write_block(7, b"data")
+
+    def test_free_then_reuse_block_number(self):
+        dev = MemoryBlockDevice()
+        a = dev.allocate_block()
+        dev.free_block(a)
+        b = dev.allocate_block()
+        assert b == a
+
+    def test_free_unknown_block_raises(self):
+        dev = MemoryBlockDevice()
+        with pytest.raises(BlockNotFoundError):
+            dev.free_block(3)
+
+    def test_num_blocks_counts_live_blocks(self):
+        dev = MemoryBlockDevice()
+        blocks = [dev.allocate_block() for _ in range(4)]
+        dev.free_block(blocks[1])
+        assert dev.num_blocks == 3
+
+    def test_block_numbers_sorted(self):
+        dev = MemoryBlockDevice()
+        for _ in range(5):
+            dev.allocate_block()
+        assert list(dev.block_numbers()) == [0, 1, 2, 3, 4]
+
+    def test_too_small_block_size_rejected(self):
+        with pytest.raises(StorageError):
+            MemoryBlockDevice(block_size=8)
+
+
+class TestFileBlockDevice:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = str(tmp_path / "data.db")
+        dev = FileBlockDevice(path, block_size=128)
+        block = dev.allocate_block()
+        dev.write_block(block, b"persist me")
+        dev.sync()
+        dev.close()
+        dev2 = FileBlockDevice(path, block_size=128)
+        assert dev2.read_block(block).startswith(b"persist me")
+        dev2.close()
+
+    def test_allocation_grows_file(self, tmp_path):
+        path = str(tmp_path / "data.db")
+        dev = FileBlockDevice(path, block_size=128)
+        for _ in range(3):
+            dev.allocate_block()
+        dev.sync()
+        assert (tmp_path / "data.db").stat().st_size == 3 * 128
+        dev.close()
+
+    def test_freed_block_is_reused(self, tmp_path):
+        dev = FileBlockDevice(str(tmp_path / "d.db"), block_size=128)
+        a = dev.allocate_block()
+        dev.free_block(a)
+        assert dev.allocate_block() == a
+        dev.close()
+
+    def test_read_out_of_range_raises(self, tmp_path):
+        dev = FileBlockDevice(str(tmp_path / "d.db"), block_size=128)
+        with pytest.raises(BlockNotFoundError):
+            dev.read_block(0)
+        dev.close()
+
+    def test_corrupt_file_size_rejected(self, tmp_path):
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"x" * 100)  # not a multiple of 128
+        with pytest.raises(StorageError):
+            FileBlockDevice(str(path), block_size=128)
+
+
+class TestDiskCostModel:
+    def test_random_access_costs_a_seek(self):
+        model = DiskCostModel(seek_seconds=0.01, transfer_seconds_per_block=0.001)
+        assert model.cost(sequential=False, is_write=False) == pytest.approx(0.011)
+
+    def test_sequential_access_skips_the_seek(self):
+        model = DiskCostModel(seek_seconds=0.01, transfer_seconds_per_block=0.001)
+        assert model.cost(sequential=True, is_write=False) == pytest.approx(0.001)
+
+    def test_write_penalty_scales_transfer_only(self):
+        model = DiskCostModel(
+            seek_seconds=0.01, transfer_seconds_per_block=0.001, write_penalty=2.0
+        )
+        assert model.cost(sequential=True, is_write=True) == pytest.approx(0.002)
+        assert model.cost(sequential=False, is_write=True) == pytest.approx(0.012)
+
+
+class TestInstrumentedDevice:
+    def test_counts_reads_and_writes(self):
+        dev = InstrumentedDevice(MemoryBlockDevice())
+        a = dev.allocate_block()
+        dev.write_block(a, b"x")
+        dev.read_block(a)
+        dev.read_block(a)
+        assert dev.stats.writes == 1
+        assert dev.stats.reads == 2
+        assert dev.stats.allocations == 1
+
+    def test_sequential_detection(self):
+        dev = InstrumentedDevice(MemoryBlockDevice())
+        blocks = [dev.allocate_block() for _ in range(3)]
+        for b in blocks:
+            dev.read_block(b)  # 0,1,2: last two are sequential
+        assert dev.stats.reads == 3
+        assert dev.stats.sequential_reads == 2
+        assert dev.stats.random_reads == 1
+
+    def test_simulated_clock_advances(self):
+        dev = InstrumentedDevice(MemoryBlockDevice())
+        a = dev.allocate_block()
+        before = dev.stats.simulated_seconds
+        dev.read_block(a)
+        assert dev.stats.simulated_seconds > before
+
+    def test_random_read_costs_more_than_sequential(self):
+        dev = InstrumentedDevice(MemoryBlockDevice())
+        blocks = [dev.allocate_block() for _ in range(4)]
+        dev.read_block(blocks[0])
+        t0 = dev.stats.simulated_seconds
+        dev.read_block(blocks[1])  # sequential
+        seq_cost = dev.stats.simulated_seconds - t0
+        t1 = dev.stats.simulated_seconds
+        dev.read_block(blocks[3])  # random
+        rand_cost = dev.stats.simulated_seconds - t1
+        assert rand_cost > seq_cost
+
+    def test_stats_snapshot_and_delta(self):
+        dev = InstrumentedDevice(MemoryBlockDevice())
+        a = dev.allocate_block()
+        dev.read_block(a)
+        snap = dev.stats.snapshot()
+        dev.read_block(a)
+        delta = dev.stats.delta(snap)
+        assert delta.reads == 1
+        assert snap.reads == 1
+
+    def test_stats_reset(self):
+        stats = DiskStats(reads=5, writes=2, simulated_seconds=1.0)
+        stats.reset()
+        assert stats.reads == 0 and stats.simulated_seconds == 0.0
+
+    def test_fault_injection_fires(self):
+        boom = FaultInjector(lambda op, block, stats: op == "write" and stats.writes >= 1)
+        dev = InstrumentedDevice(MemoryBlockDevice(), fault_injector=boom)
+        a = dev.allocate_block()
+        dev.write_block(a, b"ok")
+        with pytest.raises(DiskFaultError):
+            dev.write_block(a, b"boom")
+        assert boom.fired == 1
+
+    def test_passthrough_block_numbers_and_free(self):
+        dev = InstrumentedDevice(MemoryBlockDevice())
+        a = dev.allocate_block()
+        b = dev.allocate_block()
+        dev.free_block(a)
+        assert list(dev.block_numbers()) == [b]
+        assert dev.stats.frees == 1

@@ -1,0 +1,60 @@
+"""Unit tests for the free-space map."""
+
+from repro.storage.freespace import FreeSpaceMap
+
+
+class TestFreeSpaceMap:
+    def test_record_and_query(self):
+        fsm = FreeSpaceMap()
+        fsm.record(3, 120)
+        assert fsm.free_bytes(3) == 120
+
+    def test_unknown_block_is_none(self):
+        fsm = FreeSpaceMap()
+        assert fsm.free_bytes(9) is None
+        assert fsm.has_room(9, 10) is None
+
+    def test_has_room(self):
+        fsm = FreeSpaceMap()
+        fsm.record(1, 50)
+        assert fsm.has_room(1, 50) is True
+        assert fsm.has_room(1, 51) is False
+
+    def test_negative_free_clamped_to_zero(self):
+        fsm = FreeSpaceMap()
+        fsm.record(1, -10)
+        assert fsm.free_bytes(1) == 0
+
+    def test_forget(self):
+        fsm = FreeSpaceMap()
+        fsm.record(1, 10)
+        fsm.forget(1)
+        assert fsm.free_bytes(1) is None
+        fsm.forget(1)  # idempotent
+
+    def test_blocks_with_room(self):
+        fsm = FreeSpaceMap()
+        fsm.record(1, 10)
+        fsm.record(2, 100)
+        fsm.record(3, 55)
+        hits = dict(fsm.blocks_with_room(55))
+        assert hits == {2: 100, 3: 55}
+
+    def test_len(self):
+        fsm = FreeSpaceMap()
+        fsm.record(1, 1)
+        fsm.record(2, 2)
+        assert len(fsm) == 2
+
+    def test_catalog_roundtrip(self):
+        fsm = FreeSpaceMap()
+        fsm.record(5, 99)
+        fsm.record(7, 0)
+        restored = FreeSpaceMap.from_catalog(fsm.to_catalog())
+        assert restored.free_bytes(5) == 99
+        assert restored.free_bytes(7) == 0
+        assert len(restored) == 2
+
+    def test_empty_catalog_roundtrip(self):
+        restored = FreeSpaceMap.from_catalog(FreeSpaceMap().to_catalog())
+        assert len(restored) == 0

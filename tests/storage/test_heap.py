@@ -1,0 +1,213 @@
+"""Unit tests for the chained block file (document-order backbone)."""
+
+import pytest
+
+from repro.errors import BlockNotFoundError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import InstrumentedDevice, MemoryBlockDevice
+from repro.storage.heap import ChainedFile, Position
+
+
+def make_chain(block_size=128, capacity=8):
+    device = InstrumentedDevice(MemoryBlockDevice(block_size=block_size))
+    pool = BufferPool(device, capacity=capacity)
+    return ChainedFile(pool), pool, device
+
+
+def all_records(chain):
+    return [record for _, record in chain.records()]
+
+
+class TestChainStructure:
+    def test_empty_chain(self):
+        chain, _, _ = make_chain()
+        assert chain.head is None and chain.tail is None
+        assert list(chain.blocks()) == []
+        assert all_records(chain) == []
+
+    def test_append_block_creates_head_and_tail(self):
+        chain, _, _ = make_chain()
+        b = chain.append_block()
+        assert chain.head == b == chain.tail
+        chain.check_integrity()
+
+    def test_insert_block_after(self):
+        chain, _, _ = make_chain()
+        a = chain.append_block()
+        b = chain.insert_block_after(a)
+        c = chain.insert_block_after(a)
+        assert list(chain.blocks()) == [a, c, b]
+        chain.check_integrity()
+
+    def test_insert_block_before_head(self):
+        chain, _, _ = make_chain()
+        a = chain.append_block()
+        b = chain.insert_block_before(a)
+        assert list(chain.blocks()) == [b, a]
+        assert chain.head == b
+        chain.check_integrity()
+
+    def test_insert_block_before_middle(self):
+        chain, _, _ = make_chain()
+        a = chain.append_block()
+        c = chain.insert_block_after(a)
+        b = chain.insert_block_before(c)
+        assert list(chain.blocks()) == [a, b, c]
+        chain.check_integrity()
+
+    def test_remove_middle_block(self):
+        chain, _, _ = make_chain()
+        a = chain.append_block()
+        b = chain.append_block()
+        c = chain.append_block()
+        chain.remove_block(b)
+        assert list(chain.blocks()) == [a, c]
+        chain.check_integrity()
+
+    def test_remove_head_and_tail(self):
+        chain, _, _ = make_chain()
+        a = chain.append_block()
+        b = chain.append_block()
+        chain.remove_block(a)
+        assert chain.head == b
+        chain.remove_block(b)
+        assert chain.head is None and chain.tail is None
+
+    def test_unknown_block_raises(self):
+        chain, _, _ = make_chain()
+        with pytest.raises(BlockNotFoundError):
+            chain.next_block(99)
+        with pytest.raises(BlockNotFoundError):
+            chain.fetch(99)
+
+
+class TestRecords:
+    def test_append_records_in_order(self):
+        chain, _, _ = make_chain()
+        chain.append_records([b"a", b"b", b"c"])
+        assert all_records(chain) == [b"a", b"b", b"c"]
+
+    def test_append_spills_across_blocks(self):
+        chain, _, _ = make_chain(block_size=64)
+        records = [b"x" * 20 for _ in range(10)]
+        chain.append_records(records)
+        assert chain.num_blocks > 1
+        assert all_records(chain) == records
+        chain.check_integrity()
+
+    def test_read_record_by_position(self):
+        chain, _, _ = make_chain()
+        positions = chain.append_records([b"a", b"b"])
+        assert chain.read_record(positions[1]) == b"b"
+
+    def test_insert_records_mid_block(self):
+        chain, _, _ = make_chain()
+        chain.append_records([b"a", b"d"])
+        chain.insert_records(Position(chain.head, 1), [b"b", b"c"])
+        assert all_records(chain) == [b"a", b"b", b"c", b"d"]
+
+    def test_insert_records_at_front(self):
+        chain, _, _ = make_chain()
+        chain.append_records([b"b"])
+        chain.insert_records(Position(chain.head, 0), [b"a"])
+        assert all_records(chain) == [b"a", b"b"]
+
+    def test_mid_block_insert_splits_full_block(self):
+        chain, _, _ = make_chain(block_size=64)
+        chain.append_records([b"a" * 18, b"c" * 18])
+        head = chain.head
+        chain.insert_records(Position(head, 1), [b"b" * 30])
+        assert all_records(chain) == [b"a" * 18, b"b" * 30, b"c" * 18]
+        chain.check_integrity()
+
+    def test_large_run_insert_preserves_order(self):
+        chain, _, _ = make_chain(block_size=64)
+        chain.append_records([b"HEAD", b"TAIL"])
+        run = [bytes([65 + i]) * 12 for i in range(12)]
+        chain.insert_records(Position(chain.head, 1), run)
+        assert all_records(chain) == [b"HEAD"] + run + [b"TAIL"]
+        chain.check_integrity()
+
+    def test_insert_bad_slot_raises(self):
+        chain, _, _ = make_chain()
+        chain.append_records([b"a"])
+        with pytest.raises(StorageError):
+            chain.insert_records(Position(chain.head, 5), [b"x"])
+
+    def test_records_from_start_position(self):
+        chain, _, _ = make_chain(block_size=64)
+        positions = chain.append_records([b"x" * 20 for _ in range(8)])
+        tail = list(chain.records(start=positions[5]))
+        assert [r for _, r in tail] == [b"x" * 20] * 3
+        assert tail[0][0] == positions[5]
+
+    def test_delete_record(self):
+        chain, _, _ = make_chain()
+        chain.append_records([b"a", b"b", b"c"])
+        removed = chain.delete_record(Position(chain.head, 1))
+        assert removed == b"b"
+        assert all_records(chain) == [b"a", b"c"]
+
+    def test_replace_record_in_place(self):
+        chain, _, _ = make_chain()
+        chain.append_records([b"a", b"b"])
+        chain.replace_record(Position(chain.head, 0), b"A")
+        assert all_records(chain) == [b"A", b"b"]
+
+    def test_replace_record_that_overflows_block(self):
+        chain, _, _ = make_chain(block_size=64)
+        chain.append_records([b"a" * 20, b"b" * 20])
+        chain.replace_record(Position(chain.head, 0), b"Z" * 40)
+        assert all_records(chain) == [b"Z" * 40, b"b" * 20]
+        chain.check_integrity()
+
+
+class TestSplitBlock:
+    def test_split_block_moves_tail_records(self):
+        chain, _, _ = make_chain()
+        chain.append_records([b"a", b"b", b"c", b"d"])
+        head = chain.head
+        new_block = chain.split_block(head, 2)
+        assert list(chain.blocks()) == [head, new_block]
+        assert chain.block_record_count(head) == 2
+        assert chain.block_record_count(new_block) == 2
+        assert all_records(chain) == [b"a", b"b", b"c", b"d"]
+        chain.check_integrity()
+
+    def test_split_preserves_order_with_following_blocks(self):
+        chain, _, _ = make_chain(block_size=64)
+        records = [bytes([97 + i]) * 15 for i in range(10)]
+        chain.append_records(records)
+        first = chain.head
+        chain.split_block(first, 1)
+        assert all_records(chain) == records
+        chain.check_integrity()
+
+
+class TestCatalog:
+    def test_catalog_roundtrip(self):
+        chain, pool, _ = make_chain(block_size=64)
+        chain.append_records([b"x" * 20 for _ in range(10)])
+        data = chain.to_catalog()
+        restored = ChainedFile.from_catalog(pool, data)
+        assert list(restored.blocks()) == list(chain.blocks())
+        assert all_records(restored) == all_records(chain)
+        restored.check_integrity()
+
+    def test_empty_catalog_roundtrip(self):
+        chain, pool, _ = make_chain()
+        restored = ChainedFile.from_catalog(pool, chain.to_catalog())
+        assert restored.head is None and restored.tail is None
+
+
+class TestDurability:
+    def test_records_survive_flush_and_fresh_pool(self):
+        device = InstrumentedDevice(MemoryBlockDevice(block_size=128))
+        pool = BufferPool(device, capacity=4)
+        chain = ChainedFile(pool)
+        chain.append_records([b"persisted", b"records"])
+        catalog = chain.to_catalog()
+        pool.flush_all()
+        fresh_pool = BufferPool(device, capacity=4)
+        restored = ChainedFile.from_catalog(fresh_pool, catalog)
+        assert all_records(restored) == [b"persisted", b"records"]

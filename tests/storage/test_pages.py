@@ -1,0 +1,171 @@
+"""Unit tests for the slotted page."""
+
+import pytest
+
+from repro.errors import PageFullError, RecordTooLargeError, SlotNotFoundError
+from repro.storage.pages import PAGE_HEADER_SIZE, RECORD_OVERHEAD, SlottedPage, page_capacity
+
+
+class TestBasics:
+    def test_empty_page(self):
+        page = SlottedPage(256)
+        assert len(page) == 0
+        assert page.free_space == 256 - PAGE_HEADER_SIZE - RECORD_OVERHEAD
+
+    def test_append_and_read(self):
+        page = SlottedPage(256)
+        slot = page.append(b"alpha")
+        assert slot == 0
+        assert page.record(0) == b"alpha"
+
+    def test_slot_order_is_insertion_order(self):
+        page = SlottedPage(256, [b"a", b"b", b"c"])
+        assert page.records() == [b"a", b"b", b"c"]
+
+    def test_insert_at_position_shifts_right(self):
+        page = SlottedPage(256, [b"a", b"c"])
+        page.insert(1, b"b")
+        assert page.records() == [b"a", b"b", b"c"]
+
+    def test_insert_at_front(self):
+        page = SlottedPage(256, [b"b"])
+        page.insert(0, b"a")
+        assert page.records() == [b"a", b"b"]
+
+    def test_insert_position_out_of_range(self):
+        page = SlottedPage(256, [b"a"])
+        with pytest.raises(SlotNotFoundError):
+            page.insert(5, b"x")
+
+    def test_delete_shifts_left(self):
+        page = SlottedPage(256, [b"a", b"b", b"c"])
+        removed = page.delete(1)
+        assert removed == b"b"
+        assert page.records() == [b"a", b"c"]
+
+    def test_delete_reclaims_space(self):
+        page = SlottedPage(256)
+        page.append(b"x" * 50)
+        free_before = page.free_space
+        page.delete(0)
+        assert page.free_space == free_before + 50 + RECORD_OVERHEAD
+
+    def test_read_bad_slot_raises(self):
+        page = SlottedPage(256, [b"a"])
+        with pytest.raises(SlotNotFoundError):
+            page.record(1)
+        with pytest.raises(SlotNotFoundError):
+            page.record(-1)
+
+    def test_replace_in_place(self):
+        page = SlottedPage(256, [b"a", b"b"])
+        page.replace(0, b"bigger-record")
+        assert page.records() == [b"bigger-record", b"b"]
+
+    def test_replace_that_does_not_fit_raises(self):
+        page = SlottedPage(64)
+        page.append(b"a")
+        with pytest.raises(PageFullError):
+            page.replace(0, b"x" * 100)
+
+    def test_empty_record_allowed(self):
+        page = SlottedPage(64)
+        page.append(b"")
+        assert page.record(0) == b""
+
+
+class TestCapacity:
+    def test_page_full_raises(self):
+        page = SlottedPage(64)
+        page.append(b"x" * page.free_space)
+        with pytest.raises(PageFullError):
+            page.append(b"y")
+
+    def test_record_too_large_is_permanent_error(self):
+        page = SlottedPage(64)
+        with pytest.raises(RecordTooLargeError):
+            page.append(b"x" * 64)
+
+    def test_fits_predicate_matches_append(self):
+        page = SlottedPage(64)
+        record = b"x" * page.free_space
+        assert page.fits(record)
+        page.append(record)
+        assert not page.fits(b"y")
+
+    def test_page_capacity_helper(self):
+        assert page_capacity(4096) == 4096 - PAGE_HEADER_SIZE - RECORD_OVERHEAD
+
+    def test_extend_is_atomic(self):
+        page = SlottedPage(64)
+        big = [b"x" * 20, b"y" * 20, b"z" * 40]
+        with pytest.raises(PageFullError):
+            page.extend(big)
+        assert len(page) == 0  # nothing was inserted
+
+    def test_many_small_records_fill_page(self):
+        page = SlottedPage(256)
+        count = 0
+        while page.fits(b"ab"):
+            page.append(b"ab")
+            count += 1
+        assert count == (256 - PAGE_HEADER_SIZE) // (2 + RECORD_OVERHEAD)
+
+
+class TestSplit:
+    def test_split_moves_tail(self):
+        page = SlottedPage(256, [b"a", b"b", b"c", b"d"])
+        tail = page.split(2)
+        assert page.records() == [b"a", b"b"]
+        assert tail.records() == [b"c", b"d"]
+
+    def test_split_at_zero_moves_everything(self):
+        page = SlottedPage(256, [b"a", b"b"])
+        tail = page.split(0)
+        assert page.records() == []
+        assert tail.records() == [b"a", b"b"]
+
+    def test_split_at_end_moves_nothing(self):
+        page = SlottedPage(256, [b"a"])
+        tail = page.split(1)
+        assert page.records() == [b"a"]
+        assert tail.records() == []
+
+    def test_split_frees_space_in_source(self):
+        page = SlottedPage(256, [b"x" * 50, b"y" * 50])
+        free_before = page.free_space
+        page.split(1)
+        assert page.free_space == free_before + 50 + RECORD_OVERHEAD
+
+    def test_split_bad_position(self):
+        page = SlottedPage(256, [b"a"])
+        with pytest.raises(SlotNotFoundError):
+            page.split(5)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        page = SlottedPage(128, [b"first", b"", b"third-record"])
+        data = page.to_bytes()
+        assert len(data) == 128
+        back = SlottedPage.from_bytes(data)
+        assert back.records() == [b"first", b"", b"third-record"]
+        assert back.free_space == page.free_space
+
+    def test_empty_page_roundtrip(self):
+        page = SlottedPage(64)
+        back = SlottedPage.from_bytes(page.to_bytes())
+        assert len(back) == 0
+
+    def test_binary_safe_records(self):
+        payload = bytes(range(256))[:100]
+        page = SlottedPage(256, [payload])
+        back = SlottedPage.from_bytes(page.to_bytes())
+        assert back.record(0) == payload
+
+    def test_full_page_roundtrip(self):
+        page = SlottedPage(128)
+        while page.fits(b"1234567890"):
+            page.append(b"1234567890")
+        back = SlottedPage.from_bytes(page.to_bytes())
+        assert back.records() == page.records()

@@ -1,0 +1,140 @@
+"""Unit tests for the write-ahead log and payload codecs."""
+
+import struct
+
+import pytest
+
+from repro.errors import WALError
+from repro.storage.recovery import decode_op_payload, encode_op_payload
+from repro.storage.wal import RecordType, WriteAheadLog
+
+
+class TestAppendAndScan:
+    def test_lsns_are_sequential(self):
+        wal = WriteAheadLog()
+        assert wal.append(RecordType.LOAD_DOCUMENT, b"a") == 0
+        assert wal.append(RecordType.DELETE_NODE, b"b") == 1
+        assert wal.next_lsn == 2
+
+    def test_records_scan_in_order(self):
+        wal = WriteAheadLog()
+        wal.append(RecordType.LOAD_DOCUMENT, b"doc")
+        wal.append(RecordType.INSERT_AFTER, b"frag")
+        records = list(wal.records())
+        assert [r.record_type for r in records] == [
+            RecordType.LOAD_DOCUMENT,
+            RecordType.INSERT_AFTER,
+        ]
+        assert [r.payload for r in records] == [b"doc", b"frag"]
+
+    def test_empty_log(self):
+        wal = WriteAheadLog()
+        assert list(wal.records()) == []
+        assert wal.records_after_last_checkpoint() == []
+
+    def test_type_name(self):
+        wal = WriteAheadLog()
+        wal.append(RecordType.DELETE_NODE, b"")
+        record = next(iter(wal.records()))
+        assert record.type_name == "delete_node"
+
+
+class TestCheckpoint:
+    def test_replay_set_empty_right_after_checkpoint(self):
+        wal = WriteAheadLog()
+        wal.append(RecordType.LOAD_DOCUMENT, b"doc")
+        wal.checkpoint()
+        assert wal.records_after_last_checkpoint() == []
+
+    def test_replay_set_contains_post_checkpoint_records(self):
+        wal = WriteAheadLog()
+        wal.append(RecordType.LOAD_DOCUMENT, b"doc")
+        wal.checkpoint()
+        wal.append(RecordType.DELETE_NODE, b"x")
+        wal.append(RecordType.INSERT_BEFORE, b"y")
+        pending = wal.records_after_last_checkpoint()
+        assert [r.payload for r in pending] == [b"x", b"y"]
+
+    def test_multiple_checkpoints_use_the_last(self):
+        wal = WriteAheadLog()
+        wal.append(RecordType.LOAD_DOCUMENT, b"doc")
+        wal.checkpoint()
+        wal.append(RecordType.DELETE_NODE, b"a")
+        wal.checkpoint()
+        wal.append(RecordType.DELETE_NODE, b"b")
+        pending = wal.records_after_last_checkpoint()
+        assert [r.payload for r in pending] == [b"b"]
+
+    def test_truncate_empties_log(self):
+        wal = WriteAheadLog()
+        wal.append(RecordType.LOAD_DOCUMENT, b"doc")
+        wal.truncate()
+        assert list(wal.records()) == []
+
+
+class TestDurabilityAndCorruption:
+    def test_file_backed_log_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        wal = WriteAheadLog(path)
+        wal.append(RecordType.LOAD_DOCUMENT, b"persisted")
+        wal.close()
+        wal2 = WriteAheadLog(path)
+        records = list(wal2.records())
+        assert records[0].payload == b"persisted"
+        assert wal2.next_lsn == 1  # continues the LSN sequence
+        wal2.close()
+
+    def test_torn_tail_record_is_discarded(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        wal = WriteAheadLog(path)
+        wal.append(RecordType.LOAD_DOCUMENT, b"good")
+        wal.append(RecordType.DELETE_NODE, b"will-be-torn")
+        wal.close()
+        # chop the last 3 bytes off, simulating a crash mid-write
+        with open(path, "r+b") as f:
+            f.seek(0, 2)
+            f.truncate(f.tell() - 3)
+        wal2 = WriteAheadLog(path)
+        records = list(wal2.records())
+        assert [r.payload for r in records] == [b"good"]
+        wal2.close()
+
+    def test_corrupt_crc_stops_scan(self, tmp_path):
+        path = str(tmp_path / "store.wal")
+        wal = WriteAheadLog(path)
+        wal.append(RecordType.LOAD_DOCUMENT, b"good")
+        wal.append(RecordType.DELETE_NODE, b"corrupted")
+        wal.close()
+        with open(path, "r+b") as f:
+            data = bytearray(f.read())
+            data[-1] ^= 0xFF  # flip a payload bit in the last record
+            f.seek(0)
+            f.write(data)
+        wal2 = WriteAheadLog(path)
+        assert [r.payload for r in wal2.records()] == [b"good"]
+        wal2.close()
+
+
+class TestPayloadCodec:
+    def test_roundtrip(self):
+        payload = encode_op_payload(b"\x01\x02", "<a>x</a>")
+        id_bytes, xml = decode_op_payload(payload)
+        assert id_bytes == b"\x01\x02"
+        assert xml == "<a>x</a>"
+
+    def test_empty_id(self):
+        id_bytes, xml = decode_op_payload(encode_op_payload(b"", "<doc/>"))
+        assert id_bytes == b""
+        assert xml == "<doc/>"
+
+    def test_unicode_xml(self):
+        _, xml = decode_op_payload(encode_op_payload(b"i", "<a>héllo ✓</a>"))
+        assert xml == "<a>héllo ✓</a>"
+
+    def test_truncated_payload_raises(self):
+        with pytest.raises(WALError):
+            decode_op_payload(b"\x01")
+
+    def test_truncated_id_raises(self):
+        with pytest.raises(WALError):
+            decode_op_payload(struct.pack("<I", 10) + b"abc")

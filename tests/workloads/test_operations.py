@@ -1,0 +1,106 @@
+"""Unit tests for operation streams."""
+
+import pytest
+
+from repro.core.store import XMLStore
+from repro.workloads.operations import (
+    Operation,
+    append_stream,
+    apply_operation,
+    apply_stream,
+    hot_cold_choices,
+    mixed_stream,
+    read_stream,
+    zipf_choices,
+)
+
+
+class TestZipf:
+    def test_uniform_when_skew_zero(self):
+        draws = zipf_choices(list(range(100)), 5000, skew=0.0, seed=1)
+        counts = [draws.count(i) for i in range(5)]
+        assert max(counts) < 3 * min(counts)  # roughly uniform
+
+    def test_skew_concentrates_on_low_ranks(self):
+        population = list(range(100))
+        draws = zipf_choices(population, 5000, skew=1.5, seed=1)
+        first_decile = sum(1 for d in draws if d < 10)
+        assert first_decile > 0.6 * len(draws)
+
+    def test_deterministic(self):
+        a = zipf_choices([1, 2, 3], 50, 1.0, seed=3)
+        b = zipf_choices([1, 2, 3], 50, 1.0, seed=3)
+        assert a == b
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_choices([], 5, 1.0)
+
+
+class TestHotCold:
+    def test_hot_set_dominates(self):
+        population = list(range(100))
+        draws = hot_cold_choices(population, 2000, hot_fraction=0.1,
+                                 hot_probability=0.9, seed=2)
+        hot_hits = sum(1 for d in draws if d < 10)
+        assert 0.8 < hot_hits / len(draws) < 0.97
+
+    def test_single_element_population(self):
+        assert hot_cold_choices([42], 10) == [42] * 10
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            hot_cold_choices([], 5)
+
+
+class TestStreams:
+    def test_read_stream(self):
+        ops = read_stream([1, 2, 3])
+        assert all(op.kind == "read" for op in ops)
+        assert [op.node_id for op in ops] == [1, 2, 3]
+
+    def test_append_stream(self):
+        ops = append_stream(1, ["<a/>", "<b/>"])
+        assert all(op.kind == "insert" and op.node_id == 1 for op in ops)
+
+    def test_mixed_stream_fraction(self):
+        ops = mixed_stream([1, 2], 1, ["<x/>"], read_fraction=0.5, count=500, seed=1)
+        reads = sum(1 for op in ops if op.kind == "read")
+        assert 0.4 < reads / len(ops) < 0.6
+
+    def test_mixed_stream_all_reads(self):
+        ops = mixed_stream([1], 1, ["<x/>"], read_fraction=1.0, count=50)
+        assert all(op.kind == "read" for op in ops)
+
+    def test_mixed_stream_bad_fraction(self):
+        with pytest.raises(ValueError):
+            mixed_stream([1], 1, ["<x/>"], read_fraction=1.5, count=10)
+
+
+class TestApply:
+    def test_apply_read_insert_delete(self):
+        store = XMLStore.open()
+        root = store.load_document("<r><a/></r>")
+        apply_operation(store, Operation("insert", root, "<b/>"))
+        apply_operation(store, Operation("read", root))
+        apply_operation(store, Operation("delete", 2))
+        assert store.read() == "<r><b/></r>"
+
+    def test_apply_replace_and_scan(self):
+        store = XMLStore.open()
+        store.load_document("<r><a/></r>")
+        apply_operation(store, Operation("replace", 2, "<b/>"))
+        apply_operation(store, Operation("scan"))
+        assert store.read() == "<r><b/></r>"
+
+    def test_apply_stream_runs_everything(self):
+        store = XMLStore.open()
+        root = store.load_document("<r/>")
+        apply_stream(store, append_stream(root, ["<a/>", "<b/>", "<c/>"]))
+        assert store.read() == "<r><a/><b/><c/></r>"
+
+    def test_unknown_kind_rejected(self):
+        store = XMLStore.open()
+        store.load_document("<r/>")
+        with pytest.raises(ValueError):
+            apply_operation(store, Operation("compact"))

@@ -1,0 +1,116 @@
+"""Unit tests for the binary token codec."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.xmltoken.binary import (
+    decode_stream,
+    decode_token,
+    decode_tokens,
+    decode_varint,
+    encode_stream,
+    encode_token,
+    encode_tokens,
+    encode_varint,
+)
+from repro.xmltoken.parser import tokenize_fragment
+from repro.xmltoken.tokens import (
+    Token,
+    TokenKind,
+    begin_element,
+    end_element,
+    text,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**14, 2**21, 2**32, 2**60])
+    def test_roundtrip(self, value):
+        data = encode_varint(value)
+        decoded, offset = decode_varint(data)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_small_values_are_one_byte(self):
+        assert len(encode_varint(0)) == 1
+        assert len(encode_varint(127)) == 1
+        assert len(encode_varint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            encode_varint(-1)
+
+    def test_truncated_varint(self):
+        with pytest.raises(CodecError):
+            decode_varint(b"\x80")
+
+    def test_overlong_varint(self):
+        with pytest.raises(CodecError):
+            decode_varint(b"\xff" * 11)
+
+
+class TestTokenCodec:
+    @pytest.mark.parametrize(
+        "token",
+        [
+            begin_element("ticket"),
+            end_element(),
+            text("15"),
+            Token(TokenKind.BEGIN_ATTRIBUTE, name="id"),
+            Token(TokenKind.ATTRIBUTE_VALUE, value="v-42"),
+            Token(TokenKind.PROCESSING_INSTRUCTION, name="t", value="d"),
+            Token(TokenKind.NAMESPACE, name="p", value="urn:x"),
+            Token(TokenKind.TEXT, value="15", type_annotation="xs:integer"),
+            Token(TokenKind.BEGIN_ELEMENT, name="a", type_annotation="xs:string"),
+            text("héllo ☺ " * 50),
+            text(""),
+        ],
+    )
+    def test_roundtrip(self, token):
+        assert decode_token(encode_token(token)) == token
+
+    def test_end_element_is_one_byte(self):
+        assert len(encode_token(end_element())) == 1
+
+    def test_short_text_is_compact(self):
+        # header + len + 2 payload bytes
+        assert len(encode_token(text("15"))) == 4
+
+    def test_trailing_garbage_rejected(self):
+        data = encode_token(text("x")) + b"\x00"
+        with pytest.raises(CodecError):
+            decode_token(data)
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(CodecError):
+            decode_token(b"")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CodecError):
+            decode_token(bytes([0x1F]))  # kind 31 does not exist
+
+    def test_truncated_string_rejected(self):
+        good = encode_token(text("hello world"))
+        with pytest.raises(CodecError):
+            decode_token(good[:-3])
+
+
+class TestSequenceCodecs:
+    def test_encode_tokens_one_record_each(self):
+        tokens = tokenize_fragment("<a x='1'>body</a>")
+        records = encode_tokens(tokens)
+        assert len(records) == len(tokens)
+        assert decode_tokens(records) == tokens
+
+    def test_stream_roundtrip(self):
+        tokens = tokenize_fragment("<r><a>1</a><b y='2'><!--c--></b></r>")
+        blob = encode_stream(tokens)
+        assert list(decode_stream(blob)) == tokens
+
+    def test_empty_stream(self):
+        assert list(decode_stream(b"")) == []
+
+    def test_parser_to_codec_pipeline(self):
+        xml = "<ticket><hour>15</hour><name>Paul</name></ticket>"
+        tokens = tokenize_fragment(xml)
+        assert decode_tokens(encode_tokens(tokens)) == tokens

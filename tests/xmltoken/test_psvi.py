@@ -1,0 +1,116 @@
+"""Unit tests for PSVI annotation."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.xmltoken.parser import tokenize_fragment
+from repro.xmltoken.psvi import (
+    Schema,
+    SchemaValidationError,
+    SimpleType,
+    XS_BOOLEAN,
+    XS_DECIMAL,
+    XS_INTEGER,
+    annotate,
+    typed_value,
+)
+from repro.xmltoken.tokens import TokenKind
+
+
+def make_schema():
+    return Schema(
+        elements={"price": "xs:decimal", "qty": "xs:integer", "ok": "xs:boolean"},
+        attributes={"id": "xs:integer"},
+    )
+
+
+class TestSimpleTypes:
+    def test_integer(self):
+        assert XS_INTEGER.validate(" 42 ") == 42
+
+    def test_decimal(self):
+        assert XS_DECIMAL.validate("19.99") == Decimal("19.99")
+
+    def test_boolean_lexical_forms(self):
+        assert XS_BOOLEAN.validate("true") is True
+        assert XS_BOOLEAN.validate("0") is False
+
+    def test_invalid_value_raises(self):
+        with pytest.raises(SchemaValidationError):
+            XS_INTEGER.validate("forty-two")
+
+    def test_invalid_boolean(self):
+        with pytest.raises(SchemaValidationError):
+            XS_BOOLEAN.validate("yes")
+
+
+class TestAnnotate:
+    def test_element_text_gets_annotation(self):
+        tokens = annotate(tokenize_fragment("<price>19.99</price>"), make_schema())
+        assert tokens[0].type_annotation == "xs:decimal"
+        assert tokens[1].type_annotation == "xs:decimal"
+
+    def test_attribute_value_gets_annotation(self):
+        tokens = annotate(tokenize_fragment('<a id="7"/>'), make_schema())
+        attr_value = [t for t in tokens if t.kind == TokenKind.ATTRIBUTE_VALUE][0]
+        assert attr_value.type_annotation == "xs:integer"
+
+    def test_undeclared_names_stay_untyped(self):
+        tokens = annotate(tokenize_fragment("<other>x</other>"), make_schema())
+        assert all(t.type_annotation == "" for t in tokens)
+
+    def test_annotation_only_applies_to_direct_text(self):
+        xml = "<price><qty>3</qty></price>"
+        tokens = annotate(tokenize_fragment(xml), make_schema())
+        qty_text = tokens[2]
+        assert qty_text.kind == TokenKind.TEXT
+        assert qty_text.type_annotation == "xs:integer"  # inner element wins
+
+    def test_invalid_typed_content_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            annotate(tokenize_fragment("<qty>lots</qty>"), make_schema())
+
+    def test_invalid_typed_attribute_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            annotate(tokenize_fragment('<a id="x"/>'), make_schema())
+
+    def test_unknown_type_name_rejected(self):
+        schema = Schema(elements={"a": "xs:nope"})
+        with pytest.raises(SchemaValidationError, match="unknown simple type"):
+            annotate(tokenize_fragment("<a>1</a>"), schema)
+
+    def test_original_tokens_unchanged(self):
+        original = tokenize_fragment("<qty>3</qty>")
+        annotate(original, make_schema())
+        assert original[1].type_annotation == ""
+
+    def test_custom_type_registration(self):
+        schema = make_schema()
+        schema.register_type(
+            SimpleType("x:upper", lambda s: s.upper())
+        )
+        schema.elements["name"] = "x:upper"
+        tokens = annotate(tokenize_fragment("<name>paul</name>"), schema)
+        assert tokens[1].type_annotation == "x:upper"
+
+
+class TestTypedValue:
+    def test_typed_text(self):
+        tokens = annotate(tokenize_fragment("<qty>3</qty>"), make_schema())
+        assert typed_value(tokens[1]) == 3
+
+    def test_untyped_text_returns_string(self):
+        tokens = tokenize_fragment("<a>3</a>")
+        assert typed_value(tokens[1]) == "3"
+
+    def test_unknown_annotation_rejected(self):
+        token = tokenize_fragment("<a>3</a>")[1].with_type("xs:mystery")
+        with pytest.raises(SchemaValidationError):
+            typed_value(token)
+
+    def test_typed_value_with_custom_schema(self):
+        schema = make_schema()
+        schema.register_type(SimpleType("x:upper", lambda s: s.upper()))
+        token = tokenize_fragment("<a>hi</a>")[1].with_type("x:upper")
+        assert typed_value(token, schema) == "HI"

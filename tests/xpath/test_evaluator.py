@@ -1,0 +1,185 @@
+"""Unit tests for XPath evaluation against the store."""
+
+import pytest
+
+from repro.core.store import XMLStore
+
+CATALOG = """
+<catalog>
+  <book year="1994" id="b1">
+    <title>TCP/IP Illustrated</title>
+    <author>Stevens</author>
+    <price>65.95</price>
+  </book>
+  <book year="2000" id="b2">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+    <author>Buneman</author>
+    <price>39.95</price>
+  </book>
+  <magazine id="m1">
+    <title>National Geographic</title>
+    <price>9.95</price>
+  </magazine>
+</catalog>
+"""
+
+
+@pytest.fixture
+def store():
+    s = XMLStore.open()
+    s.load_document(CATALOG.strip())
+    return s
+
+
+def names(results):
+    return [r.name for r in results]
+
+
+def strings(results):
+    return [r.string_value for r in results]
+
+
+class TestSteps:
+    def test_root_step(self, store):
+        assert names(store.xpath("/catalog")) == ["catalog"]
+
+    def test_child_path(self, store):
+        assert len(store.xpath("/catalog/book")) == 2
+
+    def test_descendant(self, store):
+        assert len(store.xpath("//title")) == 3
+
+    def test_descendant_from_element(self, store):
+        assert len(store.xpath("/catalog/book//author")) == 3
+
+    def test_wildcard(self, store):
+        assert len(store.xpath("/catalog/*")) == 3
+
+    def test_attribute_step(self, store):
+        results = store.xpath("/catalog/book/@id")
+        assert strings(results) == ["b1", "b2"]
+
+    def test_attribute_wildcard(self, store):
+        results = store.xpath("/catalog/book/@*")
+        assert strings(results) == ["1994", "b1", "2000", "b2"]
+
+    def test_text_step(self, store):
+        results = store.xpath("/catalog/magazine/title/text()")
+        assert strings(results) == ["National Geographic"]
+
+    def test_parent_step(self, store):
+        results = store.xpath("//author/..")
+        assert set(names(results)) == {"book"}
+        assert len(results) == 2  # de-duplicated
+
+    def test_self_step(self, store):
+        assert names(store.xpath("/catalog/.")) == ["catalog"]
+
+    def test_no_match(self, store):
+        assert store.xpath("/catalog/nothing") == []
+
+    def test_results_in_document_order(self, store):
+        results = store.xpath("//price")
+        values = [float(r.string_value) for r in results]
+        assert values == [65.95, 39.95, 9.95]
+
+
+class TestPredicates:
+    def test_positional(self, store):
+        results = store.xpath("/catalog/book[2]")
+        assert strings(store.xpath("/catalog/book[2]/title")) == ["Data on the Web"]
+        assert len(results) == 1
+
+    def test_position_function(self, store):
+        results = store.xpath("/catalog/book[position() = 1]/title")
+        assert strings(results) == ["TCP/IP Illustrated"]
+
+    def test_last_function(self, store):
+        results = store.xpath("/catalog/book[last()]/@id")
+        assert strings(results) == ["b2"]
+
+    def test_numeric_comparison(self, store):
+        results = store.xpath("/catalog/book[price > 40]/title")
+        assert strings(results) == ["TCP/IP Illustrated"]
+
+    def test_numeric_comparison_lte(self, store):
+        results = store.xpath("//book[price <= 39.95]/@id")
+        assert strings(results) == ["b2"]
+
+    def test_string_equality(self, store):
+        results = store.xpath("/catalog/book[author = 'Stevens']/@id")
+        assert strings(results) == ["b1"]
+
+    def test_attribute_comparison(self, store):
+        results = store.xpath("/catalog/book[@year = '2000']/title")
+        assert strings(results) == ["Data on the Web"]
+
+    def test_attribute_numeric_comparison(self, store):
+        results = store.xpath("/catalog/book[@year < 1999]/@id")
+        assert strings(results) == ["b1"]
+
+    def test_existence(self, store):
+        # both books have authors; the magazine does not
+        assert len(store.xpath("/catalog/*[author]")) == 2
+
+    def test_not_function(self, store):
+        results = store.xpath("/catalog/*[not(author)]")
+        assert names(results) == ["magazine"]
+
+    def test_count_function(self, store):
+        results = store.xpath("/catalog/book[count(author) = 2]/@id")
+        assert strings(results) == ["b2"]
+
+    def test_contains_function(self, store):
+        results = store.xpath("/catalog/book[contains(title, 'Web')]/@id")
+        assert strings(results) == ["b2"]
+
+    def test_and_predicate(self, store):
+        results = store.xpath("/catalog/book[price > 30 and @year = '2000']")
+        assert len(results) == 1
+
+    def test_or_predicate(self, store):
+        results = store.xpath("/catalog/*[author = 'Stevens' or price < 10]")
+        assert len(results) == 2
+
+    def test_multiple_predicates_chain(self, store):
+        results = store.xpath("/catalog/book[author][1]/@id")
+        assert strings(results) == ["b1"]
+
+    def test_set_comparison_any_semantics(self, store):
+        # book 2 has two authors; = matches if ANY equals
+        results = store.xpath("/catalog/book[author = 'Buneman']/@id")
+        assert strings(results) == ["b2"]
+
+
+class TestStoreIntegration:
+    def test_results_carry_store_node_ids(self, store):
+        result = store.xpath("/catalog/book[1]")[0]
+        assert result.node_id is not None
+        assert store.read(result.node_id).startswith('<book year="1994"')
+
+    def test_xml_rendering(self, store):
+        result = store.xpath("//magazine/title")[0]
+        assert result.xml() == "<title>National Geographic</title>"
+
+    def test_attribute_xml_rendering(self, store):
+        result = store.xpath("/catalog/book[1]/@id")[0]
+        assert result.xml() == 'id="b1"'
+
+    def test_query_after_update(self, store):
+        book_id = store.xpath("/catalog/book[1]")[0].node_id
+        store.insert_into_last(book_id, "<price>99.00</price>")
+        results = store.xpath("/catalog/book[price > 90]")
+        assert len(results) == 1
+
+    def test_query_after_delete(self, store):
+        magazine = store.xpath("//magazine")[0]
+        store.delete_node(magazine.node_id)
+        assert store.xpath("//magazine") == []
+        assert len(store.xpath("//title")) == 2
+
+    def test_string_value_of_element(self, store):
+        result = store.xpath("/catalog/magazine")[0]
+        assert "National Geographic" in result.string_value
+        assert "9.95" in result.string_value

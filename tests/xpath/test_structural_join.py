@@ -1,0 +1,111 @@
+"""Unit tests for the stack-based structural join."""
+
+import pytest
+
+from repro.core.store import XMLStore
+from repro.ids.prepost import PrePostLabel
+from repro.xpath.structural_join import (
+    LabeledElement,
+    containment_query,
+    label_elements,
+    stack_tree_desc,
+)
+
+
+def element(name, pre, post, node_id=0):
+    return LabeledElement(name, PrePostLabel(pre, post), node_id)
+
+
+class TestStackTreeDesc:
+    # labels use region numbering: one counter ticking on begin AND end
+
+    def test_simple_containment(self):
+        # <a><b/></a>: a=(0,3), b=(1,2)
+        a = element("a", 0, 3)
+        b = element("b", 1, 2)
+        pairs = stack_tree_desc([a], [b])
+        assert pairs == [(a, b)]
+
+    def test_no_containment(self):
+        # <a/><b/>: a=(0,1), b=(2,3)
+        a = element("a", 0, 1)
+        b = element("b", 2, 3)
+        assert stack_tree_desc([a], [b]) == []
+
+    def test_nested_ancestors_all_pair(self):
+        # <a><a><b/></a></a>: outer=(0,5), inner=(1,4), b=(2,3)
+        outer = element("a", 0, 5, 1)
+        inner = element("a", 1, 4, 2)
+        b = element("b", 2, 3, 3)
+        pairs = stack_tree_desc([outer, inner], [b])
+        assert len(pairs) == 2
+        assert {p[0].node_id for p in pairs} == {1, 2}
+
+    def test_multiple_descendants(self):
+        # <a><b/><c><b/></c></a>: a=(0,7), b1=(1,2), c=(3,6), b2=(4,5)
+        a = element("a", 0, 7)
+        b1 = element("b", 1, 2)
+        b2 = element("b", 4, 5)
+        pairs = stack_tree_desc([a], [b1, b2])
+        assert len(pairs) == 2
+
+    def test_empty_inputs(self):
+        assert stack_tree_desc([], []) == []
+        assert stack_tree_desc([element("a", 0, 1)], []) == []
+        assert stack_tree_desc([], [element("b", 0, 1)]) == []
+
+    def test_siblings_do_not_pair(self):
+        # <r><a/><b/></r>: a=(1,2), b=(3,4)
+        a = element("a", 1, 2)
+        b = element("b", 3, 4)
+        assert stack_tree_desc([a], [b]) == []
+
+
+class TestLabelElements:
+    def test_labels_match_store_scan(self):
+        store = XMLStore.open()
+        store.load_document("<a><b/><c><d/></c></a>")
+        groups = label_elements(store)
+        assert set(groups) == {"a", "b", "c", "d"}
+        a = groups["a"][0]
+        d = groups["d"][0]
+        assert a.label.contains(d.label)
+        assert not groups["b"][0].label.contains(d.label)
+
+    def test_node_ids_are_store_ids(self):
+        store = XMLStore.open()
+        store.load_document("<a><b/></a>")
+        groups = label_elements(store)
+        assert store.read(groups["b"][0].node_id) == "<b/>"
+
+    def test_groups_sorted_by_document_order(self):
+        store = XMLStore.open()
+        store.load_document("<r><x n='1'/><y><x n='2'/></y><x n='3'/></r>")
+        xs = label_elements(store)["x"]
+        ids = [e.node_id for e in xs]
+        assert ids == sorted(ids)
+
+
+class TestContainmentQuery:
+    def test_matches_navigational_evaluation(self):
+        store = XMLStore.open()
+        store.load_document(
+            "<lib><shelf><book><title/></book></shelf><book><title/></book></lib>"
+        )
+        join_pairs = containment_query(store, "book", "title")
+        nav_titles = {r.node_id for r in store.xpath("//book//title")}
+        assert {d for _, d in join_pairs} == nav_titles
+        assert len(join_pairs) == 2
+
+    def test_recursive_elements(self):
+        store = XMLStore.open()
+        store.load_document("<part><part><part/></part></part>")
+        pairs = containment_query(store, "part", "part")
+        # outer contains middle+inner, middle contains inner: 3 pairs
+        assert len(pairs) == 3
+
+    def test_missing_names(self):
+        store = XMLStore.open()
+        store.load_document("<a/>")
+        assert containment_query(store, "a", "nope") == []
+        assert containment_query(store, "nope", "a") == []
