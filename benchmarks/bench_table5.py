@@ -9,7 +9,7 @@ whole table, asserts the paper's qualitative shape, and writes
 import pytest
 
 from repro.bench.harness import insert_phase, random_read_phase, sequential_scan_phase
-from repro.bench.reporting import format_table5
+from repro.bench.reporting import format_table5, table5_to_json
 from repro.bench.table5 import (
     APPROACHES,
     Table5Config,
@@ -85,6 +85,7 @@ def test_table5_shape(benchmark, results_dir):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     table = format_table5(rows)
     write_artifact(results_dir, "table5.txt", table)
+    write_artifact(results_dir, "BENCH_table5.json", table5_to_json(rows))
     for row in rows:
         benchmark.extra_info[row.approach] = {
             "insert": round(row.insert.kb_per_second, 2),

@@ -12,11 +12,12 @@ what reproduces the paper's *shape*.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.store import XMLStore
+from repro.obs.bridge import metrics_snapshot
+from repro.obs.clock import perf_seconds
 
 #: Floor for elapsed simulated time, so fully cached phases report a very
 #: large (but finite) throughput instead of dividing by zero.
@@ -35,6 +36,9 @@ class PhaseResult:
     device_reads: int
     device_writes: int
     tokens_scanned: int
+    #: Per-phase metrics delta (counters: after - before; gauges: after),
+    #: keyed by flat sample name.  See :mod:`repro.obs.bridge`.
+    metrics: Optional[Dict[str, float]] = None
 
     @property
     def kb_per_second(self) -> float:
@@ -82,10 +86,14 @@ def run_phase(
     disk_before = store.device.stats.snapshot()
     scanned_before = store.locator.stats.tokens_scanned
     simulated_before = store.simulated_seconds
-    wall_start = time.perf_counter()
+    # registry snapshots happen outside the wall-clock window so the
+    # telemetry export never contaminates the measured time
+    metrics_before = metrics_snapshot(store)
+    wall_start = perf_seconds()
     xml_bytes = thunk()
     store.pool.flush_all()
-    wall_seconds = time.perf_counter() - wall_start
+    wall_seconds = perf_seconds() - wall_start
+    metrics_after = metrics_snapshot(store)
     disk = store.device.stats.delta(disk_before)
     return PhaseResult(
         label=label,
@@ -96,6 +104,7 @@ def run_phase(
         device_reads=disk.reads,
         device_writes=disk.writes,
         tokens_scanned=store.locator.stats.tokens_scanned - scanned_before,
+        metrics=metrics_after.delta(metrics_before),
     )
 
 

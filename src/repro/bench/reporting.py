@@ -70,3 +70,39 @@ def format_table5(rows) -> str:
         [row.cells() for row in rows],
         title="Table 5: Lazy indexing in XML storage (simulated-disk kb/s)",
     )
+
+
+def phase_dict(result) -> dict:
+    """One :class:`~repro.bench.harness.PhaseResult` as a JSON-ready dict,
+    including the per-phase metrics delta when the phase captured one."""
+    out = {
+        "label": result.label,
+        "operations": result.operations,
+        "xml_bytes": result.xml_bytes,
+        "simulated_seconds": result.simulated_seconds,
+        "wall_seconds": result.wall_seconds,
+        "device_reads": result.device_reads,
+        "device_writes": result.device_writes,
+        "tokens_scanned": result.tokens_scanned,
+        "kb_per_second": result.kb_per_second,
+    }
+    if result.metrics is not None:
+        out["metrics"] = result.metrics
+    return out
+
+
+def table5_to_json(rows) -> str:
+    """Table-5 rows as a JSON document (one object per approach, each
+    phase carrying its metrics snapshot)."""
+    import json
+
+    payload = [
+        {
+            "approach": row.approach,
+            "insert": phase_dict(row.insert),
+            "seq_scan": phase_dict(row.seq_scan),
+            "random_reads": phase_dict(row.random_reads),
+        }
+        for row in rows
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True)

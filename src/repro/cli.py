@@ -14,22 +14,36 @@ Commands:
     delete <id>                delete a node (and subtree)
     replace <id> <xml>         replace a node
     ranges                     show the Range Index snapshot (Tables 2-3)
-    stats                      show store statistics
+    stats [--json|--prometheus|--top]
+                               show store statistics (human summary by
+                               default; machine formats for scripts)
+    trace [--limit N]          dump recorded spans as JSON lines
     compact                    merge adjacent ranges
     verify                     run the integrity checker
 
 Every invocation opens the store, applies the command, checkpoints and
-closes — so the directory is always consistent afterwards.
+closes — so the directory is always consistent afterwards.  The CLI
+opens stores with telemetry enabled, so ``stats``/``trace`` always have
+span metrics for the work the invocation itself performed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
+from repro.core.config import StoreConfig
 from repro.core.filestore import close_directory, open_directory
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,7 +80,27 @@ def build_parser() -> argparse.ArgumentParser:
     replace.add_argument("xml")
 
     commands.add_parser("ranges", help="show the Range Index snapshot")
-    commands.add_parser("stats", help="show store statistics")
+
+    stats = commands.add_parser("stats", help="show store statistics")
+    stats_format = stats.add_mutually_exclusive_group()
+    stats_format.add_argument(
+        "--json", action="store_true", help="flat JSON metrics snapshot"
+    )
+    stats_format.add_argument(
+        "--prometheus", action="store_true", help="Prometheus text format"
+    )
+    stats_format.add_argument(
+        "--top", action="store_true", help="top-style span/metric summary"
+    )
+
+    trace = commands.add_parser("trace", help="dump recorded spans (JSON lines)")
+    trace.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        help="only the most recent N spans",
+    )
+
     commands.add_parser("compact", help="merge adjacent ranges")
     commands.add_parser("verify", help="run the integrity checker")
     return parser
@@ -76,7 +110,9 @@ def run(argv: Optional[List[str]] = None, stdin=None) -> str:
     """Execute one CLI invocation; returns the text that was printed."""
     arguments = build_parser().parse_args(argv)
     stdin = stdin if stdin is not None else sys.stdin
-    store = open_directory(arguments.store)
+    store = open_directory(
+        arguments.store, config=StoreConfig(telemetry_enabled=True)
+    )
     try:
         output = _dispatch(store, arguments, stdin)
     finally:
@@ -127,7 +163,24 @@ def _dispatch(store, arguments, stdin) -> str:
             )
         return "\n".join(lines)
     if command == "stats":
+        from repro.obs.bridge import snapshot_families, store_families
+        from repro.obs.exporters import prometheus_text, render_top
+
+        if arguments.json:
+            snapshot = snapshot_families(store_families(store))
+            return json.dumps(snapshot.values, indent=2, sort_keys=True)
+        if arguments.prometheus:
+            return prometheus_text(store_families(store)).rstrip("\n")
+        if arguments.top:
+            return render_top(store_families(store)).rstrip("\n")
         return store.stats.summary()
+    if command == "trace":
+        from repro.obs.exporters import events_jsonl
+
+        events = store.telemetry.events()
+        if arguments.limit is not None:
+            events = events[-arguments.limit :]
+        return events_jsonl(events).rstrip("\n")
     if command == "compact":
         report = store.compact()
         return (

@@ -174,9 +174,12 @@ class Transaction:
             )
 
     def _lock(self, resource, mode: LockMode) -> None:
-        granted = self._manager.locks.lock_hierarchy(
-            self.txn_id, resource, mode, wait=self._manager.wait_on_conflict
-        )
+        with self._manager.store.telemetry.span(
+            "lock.wait", resource=str(resource), mode=mode.name, txn=self.txn_id
+        ):
+            granted = self._manager.locks.lock_hierarchy(
+                self.txn_id, resource, mode, wait=self._manager.wait_on_conflict
+            )
         if not granted:
             raise ConcurrencyError(
                 f"transaction {self.txn_id} must wait for {resource}"

@@ -107,6 +107,14 @@ class StoreConfig:
     #: Costs CPU only; disable for large synthetic bulk loads.
     validate_input: bool = True
 
+    #: Record tracing spans and span metrics (see :mod:`repro.obs`).
+    #: Off by default: the benchmarks must measure the store, not the
+    #: telemetry, so the disabled path is a shared no-op recorder.
+    telemetry_enabled: bool = False
+
+    #: Completed spans retained in the in-memory ring buffer.
+    telemetry_ring_capacity: int = 1024
+
     def __post_init__(self) -> None:
         if self.page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
@@ -118,3 +126,5 @@ class StoreConfig:
             raise ValueError("max_range_tokens must be at least 4 or None")
         if not 0.0 <= self.adaptive_read_threshold <= 1.0:
             raise ValueError("adaptive_read_threshold must be in [0, 1]")
+        if self.telemetry_ring_capacity < 1:
+            raise ValueError("telemetry_ring_capacity must be at least 1")

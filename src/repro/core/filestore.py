@@ -51,13 +51,15 @@ def open_directory(path: str, config: Optional[StoreConfig] = None) -> XMLStore:
     wal = WriteAheadLog(wal_path)
     if not existing:
         store = XMLStore.open(config=config, device=device, wal=wal)
-        # make the empty store immediately reopenable
-        _write_catalog(catalog_path, store.checkpoint())
+        with store.telemetry.span("store.open", path=path, fresh=True):
+            # make the empty store immediately reopenable
+            _write_catalog(catalog_path, store.checkpoint())
         return store
     with open(catalog_path, "rb") as handle:
         catalog = handle.read()
     store = XMLStore.from_catalog(device, catalog, config=config, wal=wal)
-    replay(store, wal)
+    with store.telemetry.span("store.open", path=path, fresh=False):
+        replay(store, wal)
     return store
 
 

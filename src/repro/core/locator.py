@@ -26,6 +26,8 @@ from repro.core.partial_index import LocationEntry, PartialIndex
 from repro.core.range_index import RangeIndex
 from repro.core.ranges import RangeMeta, RangeTable
 from repro.ids.base import StoreIdScheme
+from repro.obs.metrics import NOOP_METRIC, TOKEN_COUNT_BUCKETS
+from repro.obs.telemetry import NOOP_TELEMETRY
 from repro.storage.heap import Position
 from repro.xmltoken.binary import decode_token
 from repro.xmltoken.tokens import Token
@@ -71,6 +73,21 @@ class LocatorStats:
         self.scan_resolutions = 0
         self.tokens_scanned = 0
 
+    def register_metrics(self, registry) -> None:
+        """Project these counters into a metrics registry."""
+        resolutions = registry.counter(
+            "repro_locator_resolutions_total",
+            "Node resolutions by the path that answered them.",
+            labelnames=("path",),
+        )
+        resolutions.labels(path="partial").inc(self.partial_resolutions)
+        resolutions.labels(path="full").inc(self.full_resolutions)
+        resolutions.labels(path="scan").inc(self.scan_resolutions)
+        registry.counter(
+            "repro_locator_tokens_scanned_total",
+            "Tokens inspected by document-order scans.",
+        ).inc(self.tokens_scanned)
+
 
 class Locator:
     """Resolves node identifiers to physical locations."""
@@ -94,6 +111,18 @@ class Locator:
         #: When False, successful scans are not memoized (the adaptive
         #: controller flips this in update-optimized mode).
         self.populate_partial = True
+        #: Telemetry facade (no-op unless the store attaches a live one).
+        self.telemetry = NOOP_TELEMETRY
+        self._scan_tokens = NOOP_METRIC
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Record per-resolution scan lengths through ``telemetry``."""
+        self.telemetry = telemetry
+        self._scan_tokens = telemetry.histogram(
+            "repro_locator_scan_tokens",
+            "Tokens scanned per range-scan resolution.",
+            buckets=TOKEN_COUNT_BUCKETS,
+        )
 
     # -- scanning -----------------------------------------------------------------
 
@@ -241,9 +270,13 @@ class Locator:
 
     def _locate_by_scan(self, meta: RangeMeta, node_id: int) -> NodeLocation:
         self.stats.scan_resolutions += 1
-        for item in self.scan_range(meta):
-            if item.token.starts_node and item.last_id == node_id:
-                return NodeLocation(node_id=node_id, begin=item)
+        scanned_before = self.stats.tokens_scanned
+        try:
+            for item in self.scan_range(meta):
+                if item.token.starts_node and item.last_id == node_id:
+                    return NodeLocation(node_id=node_id, begin=item)
+        finally:
+            self._scan_tokens.observe(self.stats.tokens_scanned - scanned_before)
         raise NodeNotFoundError(
             f"node {node_id} was deleted from range {meta.range_id}"
         )

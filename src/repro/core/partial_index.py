@@ -97,6 +97,26 @@ class PartialIndexStats:
         self.hits = self.misses = self.stale_hits = 0
         self.inserts = self.evictions = 0
 
+    def register_metrics(self, registry) -> None:
+        """Project these counters into a metrics registry."""
+        probes = registry.counter(
+            "repro_partial_index_probes_total",
+            "Partial-index probes by outcome.",
+            labelnames=("result",),
+        )
+        probes.labels(result="hit").inc(self.hits)
+        probes.labels(result="miss").inc(self.misses)
+        probes.labels(result="stale").inc(self.stale_hits)
+        registry.counter(
+            "repro_partial_index_inserts_total", "Entries memoized."
+        ).inc(self.inserts)
+        registry.counter(
+            "repro_partial_index_evictions_total", "Entries evicted (LRU)."
+        ).inc(self.evictions)
+        registry.gauge(
+            "repro_partial_index_hit_rate", "Fraction of probes answered current."
+        ).set(self.hit_rate)
+
 
 class PartialIndex:
     """LRU-bounded memo of node locations, keyed by node id."""

@@ -39,6 +39,38 @@ class OperationCounts:
         for name in self.__dataclass_fields__:
             setattr(self, name, 0)
 
+    def register_metrics(self, registry) -> None:
+        """Project these counters into a metrics registry."""
+        operations = registry.counter(
+            "repro_store_operations_total",
+            "Table-1 operations executed, by kind.",
+            labelnames=("op",),
+        )
+        for op, value in (
+            ("load", self.loads),
+            ("read", self.reads),
+            ("node_read", self.node_reads),
+            ("insert", self.inserts),
+            ("delete", self.deletes),
+            ("replace", self.replaces),
+        ):
+            operations.labels(op=op).inc(value)
+        ranges = registry.counter(
+            "repro_store_ranges_total",
+            "Range-table lifecycle events.",
+            labelnames=("event",),
+        )
+        ranges.labels(event="created").inc(self.ranges_created)
+        ranges.labels(event="split").inc(self.ranges_split)
+        ranges.labels(event="dropped").inc(self.ranges_dropped)
+        nodes = registry.counter(
+            "repro_store_nodes_total",
+            "Logical nodes inserted and deleted.",
+            labelnames=("event",),
+        )
+        nodes.labels(event="inserted").inc(self.nodes_inserted)
+        nodes.labels(event="deleted").inc(self.nodes_deleted)
+
 
 @dataclass
 class StoreStatistics:
@@ -58,28 +90,23 @@ class StoreStatistics:
         if self.partial is not None:
             self.partial.reset()
 
-    def summary(self) -> str:
-        """Human-readable multi-line dump (used by examples)."""
-        lines = [
-            f"operations: {self.operations.updates} updates, "
-            f"{self.operations.read_ops} reads "
-            f"({self.operations.ranges_created} ranges created, "
-            f"{self.operations.ranges_split} split)",
-            f"locator: {self.locator.partial_resolutions} via partial index, "
-            f"{self.locator.full_resolutions} via full index, "
-            f"{self.locator.scan_resolutions} via range scan "
-            f"({self.locator.tokens_scanned} tokens scanned)",
-            f"disk: {self.disk.reads} reads ({self.disk.sequential_reads} seq), "
-            f"{self.disk.writes} writes, "
-            f"{self.disk.simulated_seconds * 1000:.2f} ms simulated",
-            f"buffer pool: {self.buffer.hit_rate:.1%} hit rate "
-            f"({self.buffer.hits}/{self.buffer.accesses})",
-        ]
+    def register_metrics(self, registry) -> None:
+        """Project every layer's counters into a metrics registry."""
+        self.operations.register_metrics(registry)
+        self.locator.register_metrics(registry)
+        self.disk.register_metrics(registry)
+        self.buffer.register_metrics(registry)
         if self.partial is not None:
-            lines.append(
-                f"partial index: {self.partial.hit_rate:.1%} hit rate, "
-                f"{self.partial.inserts} inserts, "
-                f"{self.partial.evictions} evictions, "
-                f"{self.partial.stale_hits} stale"
-            )
-        return "\n".join(lines)
+            self.partial.register_metrics(registry)
+
+    def summary(self) -> str:
+        """Human-readable multi-line dump (used by examples).
+
+        Delegates to the observability layer: the counters are projected
+        into a registry and rendered back in the historical format, so
+        this text stays byte-stable for scripts that parse it.
+        """
+        from repro.obs.bridge import stats_registry
+        from repro.obs.exporters import render_classic_summary
+
+        return render_classic_summary(stats_registry(self))

@@ -48,6 +48,7 @@ from repro.core.range_index import RangeIndex
 from repro.core.ranges import RangeMeta, RangeTable
 from repro.core.stats import OperationCounts, StoreStatistics
 from repro.ids.sequential import SequentialIdScheme
+from repro.obs.telemetry import create_telemetry
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import BlockDevice, InstrumentedDevice, MemoryBlockDevice
 from repro.storage.heap import ChainedFile, Position
@@ -69,6 +70,28 @@ _ATTRIBUTE_KINDS = frozenset(
 )
 
 _CATALOG_HEADER = struct.Struct("<qqqI")  # range_root, full_root(-1), scheme_len, n_sections
+
+#: Span names pre-registered at store setup so exporters show every
+#: Table-1 operation (plus the maintenance entry points) even at zero.
+TABLE1_SPANS = (
+    "read",
+    "node_read",
+    "load_document",
+    "insert_before",
+    "insert_after",
+    "insert_into_first",
+    "insert_into_last",
+    "delete_node",
+    "replace_node",
+    "replace_content",
+    "xpath",
+    "compact",
+    "checkpoint",
+    "wal.append",
+    "wal.fsync",
+    "lock.wait",
+    "store.open",
+)
 
 
 @dataclass
@@ -163,6 +186,18 @@ class XMLStore:
         from repro.core.navigation import StructuralHints
 
         self.structural_hints = StructuralHints()
+        self._setup_telemetry()
+
+    def _setup_telemetry(self) -> None:
+        """Select the live or no-op recorder and attach it everywhere."""
+        self.telemetry = create_telemetry(
+            self.config.telemetry_enabled,
+            simulated_clock=lambda: self.simulated_seconds,
+            ring_capacity=self.config.telemetry_ring_capacity,
+        )
+        self.telemetry.preregister_spans(TABLE1_SPANS)
+        self.locator.attach_telemetry(self.telemetry)
+        self.wal.telemetry = self.telemetry
 
     # -- convenience constructors -----------------------------------------------------
 
@@ -181,9 +216,14 @@ class XMLStore:
     def read(self, node_id: Optional[int] = None) -> str:
         """Serialize the whole data source, or the subtree of ``node_id``."""
         if node_id is None:
-            self.operations.reads += 1
-            self._observe(is_read=True)
-            return serialize(self.tokens())
+            with self.telemetry.span("read"):
+                self.operations.reads += 1
+                self._observe(is_read=True)
+                return serialize(self.tokens())
+        with self.telemetry.span("node_read", node_id=node_id):
+            return self._read_node(node_id)
+
+    def _read_node(self, node_id: int) -> str:
         self.operations.node_reads += 1
         self._observe(is_read=True)
         location = self.locator.locate_span(node_id)
@@ -247,133 +287,141 @@ class XMLStore:
         Returns the id of the first inserted node (the root for a
         single-rooted document), or None for an all-markup fragment.
         """
-        tokens = self._ingest(xml_text)
-        if not tokens:
-            return None
-        if log:
-            self.wal.append(
-                RecordType.LOAD_DOCUMENT, encode_op_payload(b"", xml_text)
-            )
-        first_id = self._insert_fragment(None, tokens).first_id
-        self.operations.loads += 1
-        self._observe(is_read=False)
-        return first_id
+        with self.telemetry.span("load_document", bytes=len(xml_text)):
+            tokens = self._ingest(xml_text)
+            if not tokens:
+                return None
+            if log:
+                self.wal.append(
+                    RecordType.LOAD_DOCUMENT, encode_op_payload(b"", xml_text)
+                )
+            first_id = self._insert_fragment(None, tokens).first_id
+            self.operations.loads += 1
+            self._observe(is_read=False)
+            return first_id
 
     # ================================================================== updates ==
 
     def insert_before(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
         """Insert ``xml_text`` as the preceding sibling(s) of ``node_id``."""
-        tokens = self._ingest(xml_text, require_content=True)
-        location = self.locator.locate(node_id)
-        self._require_sibling_target(location)
-        if log:
-            self._log(RecordType.INSERT_BEFORE, node_id, xml_text)
-        begin = location.begin
-        last_before = (
-            node_id - 1
-            if begin.meta.start_id is not None and node_id > begin.meta.start_id
-            else None
-        )
-        point = _InsertPoint(begin.meta, begin.offset, begin.pos, last_before)
-        first_id = self._insert_fragment(point, tokens).first_id
-        self.operations.inserts += 1
-        self._observe(is_read=False)
-        return first_id
+        with self.telemetry.span("insert_before", node_id=node_id):
+            tokens = self._ingest(xml_text, require_content=True)
+            location = self.locator.locate(node_id)
+            self._require_sibling_target(location)
+            if log:
+                self._log(RecordType.INSERT_BEFORE, node_id, xml_text)
+            begin = location.begin
+            last_before = (
+                node_id - 1
+                if begin.meta.start_id is not None and node_id > begin.meta.start_id
+                else None
+            )
+            point = _InsertPoint(begin.meta, begin.offset, begin.pos, last_before)
+            first_id = self._insert_fragment(point, tokens).first_id
+            self.operations.inserts += 1
+            self._observe(is_read=False)
+            return first_id
 
     def insert_after(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
         """Insert ``xml_text`` as the following sibling(s) of ``node_id``."""
-        tokens = self._ingest(xml_text, require_content=True)
-        location = self.locator.locate(node_id)
-        self._require_sibling_target(location)
-        if log:
-            self._log(RecordType.INSERT_AFTER, node_id, xml_text)
-        end = self._end_item(location)
-        point = self._point_after(end)
-        first_id = self._insert_fragment(point, tokens).first_id
-        self.operations.inserts += 1
-        self._observe(is_read=False)
-        return first_id
+        with self.telemetry.span("insert_after", node_id=node_id):
+            tokens = self._ingest(xml_text, require_content=True)
+            location = self.locator.locate(node_id)
+            self._require_sibling_target(location)
+            if log:
+                self._log(RecordType.INSERT_AFTER, node_id, xml_text)
+            end = self._end_item(location)
+            point = self._point_after(end)
+            first_id = self._insert_fragment(point, tokens).first_id
+            self.operations.inserts += 1
+            self._observe(is_read=False)
+            return first_id
 
     def insert_into_first(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
         """Insert ``xml_text`` as the first child(ren) of element
         ``node_id`` (after its attributes)."""
-        tokens = self._ingest(xml_text, require_content=True)
-        location = self.locator.locate(node_id)
-        self._require_element_target(location)
-        if log:
-            self._log(RecordType.INSERT_INTO_FIRST, node_id, xml_text)
-        point = self._point_after_attributes(location.begin)
-        first_id = self._insert_fragment(point, tokens).first_id
-        self.operations.inserts += 1
-        self._observe(is_read=False)
-        return first_id
+        with self.telemetry.span("insert_into_first", node_id=node_id):
+            tokens = self._ingest(xml_text, require_content=True)
+            location = self.locator.locate(node_id)
+            self._require_element_target(location)
+            if log:
+                self._log(RecordType.INSERT_INTO_FIRST, node_id, xml_text)
+            point = self._point_after_attributes(location.begin)
+            first_id = self._insert_fragment(point, tokens).first_id
+            self.operations.inserts += 1
+            self._observe(is_read=False)
+            return first_id
 
     def insert_into_last(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
         """Insert ``xml_text`` as the last child(ren) of element
         ``node_id`` — the paper's running example (§4.5)."""
-        tokens = self._ingest(xml_text, require_content=True)
-        location = self.locator.locate(node_id)
-        self._require_element_target(location)
-        if log:
-            self._log(RecordType.INSERT_INTO_LAST, node_id, xml_text)
-        end = self._end_item(location)
-        point = _InsertPoint(end.meta, end.offset, end.pos, end.last_id)
-        outcome = self._insert_fragment(point, tokens)
-        # Table 4 discipline: the lookups this update performed are kept,
-        # updated to the post-split locations of the target's tokens.
-        self._refresh_entry_after_insert(location, outcome)
-        self.operations.inserts += 1
-        self._observe(is_read=False)
-        return outcome.first_id
+        with self.telemetry.span("insert_into_last", node_id=node_id):
+            tokens = self._ingest(xml_text, require_content=True)
+            location = self.locator.locate(node_id)
+            self._require_element_target(location)
+            if log:
+                self._log(RecordType.INSERT_INTO_LAST, node_id, xml_text)
+            end = self._end_item(location)
+            point = _InsertPoint(end.meta, end.offset, end.pos, end.last_id)
+            outcome = self._insert_fragment(point, tokens)
+            # Table 4 discipline: the lookups this update performed are kept,
+            # updated to the post-split locations of the target's tokens.
+            self._refresh_entry_after_insert(location, outcome)
+            self.operations.inserts += 1
+            self._observe(is_read=False)
+            return outcome.first_id
 
     def delete_node(self, node_id: int, log: bool = True) -> None:
         """Remove the node and its entire subtree."""
-        location = self.locator.locate(node_id)
-        if log:
-            self._log(RecordType.DELETE_NODE, node_id, "")
-        end = self._end_item(location)
-        self._delete_span(location.begin, end)
-        self.operations.deletes += 1
-        self._observe(is_read=False)
+        with self.telemetry.span("delete_node", node_id=node_id):
+            location = self.locator.locate(node_id)
+            if log:
+                self._log(RecordType.DELETE_NODE, node_id, "")
+            end = self._end_item(location)
+            self._delete_span(location.begin, end)
+            self.operations.deletes += 1
+            self._observe(is_read=False)
 
     def replace_node(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
         """Replace the node (and subtree) with ``xml_text``."""
-        tokens = self._ingest(xml_text, require_content=True)
-        location = self.locator.locate(node_id)
-        if log:
-            self._log(RecordType.REPLACE_NODE, node_id, xml_text)
-        end = self._end_item(location)
-        point = self._delete_span(location.begin, end)
-        first_id = self._insert_fragment(point, tokens).first_id
-        self.operations.replaces += 1
-        self._observe(is_read=False)
-        return first_id
+        with self.telemetry.span("replace_node", node_id=node_id):
+            tokens = self._ingest(xml_text, require_content=True)
+            location = self.locator.locate(node_id)
+            if log:
+                self._log(RecordType.REPLACE_NODE, node_id, xml_text)
+            end = self._end_item(location)
+            point = self._delete_span(location.begin, end)
+            first_id = self._insert_fragment(point, tokens).first_id
+            self.operations.replaces += 1
+            self._observe(is_read=False)
+            return first_id
 
     def replace_content(self, node_id: int, xml_text: str, log: bool = True) -> Optional[int]:
         """Replace an element's content (children), keeping attributes."""
-        tokens = self._ingest(xml_text)
-        location = self.locator.locate(node_id)
-        self._require_element_target(location)
-        if log:
-            self._log(RecordType.REPLACE_CONTENT, node_id, xml_text)
-        content_start = self._first_content_item(location.begin)
-        point: Optional[_InsertPoint]
-        if content_start.token.is_end and content_start.token.kind == TokenKind.END_ELEMENT:
-            # no existing content: check it is *our* end token (depth 0)
-            point = _InsertPoint(
-                content_start.meta,
-                content_start.offset,
-                content_start.pos,
-                content_start.last_id,
-            )
-        else:
-            last_content = self._last_item_before_end(content_start)
-            point = self._delete_span(content_start, last_content)
-        if tokens:
-            self._insert_fragment(point, tokens)
-        self.operations.replaces += 1
-        self._observe(is_read=False)
-        return node_id
+        with self.telemetry.span("replace_content", node_id=node_id):
+            tokens = self._ingest(xml_text)
+            location = self.locator.locate(node_id)
+            self._require_element_target(location)
+            if log:
+                self._log(RecordType.REPLACE_CONTENT, node_id, xml_text)
+            content_start = self._first_content_item(location.begin)
+            point: Optional[_InsertPoint]
+            if content_start.token.is_end and content_start.token.kind == TokenKind.END_ELEMENT:
+                # no existing content: check it is *our* end token (depth 0)
+                point = _InsertPoint(
+                    content_start.meta,
+                    content_start.offset,
+                    content_start.pos,
+                    content_start.last_id,
+                )
+            else:
+                last_content = self._last_item_before_end(content_start)
+                point = self._delete_span(content_start, last_content)
+            if tokens:
+                self._insert_fragment(point, tokens)
+            self.operations.replaces += 1
+            self._observe(is_read=False)
+            return node_id
 
     # =============================================================== inspection ==
 
@@ -462,9 +510,10 @@ class XMLStore:
 
     def checkpoint(self) -> bytes:
         """Flush everything and return the catalog bytes; marks the WAL."""
-        self.pool.flush_all()
-        self.wal.checkpoint()
-        return self.to_catalog()
+        with self.telemetry.span("checkpoint"):
+            self.pool.flush_all()
+            self.wal.checkpoint()
+            return self.to_catalog()
 
     def to_catalog(self) -> bytes:
         scheme_state = self.id_scheme.to_catalog()
@@ -554,6 +603,7 @@ class XMLStore:
         from repro.core.navigation import StructuralHints
 
         store.structural_hints = StructuralHints()
+        store._setup_telemetry()
         store._rebuild_residency()
         return store
 
@@ -628,7 +678,8 @@ class XMLStore:
         node ids are unchanged.  Returns a CompactionReport."""
         from repro.core.compaction import compact
 
-        return compact(self, max_tokens=max_tokens)
+        with self.telemetry.span("compact"):
+            return compact(self, max_tokens=max_tokens)
 
     # ================================================================== queries ==
 
@@ -637,8 +688,9 @@ class XMLStore:
         :mod:`repro.xpath` for the supported grammar."""
         from repro.xpath.evaluator import evaluate
 
-        self._observe(is_read=True)
-        return evaluate(self, expression)
+        with self.telemetry.span("xpath", expression=expression):
+            self._observe(is_read=True)
+            return evaluate(self, expression)
 
     # ================================================================ internals ==
 

@@ -152,3 +152,11 @@ class LockTimeoutError(ConcurrencyError):
 
 class TransactionStateError(ConcurrencyError):
     """A transaction was used after commit/abort, or nested illegally."""
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+class ObservabilityError(ReproError):
+    """A metric or tracer was registered or used inconsistently."""

@@ -1,0 +1,104 @@
+"""Observability: metrics registry, tracing spans, and exporters.
+
+See DESIGN.md ("Observability") for the architecture.  Quick tour:
+
+* :mod:`repro.obs.metrics` — thread-safe counters/gauges/histograms
+  with labeled children, plus the shared no-op twins;
+* :mod:`repro.obs.tracing` — nested context-manager spans recording
+  wall-clock *and* simulated disk seconds into a bounded ring buffer;
+* :mod:`repro.obs.telemetry` — the facade the store holds
+  (:func:`create_telemetry` picks live vs. no-op from configuration);
+* :mod:`repro.obs.bridge` — projects the always-on dataclass stats
+  into a registry and snapshots it for the bench harness;
+* :mod:`repro.obs.exporters` — Prometheus text, JSON-lines events,
+  a ``top``-style view, and the classic summary renderer;
+* :mod:`repro.obs.clock` — the only legal wall-clock source
+  (enforced by :func:`~repro.obs.clock.check_clock_discipline`).
+"""
+
+from repro.obs.bridge import (
+    MetricsSnapshot,
+    metrics_snapshot,
+    snapshot_families,
+    stats_registry,
+    store_families,
+    store_registry,
+)
+from repro.obs.clock import check_clock_discipline, perf_seconds
+from repro.obs.exporters import (
+    events_jsonl,
+    prometheus_text,
+    render_classic_summary,
+    render_top,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+    NOOP_METRIC,
+    NOOP_REGISTRY,
+    NoopRegistry,
+    SIMULATED_COST_BUCKETS,
+    Sample,
+    TOKEN_COUNT_BUCKETS,
+    format_value,
+    sample_key,
+)
+from repro.obs.telemetry import (
+    NOOP_TELEMETRY,
+    NoopTelemetry,
+    Telemetry,
+    create_telemetry,
+)
+from repro.obs.tracing import (
+    DEFAULT_RING_CAPACITY,
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_RING_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NOOP_METRIC",
+    "NOOP_REGISTRY",
+    "NOOP_SPAN",
+    "NOOP_TELEMETRY",
+    "NOOP_TRACER",
+    "NoopRegistry",
+    "NoopTelemetry",
+    "NoopTracer",
+    "SIMULATED_COST_BUCKETS",
+    "Sample",
+    "Span",
+    "SpanEvent",
+    "TOKEN_COUNT_BUCKETS",
+    "Telemetry",
+    "Tracer",
+    "check_clock_discipline",
+    "create_telemetry",
+    "events_jsonl",
+    "format_value",
+    "metrics_snapshot",
+    "perf_seconds",
+    "prometheus_text",
+    "render_classic_summary",
+    "render_top",
+    "sample_key",
+    "snapshot_families",
+    "stats_registry",
+    "store_families",
+    "store_registry",
+]

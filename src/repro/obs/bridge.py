@@ -1,0 +1,113 @@
+"""Bridge between the always-on dataclass stats and the metrics registry.
+
+The store keeps its cheap dataclass counters (:mod:`repro.core.stats`)
+unconditionally — they cost a few integer adds and the benchmarks depend
+on them.  This module *projects* those counters into a fresh
+:class:`~repro.obs.metrics.MetricsRegistry` on demand, so exporters see
+one uniform metric surface whether telemetry is enabled or not:
+
+* :func:`store_registry` — a registry holding the projection of every
+  layer's counters plus store-level gauges (simulated seconds, tokens
+  emitted, WAL appends, partial-index size, ...);
+* :func:`store_families` — the projection *merged with* the live span
+  metrics when telemetry is enabled;
+* :func:`metrics_snapshot` / :class:`MetricsSnapshot` — flat
+  ``{key: value}`` captures with a ``delta()`` for the bench harness,
+  so every ``BENCH_*.json`` row can carry an exact per-phase breakdown.
+
+Keeping the projection separate from the live registry means span
+metrics are never double-counted against the dataclass counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.obs.metrics import MetricFamily, MetricsRegistry, sample_key
+
+
+def stats_registry(stats) -> MetricsRegistry:
+    """Project a :class:`~repro.core.stats.StoreStatistics` bundle into
+    a fresh registry (no store-level gauges; see :func:`store_registry`)."""
+    registry = MetricsRegistry()
+    stats.register_metrics(registry)
+    return registry
+
+
+def store_registry(store) -> MetricsRegistry:
+    """Project a live store — layer counters plus store-level series."""
+    registry = stats_registry(store.stats)
+
+    wal_appends = registry.counter(
+        "repro_wal_appends_total", "Records appended to the write-ahead log."
+    )
+    wal_appends.inc(store.wal.appends)
+    wal_fsyncs = registry.counter(
+        "repro_wal_fsyncs_total", "fsync calls issued by the write-ahead log."
+    )
+    wal_fsyncs.inc(store.wal.fsyncs)
+
+    registry.gauge(
+        "repro_store_simulated_seconds",
+        "Total simulated cost (disk + CPU model) accumulated by the store.",
+    ).set(store.simulated_seconds)
+    registry.counter(
+        "repro_store_tokens_emitted_total", "Tokens written into the store."
+    ).inc(store.tokens_emitted)
+    registry.counter(
+        "repro_store_index_entries_loaded_total",
+        "Full-index entries created by loads and updates.",
+    ).inc(store.index_entries_loaded)
+    registry.gauge(
+        "repro_buffer_cached_pages", "Pages currently resident in the buffer pool."
+    ).set(store.pool.cached_pages)
+    if store.partial_index is not None:
+        registry.gauge(
+            "repro_partial_index_size", "Entries currently memoized."
+        ).set(len(store.partial_index))
+    return registry
+
+
+def store_families(store) -> List[MetricFamily]:
+    """Projection families plus, when telemetry is enabled, the live span
+    metrics.  Names never collide: the live registry only holds span
+    series and the scan-length histogram."""
+    families = store_registry(store).collect()
+    if store.telemetry.enabled:
+        families.extend(store.telemetry.collect())
+    return families
+
+
+@dataclass
+class MetricsSnapshot:
+    """Flat capture of every sample at one instant."""
+
+    values: Dict[str, float] = field(default_factory=dict)
+    kinds: Dict[str, str] = field(default_factory=dict)
+
+    def delta(self, earlier: "MetricsSnapshot") -> Dict[str, float]:
+        """Per-phase view: counters and histogram samples subtract the
+        earlier capture; gauges report their current value."""
+        out: Dict[str, float] = {}
+        for key, value in self.values.items():
+            if self.kinds.get(key) == "gauge":
+                out[key] = value
+            else:
+                out[key] = value - earlier.values.get(key, 0.0)
+        return out
+
+
+def snapshot_families(families: List[MetricFamily]) -> MetricsSnapshot:
+    snapshot = MetricsSnapshot()
+    for family in families:
+        for sample in family.samples:
+            key = sample_key(sample)
+            snapshot.values[key] = sample.value
+            snapshot.kinds[key] = family.kind
+    return snapshot
+
+
+def metrics_snapshot(store) -> MetricsSnapshot:
+    """Snapshot :func:`store_families` for before/after bench deltas."""
+    return snapshot_families(store_families(store))

@@ -1,0 +1,403 @@
+"""Metrics registry: named counters, gauges and histograms with labels.
+
+The registry is the store's machine-readable surface.  Every metric is
+registered once by name (get-or-create, so instrumentation points never
+race over "who creates it") and may declare *label names*; calling
+``metric.labels(path="partial")`` returns a child time series for that
+label combination.  All updates are thread-safe.
+
+Two bucket presets are provided: :data:`LATENCY_BUCKETS` for wall-clock
+span durations and :data:`SIMULATED_COST_BUCKETS` for the store's
+simulated disk seconds, whose magnitudes are very different (a single
+random block access already costs ~8.5 simulated milliseconds).
+
+The no-op twins (:data:`NOOP_METRIC`, :data:`NOOP_REGISTRY`) are shared
+singletons with the same call surface; selecting them disables telemetry
+without a single conditional at the instrumentation points.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import (
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ObservabilityError
+
+#: Wall-clock latency buckets (seconds): 50µs .. 10s.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Simulated-disk-cost buckets (seconds): one seek .. minutes of I/O.
+SIMULATED_COST_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+#: Token-count buckets for scan-length histograms.
+TOKEN_COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536,
+)
+
+
+class Sample(NamedTuple):
+    """One exported time series value."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+
+class MetricFamily(NamedTuple):
+    """One metric with all its label children, ready for an exporter."""
+
+    name: str
+    kind: str
+    help: str
+    samples: Tuple[Sample, ...]
+
+
+def _label_key(labelnames: Sequence[str], labels: Dict[str, object]) -> Tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ObservabilityError(
+            f"labels {sorted(labels)} do not match declared {list(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Metric:
+    """Shared parent/child machinery for all metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: "Dict[Tuple[str, ...], _Metric]" = {}
+
+    def labels(self, **labels: object) -> "_Metric":
+        """The child time series for one label combination."""
+        if not self.labelnames:
+            raise ObservabilityError(f"metric {self.name} declares no labels")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = type(self)(self.name, self.help)
+                child._lock = self._lock  # children share the family lock
+                self._children[key] = child
+            return child
+
+    def _require_leaf(self) -> None:
+        if self.labelnames:
+            raise ObservabilityError(
+                f"metric {self.name} is labeled; call .labels(...) first"
+            )
+
+    def _own_samples(self, labels: Tuple[Tuple[str, str], ...]) -> List[Sample]:
+        raise NotImplementedError
+
+    def collect(self) -> MetricFamily:
+        samples: List[Sample] = []
+        if self.labelnames:
+            with self._lock:
+                children = list(self._children.items())
+            for key, child in children:
+                samples.extend(child._own_samples(tuple(zip(self.labelnames, key))))
+        else:
+            samples.extend(self._own_samples(()))
+        return MetricFamily(self.name, self.kind, self.help, tuple(samples))
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_leaf()
+        if amount < 0:
+            raise ObservabilityError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _own_samples(self, labels: Tuple[Tuple[str, str], ...]) -> List[Sample]:
+        return [Sample(self.name, labels, self._value)]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down, or track a callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+        self._function: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._require_leaf()
+        with self._lock:
+            self._function = None
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_leaf()
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        """Evaluate ``function`` at collection time instead of storing."""
+        self._require_leaf()
+        with self._lock:
+            self._function = function
+
+    @property
+    def value(self) -> float:
+        function = self._function
+        return float(function()) if function is not None else self._value
+
+    def _own_samples(self, labels: Tuple[Tuple[str, str], ...]) -> List[Sample]:
+        return [Sample(self.name, labels, self.value)]
+
+
+class Histogram(_Metric):
+    """Bucketed distribution with sum and count.
+
+    Bucket bounds are *upper* bounds with ``value <= bound`` semantics
+    (Prometheus ``le``); a ``+Inf`` bucket is implicit.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ObservabilityError(f"histogram {self.name} needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ObservabilityError(f"histogram {self.name} has duplicate buckets")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self._sum = 0.0
+
+    def labels(self, **labels: object) -> "Histogram":
+        if not self.labelnames:
+            raise ObservabilityError(f"metric {self.name} declares no labels")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = Histogram(self.name, self.help, buckets=self.buckets)
+                child._lock = self._lock
+                self._children[key] = child
+            return child  # type: ignore[return-value]
+
+    def observe(self, value: float) -> None:
+        self._require_leaf()
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending at +Inf."""
+        cumulative = 0
+        out: List[Tuple[float, int]] = []
+        for bound, count in zip(self.buckets, self._counts):
+            cumulative += count
+            out.append((bound, cumulative))
+        out.append((float("inf"), cumulative + self._counts[-1]))
+        return out
+
+    def _own_samples(self, labels: Tuple[Tuple[str, str], ...]) -> List[Sample]:
+        samples: List[Sample] = []
+        for bound, cumulative in self.bucket_counts():
+            le = ("le", format_value(bound))
+            samples.append(Sample(self.name + "_bucket", labels + (le,), cumulative))
+        samples.append(Sample(self.name + "_sum", labels, self._sum))
+        samples.append(Sample(self.name + "_count", labels, float(self.count)))
+        return samples
+
+
+def format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text format does."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def sample_key(sample: Sample) -> str:
+    """Flat ``name{label="value",...}`` key for one sample."""
+    if not sample.labels:
+        return sample.name
+    rendered = ",".join(f'{name}="{value}"' for name, value in sample.labels)
+    return f"{sample.name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe, insertion-ordered collection of metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, _Metric]" = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is not None:
+                if not isinstance(metric, cls):
+                    raise ObservabilityError(
+                        f"metric {name} already registered as {metric.kind}"
+                    )
+                if metric.labelnames != tuple(labelnames):
+                    raise ObservabilityError(
+                        f"metric {name} already registered with labels "
+                        f"{list(metric.labelnames)}"
+                    )
+                return metric
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)  # type: ignore
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)  # type: ignore
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)  # type: ignore
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> List[MetricFamily]:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return [metric.collect() for metric in metrics]
+
+    def snapshot(self) -> "Dict[str, float]":
+        """Flat ``{key: value}`` view over every sample."""
+        out: Dict[str, float] = {}
+        for family in self.collect():
+            for sample in family.samples:
+                out[sample_key(sample)] = sample.value
+        return out
+
+
+# ---------------------------------------------------------------- no-op twins --
+
+class _NoopMetric:
+    """Counter/gauge/histogram impostor that ignores everything."""
+
+    __slots__ = ()
+    kind = "noop"
+    name = "noop"
+    value = 0.0
+    buckets: Tuple[float, ...] = ()
+
+    def labels(self, **labels: object) -> "_NoopMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def collect(self) -> MetricFamily:
+        return MetricFamily("noop", "noop", "", ())
+
+
+NOOP_METRIC = _NoopMetric()
+
+
+class NoopRegistry:
+    """Registry impostor handing out the shared no-op metric."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> _NoopMetric:
+        return NOOP_METRIC
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> _NoopMetric:
+        return NOOP_METRIC
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = (),
+    ) -> _NoopMetric:
+        return NOOP_METRIC
+
+    def get(self, name: str) -> None:
+        return None
+
+    def collect(self) -> List[MetricFamily]:
+        return []
+
+    def snapshot(self) -> Dict[str, float]:
+        return {}
+
+
+NOOP_REGISTRY = NoopRegistry()

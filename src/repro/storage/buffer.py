@@ -47,6 +47,25 @@ class BufferStats:
         self.evictions = 0
         self.dirty_writebacks = 0
 
+    def register_metrics(self, registry) -> None:
+        """Project these counters into a metrics registry."""
+        accesses = registry.counter(
+            "repro_buffer_accesses_total",
+            "Buffer-pool page requests by outcome.",
+            labelnames=("result",),
+        )
+        accesses.labels(result="hit").inc(self.hits)
+        accesses.labels(result="miss").inc(self.misses)
+        registry.counter(
+            "repro_buffer_evictions_total", "Frames evicted to admit new pages."
+        ).inc(self.evictions)
+        registry.counter(
+            "repro_buffer_dirty_writebacks_total", "Dirty pages written back."
+        ).inc(self.dirty_writebacks)
+        registry.gauge(
+            "repro_buffer_hit_rate", "Fraction of requests served from memory."
+        ).set(self.hit_rate)
+
 
 class _Frame:
     __slots__ = ("page", "pin_count", "dirty")
@@ -107,6 +126,11 @@ class BufferPool:
         # leaves every block the last checkpoint's catalog references
         # intact — the deallocation analogue of write-ahead logging.
         self._pending_frees: list = []
+
+    @property
+    def cached_pages(self) -> int:
+        """Pages currently resident (pinned or not)."""
+        return len(self._frames)
 
     # -- public API ---------------------------------------------------------
 

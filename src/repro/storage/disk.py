@@ -331,6 +331,28 @@ class DiskStats:
         self.frees = 0
         self.simulated_seconds = 0.0
 
+    def register_metrics(self, registry) -> None:
+        """Project these counters into a metrics registry."""
+        io = registry.counter(
+            "repro_disk_io_total",
+            "Block accesses by direction and access pattern.",
+            labelnames=("op", "pattern"),
+        )
+        io.labels(op="read", pattern="sequential").inc(self.sequential_reads)
+        io.labels(op="read", pattern="random").inc(self.random_reads)
+        io.labels(op="write", pattern="sequential").inc(self.sequential_writes)
+        io.labels(op="write", pattern="random").inc(self.random_writes)
+        registry.counter(
+            "repro_disk_allocations_total", "Blocks allocated."
+        ).inc(self.allocations)
+        registry.counter(
+            "repro_disk_frees_total", "Blocks freed."
+        ).inc(self.frees)
+        registry.counter(
+            "repro_disk_simulated_seconds_total",
+            "Simulated seconds charged by the disk cost model.",
+        ).inc(self.simulated_seconds)
+
 
 class FaultInjector:
     """Hook that may raise :class:`DiskFaultError` on chosen accesses.

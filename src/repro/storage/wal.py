@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import BinaryIO, Iterator, List, Optional
 
 from repro.errors import WALError
+from repro.obs.telemetry import NOOP_TELEMETRY
 
 _FRAME = struct.Struct("<IIHQ")
 
@@ -75,6 +76,11 @@ class WriteAheadLog:
 
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = path
+        #: Records appended / fsyncs issued over this log's lifetime.
+        self.appends = 0
+        self.fsyncs = 0
+        #: Telemetry facade; the owning store attaches a live one.
+        self.telemetry = NOOP_TELEMETRY
         if path is None:
             self._stream: BinaryIO = io.BytesIO()
         else:
@@ -87,13 +93,17 @@ class WriteAheadLog:
 
     def append(self, record_type: int, payload: bytes = b"") -> int:
         """Append a record; returns its LSN.  The record is flushed."""
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        body = _FRAME.pack(0, len(payload), record_type, lsn)[4:] + payload
-        crc = zlib.crc32(body)
-        self._stream.seek(0, os.SEEK_END)
-        self._stream.write(struct.pack("<I", crc) + body)
-        self.flush()
+        with self.telemetry.span(
+            "wal.append", type=RecordType.NAMES.get(record_type, record_type)
+        ):
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            body = _FRAME.pack(0, len(payload), record_type, lsn)[4:] + payload
+            crc = zlib.crc32(body)
+            self._stream.seek(0, os.SEEK_END)
+            self._stream.write(struct.pack("<I", crc) + body)
+            self.appends += 1
+            self.flush()
         return lsn
 
     def checkpoint(self) -> int:
@@ -104,7 +114,9 @@ class WriteAheadLog:
     def flush(self) -> None:
         self._stream.flush()
         if self.path is not None:
-            os.fsync(self._stream.fileno())
+            with self.telemetry.span("wal.fsync"):
+                os.fsync(self._stream.fileno())
+            self.fsyncs += 1
 
     # -- scanning ---------------------------------------------------------------
 

@@ -12,7 +12,7 @@ from repro.bench.harness import (
     run_phase,
     sequential_scan_phase,
 )
-from repro.bench.reporting import format_csv, format_table
+from repro.bench.reporting import format_csv, format_table, phase_dict
 
 
 def small_store(**kwargs):
@@ -73,6 +73,18 @@ class TestPhases:
         result = PhaseResult("p", 2, 2048, 0.5, 0.1, 3, 4, 5)
         assert "p:" in str(result)
 
+    def test_run_phase_attaches_metrics_delta(self):
+        store = small_store()
+        result = run_phase(store, "scan", lambda: len(store.read()), 1)
+        assert result.metrics is not None
+        assert result.metrics['repro_store_operations_total{op="read"}'] == 1
+        # deltas cover the phase only, not the setup load
+        assert result.metrics['repro_store_operations_total{op="load"}'] == 0
+
+    def test_metrics_default_none_for_hand_built_results(self):
+        result = PhaseResult("p", 2, 2048, 0.5, 0.1, 3, 4, 5)
+        assert result.metrics is None
+
 
 class TestReporting:
     def test_format_table_alignment(self):
@@ -98,3 +110,16 @@ class TestReporting:
     def test_format_csv_quotes(self):
         text = format_csv(["v"], [('say "hi"',)])
         assert '"say ""hi"""' in text
+
+    def test_phase_dict_carries_metrics(self):
+        result = PhaseResult(
+            "p", 2, 2048, 0.5, 0.1, 3, 4, 5,
+            metrics={"repro_wal_appends_total": 2.0},
+        )
+        data = phase_dict(result)
+        assert data["label"] == "p"
+        assert data["metrics"]["repro_wal_appends_total"] == 2.0
+
+    def test_phase_dict_omits_absent_metrics(self):
+        data = phase_dict(PhaseResult("p", 2, 2048, 0.5, 0.1, 3, 4, 5))
+        assert "metrics" not in data

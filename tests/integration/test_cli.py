@@ -65,6 +65,54 @@ class TestCLI:
         out = run([store_dir, "stats"])
         assert "operations" in out
 
+    def test_stats_json(self, store_dir):
+        import json
+
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a/></r>"))
+        out = run([store_dir, "stats", "--json"])
+        values = json.loads(out)
+        # counters are per-invocation: this invocation only reopened the
+        # store, so the open span fired and the Table-1 series sit at zero
+        assert values['repro_spans_total{span="store.open"}'] == 1
+        assert values['repro_spans_total{span="load_document"}'] == 0
+        assert "repro_buffer_hit_rate" in values
+        assert "repro_wal_appends_total" in values
+        assert values['repro_disk_io_total{op="read",pattern="random"}'] >= 1
+
+    def test_stats_prometheus(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        out = run([store_dir, "stats", "--prometheus"])
+        assert "# TYPE repro_store_operations_total counter" in out
+        assert "# TYPE repro_buffer_hit_rate gauge" in out
+        assert "# TYPE repro_span_seconds histogram" in out
+
+    def test_stats_top(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        out = run([store_dir, "stats", "--top"])
+        assert "spans (by cumulative wall time)" in out
+        assert "store.open" in out
+
+    def test_trace_emits_json_lines(self, store_dir):
+        import json
+
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        out = run([store_dir, "trace"])
+        events = [json.loads(line) for line in out.splitlines()]
+        assert any(e["name"] == "store.open" for e in events)
+        for event in events:
+            assert {"seq", "name", "depth", "wall_seconds"} <= event.keys()
+
+    def test_trace_limit(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        out = run([store_dir, "trace", "--limit", "1"])
+        assert len(out.splitlines()) == 1
+
+    def test_trace_limit_must_be_positive(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        for bad in ("0", "-1"):
+            with pytest.raises(SystemExit):
+                run([store_dir, "trace", "--limit", bad])
+
     def test_compact(self, store_dir):
         run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
         for index in range(4):

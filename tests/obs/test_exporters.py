@@ -1,0 +1,114 @@
+"""Exporters: Prometheus golden text, JSONL round-trip, top view."""
+
+import json
+
+from repro.obs.exporters import (
+    events_jsonl,
+    prometheus_text,
+    render_classic_summary,
+    render_top,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    resolutions = registry.counter(
+        "repro_locator_resolutions_total",
+        "Node resolutions by path.",
+        labelnames=("path",),
+    )
+    resolutions.labels(path="partial").inc(7)
+    resolutions.labels(path="scan").inc(2)
+    registry.gauge("repro_buffer_hit_rate", "Hit rate.").set(0.75)
+    registry.histogram(
+        "repro_span_seconds", "Span durations.", buckets=(0.001, 1.0)
+    ).observe(0.5)
+    return registry
+
+
+class TestPrometheusGolden:
+    def test_exact_text(self):
+        text = prometheus_text(_sample_registry().collect())
+        assert text == (
+            "# HELP repro_locator_resolutions_total Node resolutions by path.\n"
+            "# TYPE repro_locator_resolutions_total counter\n"
+            'repro_locator_resolutions_total{path="partial"} 7\n'
+            'repro_locator_resolutions_total{path="scan"} 2\n'
+            "# HELP repro_buffer_hit_rate Hit rate.\n"
+            "# TYPE repro_buffer_hit_rate gauge\n"
+            "repro_buffer_hit_rate 0.75\n"
+            "# HELP repro_span_seconds Span durations.\n"
+            "# TYPE repro_span_seconds histogram\n"
+            'repro_span_seconds_bucket{le="0.001"} 0\n'
+            'repro_span_seconds_bucket{le="1"} 1\n'
+            'repro_span_seconds_bucket{le="+Inf"} 1\n'
+            "repro_span_seconds_sum 0.5\n"
+            "repro_span_seconds_count 1\n"
+        )
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labelnames=("q",)).labels(q='say "hi"\n').inc()
+        text = prometheus_text(registry.collect())
+        assert 'q="say \\"hi\\"\\n"' in text
+
+    def test_empty_collection(self):
+        assert prometheus_text([]) == ""
+
+
+class TestEventsJsonl:
+    def test_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("outer", node_id=5):
+            with tracer.span("inner"):
+                pass
+        text = events_jsonl(tracer.events())
+        lines = text.strip().split("\n")
+        parsed = [json.loads(line) for line in lines]
+        assert [p["name"] for p in parsed] == ["inner", "outer"]
+        outer = parsed[1]
+        assert outer["fields"] == {"node_id": 5}
+        assert parsed[0]["parent"] == outer["seq"]
+
+    def test_empty(self):
+        assert events_jsonl([]) == ""
+
+
+class TestRenderTop:
+    def test_ranks_spans_by_wall_time(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.span("slow"):
+            sum(range(200_000))
+        with tracer.span("fast"):
+            pass
+        text = render_top(registry.collect())
+        slow_line = next(l for l in text.splitlines() if l.startswith("slow"))
+        fast_line = next(l for l in text.splitlines() if l.startswith("fast"))
+        assert text.index(slow_line) < text.index(fast_line)
+
+    def test_includes_scalars(self):
+        text = render_top(_sample_registry().collect())
+        assert "repro_buffer_hit_rate" in text
+
+    def test_empty(self):
+        assert render_top([]) == "no telemetry recorded\n"
+
+
+class TestClassicSummary:
+    def test_matches_dataclass_summary(self):
+        # built from a real store so every projection path is exercised
+        from repro.core.store import XMLStore
+
+        store = XMLStore()
+        root = store.load_document("<a><b>x</b></a>")
+        store.read(root + 1)
+        store.insert_into_last(root, "<c/>")
+        from repro.obs.bridge import stats_registry
+
+        rendered = render_classic_summary(stats_registry(store.stats))
+        assert rendered == store.stats.summary()
+        assert rendered.startswith("operations: ")
+        assert "partial index:" in rendered
