@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.store import XMLStore
 from repro.obs.bridge import metrics_snapshot
 from repro.obs.clock import perf_seconds
+from repro.obs.explain import ExplainRecorder
 
 #: Floor for elapsed simulated time, so fully cached phases report a very
 #: large (but finite) throughput instead of dividing by zero.
@@ -39,6 +40,9 @@ class PhaseResult:
     #: Per-phase metrics delta (counters: after - before; gauges: after),
     #: keyed by flat sample name.  See :mod:`repro.obs.bridge`.
     metrics: Optional[Dict[str, float]] = None
+    #: EXPLAIN report for the phase (access-path attribution; only
+    #: captured when the store's event log is enabled).
+    explain: Optional[Dict[str, object]] = None
 
     @property
     def kb_per_second(self) -> float:
@@ -89,12 +93,23 @@ def run_phase(
     # registry snapshots happen outside the wall-clock window so the
     # telemetry export never contaminates the measured time
     metrics_before = metrics_snapshot(store)
+    # only profile the phase when the event log is on, so the default
+    # (disabled) path stays exactly as it was
+    recorder = ExplainRecorder(store, label) if store.event_log.enabled else None
     wall_start = perf_seconds()
-    xml_bytes = thunk()
-    store.pool.flush_all()
+    if recorder is not None:
+        with recorder:
+            xml_bytes = thunk()
+            store.pool.flush_all()
+    else:
+        xml_bytes = thunk()
+        store.pool.flush_all()
     wall_seconds = perf_seconds() - wall_start
     metrics_after = metrics_snapshot(store)
     disk = store.device.stats.delta(disk_before)
+    explain = None
+    if recorder is not None and recorder.report is not None:
+        explain = recorder.report.to_dict(include_events=False)
     return PhaseResult(
         label=label,
         operations=operations,
@@ -105,6 +120,7 @@ def run_phase(
         device_writes=disk.writes,
         tokens_scanned=store.locator.stats.tokens_scanned - scanned_before,
         metrics=metrics_after.delta(metrics_before),
+        explain=explain,
     )
 
 

@@ -88,6 +88,8 @@ def phase_dict(result) -> dict:
     }
     if result.metrics is not None:
         out["metrics"] = result.metrics
+    if result.explain is not None:
+        out["explain"] = result.explain
     return out
 
 

@@ -67,6 +67,10 @@ class Table5Config:
     pool_capacity: int = 24
     #: tokens per range in the "many, granular entries" row
     granular_tokens: int = 512
+    #: profile each phase (telemetry + event log + EXPLAIN attachment on
+    #: the phase rows).  Off by default: the disabled path must leave the
+    #: simulated numbers byte-identical.
+    events_enabled: bool = False
     seed: int = 7
 
     @classmethod
@@ -122,6 +126,8 @@ def build_store(
         max_range_tokens=(
             config.granular_tokens if granularity == "granular" else None
         ),
+        telemetry_enabled=config.events_enabled,
+        events_enabled=config.events_enabled,
     )
     store = XMLStore.open(store_config)
     document = purchase_orders_document(

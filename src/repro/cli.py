@@ -18,25 +18,36 @@ Commands:
                                show store statistics (human summary by
                                default; machine formats for scripts)
     trace [--limit N]          dump recorded spans as JSON lines
+    explain <op> [args...]     run one operation and report its access
+                               path, blocks touched and tokens replayed
+    heatmap [--top N]          per-block access counts and hot ranges
     compact                    merge adjacent ranges
     verify                     run the integrity checker
 
+``trace``, ``explain`` and ``heatmap`` accept ``--output FILE`` to write
+the report to a file instead of stdout; an unwritable path exits
+non-zero.  The global ``--verbose`` flag turns on the ``repro.*`` log
+hierarchy on stderr.
+
 Every invocation opens the store, applies the command, checkpoints and
 closes — so the directory is always consistent afterwards.  The CLI
-opens stores with telemetry enabled, so ``stats``/``trace`` always have
-span metrics for the work the invocation itself performed.
+opens stores with telemetry, the event log and the heatmap enabled, so
+``stats``/``trace``/``explain``/``heatmap`` always have data for the
+work the invocation itself performed.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.core.config import StoreConfig
 from repro.core.filestore import close_directory, open_directory
+from repro.log import install_handler
 
 
 def _positive_int(text: str) -> int:
@@ -52,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Adaptive XML store (Duda & Kossmann, SIGMOD 2005)",
     )
     parser.add_argument("store", help="store directory (created on demand)")
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log repro.* debug output to stderr",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     load = commands.add_parser("load", help="bulk-insert a document")
@@ -100,6 +116,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="only the most recent N spans",
     )
+    trace.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
+
+    explain = commands.add_parser(
+        "explain",
+        help="run one operation and report its access path",
+        description=(
+            "Runs <op> exactly like the plain command would, and reports "
+            "which access path it took (partial-index hit, full-index "
+            "probe, range scan), the blocks and tokens it touched, and a "
+            "per-stage cost breakdown."
+        ),
+    )
+    explain.add_argument(
+        "op", help="operation to explain: read, xpath, insert-last, ..."
+    )
+    explain.add_argument(
+        "op_args", nargs="*", help="the operation's own arguments"
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="full report as JSON"
+    )
+    explain.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
+
+    heatmap = commands.add_parser(
+        "heatmap", help="per-block access counts and hot ranges"
+    )
+    heatmap.add_argument(
+        "--top",
+        type=_positive_int,
+        default=10,
+        help="rows per section (default 10)",
+    )
+    heatmap.add_argument(
+        "--xpath",
+        default=None,
+        metavar="EXPR",
+        help="evaluate EXPR first so the heatmap shows that query's accesses",
+    )
+    heatmap.add_argument(
+        "--json", action="store_true", help="report as JSON"
+    )
+    heatmap.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
 
     commands.add_parser("compact", help="merge adjacent ranges")
     commands.add_parser("verify", help="run the integrity checker")
@@ -109,15 +173,32 @@ def build_parser() -> argparse.ArgumentParser:
 def run(argv: Optional[List[str]] = None, stdin=None) -> str:
     """Execute one CLI invocation; returns the text that was printed."""
     arguments = build_parser().parse_args(argv)
+    if arguments.verbose:
+        install_handler(logging.DEBUG)
     stdin = stdin if stdin is not None else sys.stdin
     store = open_directory(
-        arguments.store, config=StoreConfig(telemetry_enabled=True)
+        arguments.store,
+        config=StoreConfig(
+            telemetry_enabled=True, events_enabled=True, heatmap_enabled=True
+        ),
     )
     try:
         output = _dispatch(store, arguments, stdin)
     finally:
         close_directory(arguments.store, store)
     return output
+
+
+def _deliver(text: str, output_path: Optional[str]) -> str:
+    """Print-or-write plumbing shared by trace/explain/heatmap."""
+    if output_path is None:
+        return text
+    try:
+        with open(output_path, "w") as handle:
+            handle.write(text + "\n")
+    except OSError as error:
+        raise ReproError(f"cannot write {output_path}: {error}") from error
+    return f"wrote {output_path}"
 
 
 def _dispatch(store, arguments, stdin) -> str:
@@ -180,7 +261,27 @@ def _dispatch(store, arguments, stdin) -> str:
         events = store.telemetry.events()
         if arguments.limit is not None:
             events = events[-arguments.limit :]
-        return events_jsonl(events).rstrip("\n")
+        return _deliver(events_jsonl(events).rstrip("\n"), arguments.output)
+    if command == "explain":
+        from repro.obs.explain import explain_operation
+
+        report = explain_operation(store, arguments.op, arguments.op_args)
+        if arguments.json:
+            text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        else:
+            text = report.render()
+        return _deliver(text, arguments.output)
+    if command == "heatmap":
+        from repro.obs.heatmap import heatmap_json, render_heatmap
+
+        if arguments.xpath is not None:
+            for node in store.xpath(arguments.xpath):
+                node.xml()  # serialize so per-node locates hit the heatmap
+        if arguments.json:
+            text = heatmap_json(store, top=arguments.top)
+        else:
+            text = render_heatmap(store, top=arguments.top).rstrip("\n")
+        return _deliver(text, arguments.output)
     if command == "compact":
         report = store.compact()
         return (

@@ -115,6 +115,18 @@ class StoreConfig:
     #: Completed spans retained in the in-memory ring buffer.
     telemetry_ring_capacity: int = 1024
 
+    #: Record structured events (see :mod:`repro.obs.events`): the per-
+    #: operation fact stream EXPLAIN reports are assembled from.  Off by
+    #: default for the same reason as telemetry.
+    events_enabled: bool = False
+
+    #: Events retained in the in-memory event ring buffer.
+    events_capacity: int = 4096
+
+    #: Record per-block access counts in the buffer pool (see
+    #: :mod:`repro.obs.heatmap`).  Off by default.
+    heatmap_enabled: bool = False
+
     def __post_init__(self) -> None:
         if self.page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
@@ -128,3 +140,5 @@ class StoreConfig:
             raise ValueError("adaptive_read_threshold must be in [0, 1]")
         if self.telemetry_ring_capacity < 1:
             raise ValueError("telemetry_ring_capacity must be at least 1")
+        if self.events_capacity < 1:
+            raise ValueError("events_capacity must be at least 1")

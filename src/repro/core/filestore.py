@@ -23,6 +23,7 @@ from typing import Optional
 from repro.errors import StoreError
 from repro.core.config import StoreConfig
 from repro.core.store import XMLStore
+from repro.log import get_logger
 from repro.storage.disk import FileBlockDevice, InstrumentedDevice
 from repro.storage.recovery import replay
 from repro.storage.wal import WriteAheadLog
@@ -30,6 +31,8 @@ from repro.storage.wal import WriteAheadLog
 DEVICE_FILE = "store.db"
 WAL_FILE = "store.wal"
 CATALOG_FILE = "store.catalog"
+
+_log = get_logger("core.filestore")
 
 
 def open_directory(path: str, config: Optional[StoreConfig] = None) -> XMLStore:
@@ -50,6 +53,7 @@ def open_directory(path: str, config: Optional[StoreConfig] = None) -> XMLStore:
     )
     wal = WriteAheadLog(wal_path)
     if not existing:
+        _log.info("creating fresh store in %s", path)
         store = XMLStore.open(config=config, device=device, wal=wal)
         with store.telemetry.span("store.open", path=path, fresh=True):
             # make the empty store immediately reopenable
@@ -57,6 +61,7 @@ def open_directory(path: str, config: Optional[StoreConfig] = None) -> XMLStore:
         return store
     with open(catalog_path, "rb") as handle:
         catalog = handle.read()
+    _log.info("reopening store in %s from catalog", path)
     store = XMLStore.from_catalog(device, catalog, config=config, wal=wal)
     with store.telemetry.span("store.open", path=path, fresh=False):
         replay(store, wal)
@@ -65,6 +70,7 @@ def open_directory(path: str, config: Optional[StoreConfig] = None) -> XMLStore:
 
 def close_directory(path: str, store: XMLStore) -> None:
     """Checkpoint ``store`` and persist its catalog into ``path``."""
+    _log.info("closing store in %s (checkpoint + catalog)", path)
     catalog = store.checkpoint()
     _write_catalog(os.path.join(path, CATALOG_FILE), catalog)
     store.wal.close()

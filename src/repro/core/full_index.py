@@ -21,6 +21,7 @@ from typing import Iterator, Optional, Tuple
 from repro.core.partial_index import LocationEntry
 from repro.core.ranges import RangeTable
 from repro.index.bptree import INT_KEY_CODEC, PagedBPlusTree
+from repro.obs.events import NOOP_EVENT_LOG
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import Position
 
@@ -36,7 +37,10 @@ class FullIndex:
         self._tree: PagedBPlusTree[int] = PagedBPlusTree(
             pool, INT_KEY_CODEC, order=order, root_block=root_block
         )
+        self.lookups = 0
         self.stale_lookups = 0
+        #: Structured event log (no-op unless the store attaches one).
+        self.event_log = NOOP_EVENT_LOG
 
     @property
     def root_block(self) -> int:
@@ -66,8 +70,12 @@ class FullIndex:
     def lookup(self, node_id: int, ranges: RangeTable) -> Optional[LocationEntry]:
         """A *current* location for ``node_id``; stale entries return None
         (the caller re-locates by scan and calls :meth:`put` to repair)."""
+        self.lookups += 1
         value = self._tree.get(node_id)
         if value is None:
+            if self.event_log.enabled:
+                self.event_log.emit("full_index", "probe",
+                                    node_id=node_id, outcome="miss")
             return None
         range_id, version, block_no, slot, offset = _ENTRY.unpack(value)
         entry = LocationEntry(
@@ -79,7 +87,15 @@ class FullIndex:
         )
         if not entry.is_current(ranges):
             self.stale_lookups += 1
+            if self.event_log.enabled:
+                self.event_log.emit("full_index", "probe",
+                                    node_id=node_id, outcome="stale",
+                                    range_id=range_id)
             return None
+        if self.event_log.enabled:
+            self.event_log.emit("full_index", "probe",
+                                node_id=node_id, outcome="hit",
+                                range_id=range_id)
         return entry
 
     def remove(self, node_id: int) -> bool:

@@ -26,6 +26,7 @@ from repro.core.partial_index import LocationEntry, PartialIndex
 from repro.core.range_index import RangeIndex
 from repro.core.ranges import RangeMeta, RangeTable
 from repro.ids.base import StoreIdScheme
+from repro.obs.events import NOOP_EVENT_LOG
 from repro.obs.metrics import NOOP_METRIC, TOKEN_COUNT_BUCKETS
 from repro.obs.telemetry import NOOP_TELEMETRY
 from repro.storage.heap import Position
@@ -114,6 +115,8 @@ class Locator:
         #: Telemetry facade (no-op unless the store attaches a live one).
         self.telemetry = NOOP_TELEMETRY
         self._scan_tokens = NOOP_METRIC
+        #: Structured event log (no-op unless the store attaches one).
+        self.event_log = NOOP_EVENT_LOG
 
     def attach_telemetry(self, telemetry) -> None:
         """Record per-resolution scan lengths through ``telemetry``."""
@@ -276,7 +279,18 @@ class Locator:
                 if item.token.starts_node and item.last_id == node_id:
                     return NodeLocation(node_id=node_id, begin=item)
         finally:
-            self._scan_tokens.observe(self.stats.tokens_scanned - scanned_before)
+            scanned = self.stats.tokens_scanned - scanned_before
+            self._scan_tokens.observe(scanned)
+            if self.event_log.enabled:
+                self.event_log.emit(
+                    "locator",
+                    "scan",
+                    node_id=node_id,
+                    range_id=meta.range_id,
+                    start_id=meta.start_id,
+                    end_id=meta.end_id,
+                    tokens=scanned,
+                )
         raise NodeNotFoundError(
             f"node {node_id} was deleted from range {meta.range_id}"
         )

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.ranges import RangeTable
+from repro.obs.events import NOOP_EVENT_LOG
 from repro.storage.heap import Position
 
 
@@ -125,6 +126,8 @@ class PartialIndex:
         self.capacity = capacity
         self.stats = PartialIndexStats()
         self._entries: "OrderedDict[int, LocationEntry]" = OrderedDict()
+        #: Structured event log (no-op unless the store attaches one).
+        self.event_log = NOOP_EVENT_LOG
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -136,15 +139,26 @@ class PartialIndex:
         entry = self._entries.get(node_id)
         if entry is None:
             self.stats.misses += 1
+            if self.event_log.enabled:
+                self.event_log.emit("partial_index", "probe",
+                                    node_id=node_id, outcome="miss")
             return None
         if not entry.is_current(ranges):
             self.stats.stale_hits += 1
             del self._entries[node_id]
+            if self.event_log.enabled:
+                self.event_log.emit("partial_index", "probe",
+                                    node_id=node_id, outcome="stale",
+                                    range_id=entry.range_id)
             return None
         if entry.has_end and not entry.is_end_current(ranges):
             entry.drop_end()
         self.stats.hits += 1
         self._entries.move_to_end(node_id)
+        if self.event_log.enabled:
+            self.event_log.emit("partial_index", "probe",
+                                node_id=node_id, outcome="hit",
+                                range_id=entry.range_id)
         return entry
 
     def remember(self, entry: LocationEntry) -> None:
@@ -161,10 +175,17 @@ class PartialIndex:
         self._entries[entry.node_id] = entry
         self._entries.move_to_end(entry.node_id)
         self.stats.inserts += 1
+        if self.event_log.enabled:
+            self.event_log.emit("partial_index", "remember",
+                                node_id=entry.node_id, range_id=entry.range_id,
+                                has_end=entry.has_end)
         if self.capacity is not None:
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted_id, _ = self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                if self.event_log.enabled:
+                    self.event_log.emit("partial_index", "evict",
+                                        node_id=evicted_id)
 
     def forget(self, node_id: int) -> None:
         self._entries.pop(node_id, None)

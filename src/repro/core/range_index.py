@@ -19,6 +19,7 @@ from typing import Iterator, Optional, Tuple
 
 from repro.core.ranges import RangeMeta, RangeTable
 from repro.index.bptree import INT_KEY_CODEC, PagedBPlusTree
+from repro.obs.events import NOOP_EVENT_LOG
 from repro.storage.buffer import BufferPool
 
 _VALUE = struct.Struct("<q")
@@ -34,6 +35,8 @@ class RangeIndex:
             pool, INT_KEY_CODEC, order=order, root_block=root_block
         )
         self.lookups = 0
+        #: Structured event log (no-op unless the store attaches one).
+        self.event_log = NOOP_EVENT_LOG
 
     @property
     def root_block(self) -> int:
@@ -61,14 +64,24 @@ class RangeIndex:
         interval covers ``node_id``, or None."""
         self.lookups += 1
         item = self._tree.floor_item(node_id)
-        if item is None:
-            return None
-        _, value = item
-        (range_id,) = _VALUE.unpack(value)
-        if range_id not in ranges:
-            return None
-        meta = ranges.get(range_id)
-        return meta if meta.covers(node_id) else None
+        meta: Optional[RangeMeta] = None
+        if item is not None:
+            _, value = item
+            (range_id,) = _VALUE.unpack(value)
+            if range_id in ranges:
+                candidate = ranges.get(range_id)
+                if candidate.covers(node_id):
+                    meta = candidate
+        if self.event_log.enabled:
+            self.event_log.emit(
+                "range_index",
+                "locate",
+                node_id=node_id,
+                range_id=meta.range_id if meta is not None else None,
+                start_id=meta.start_id if meta is not None else None,
+                end_id=meta.end_id if meta is not None else None,
+            )
+        return meta
 
     def entries(self) -> Iterator[Tuple[int, int]]:
         """(start_id, range_id) pairs in id order (for reports/tests)."""

@@ -48,6 +48,8 @@ from repro.core.range_index import RangeIndex
 from repro.core.ranges import RangeMeta, RangeTable
 from repro.core.stats import OperationCounts, StoreStatistics
 from repro.ids.sequential import SequentialIdScheme
+from repro.obs.events import create_event_log
+from repro.obs.heatmap import create_heatmap
 from repro.obs.telemetry import create_telemetry
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import BlockDevice, InstrumentedDevice, MemoryBlockDevice
@@ -198,6 +200,22 @@ class XMLStore:
         self.telemetry.preregister_spans(TABLE1_SPANS)
         self.locator.attach_telemetry(self.telemetry)
         self.wal.telemetry = self.telemetry
+        self.event_log = create_event_log(
+            self.config.events_enabled,
+            capacity=self.config.events_capacity,
+            simulated_clock=lambda: self.simulated_seconds,
+            tracer=self.telemetry.tracer,
+        )
+        self.heatmap = create_heatmap(self.config.heatmap_enabled)
+        self.pool.event_log = self.event_log
+        self.pool.heatmap = self.heatmap
+        self.locator.event_log = self.event_log
+        self.range_index.event_log = self.event_log
+        if self.partial_index is not None:
+            self.partial_index.event_log = self.event_log
+        if self.full_index is not None:
+            self.full_index.event_log = self.event_log
+        self.wal.event_log = self.event_log
 
     # -- convenience constructors -----------------------------------------------------
 

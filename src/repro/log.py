@@ -1,0 +1,60 @@
+"""One namespaced logger hierarchy for the whole package.
+
+Every module obtains its logger via :func:`get_logger`, which parents it
+under the single ``repro`` root logger.  The root carries a
+``NullHandler`` (library etiquette: importing the package never prints
+anything and never trips the "No handlers could be found" warning), so
+log records are invisible until an application installs a handler —
+which is exactly what the CLI's ``--verbose`` flag does through
+:func:`install_handler`.
+
+Levels follow the usual conventions:
+
+* ``debug`` — hot-path detail (evictions, WAL appends);
+* ``info`` — lifecycle events (store open/close, recovery replay);
+* ``warning`` — recoverable anomalies (torn WAL tail, injected faults).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+ROOT_LOGGER_NAME = "repro"
+
+_root = logging.getLogger(ROOT_LOGGER_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The logger for one module, namespaced under ``repro.``.
+
+    Pass the dotted module suffix (``"storage.buffer"``); an empty name
+    returns the package root logger.
+    """
+    if not name:
+        return _root
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def install_handler(
+    level: int = logging.INFO, stream: Optional[TextIO] = None
+) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` root (the CLI's
+    ``--verbose``); returns the handler so callers can remove it."""
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    return handler
+
+
+def remove_handler(handler: logging.Handler) -> None:
+    """Detach a handler previously installed by :func:`install_handler`."""
+    _root.removeHandler(handler)

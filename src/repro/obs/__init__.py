@@ -12,6 +12,12 @@ See DESIGN.md ("Observability") for the architecture.  Quick tour:
   into a registry and snapshots it for the bench harness;
 * :mod:`repro.obs.exporters` — Prometheus text, JSON-lines events,
   a ``top``-style view, and the classic summary renderer;
+* :mod:`repro.obs.events` — the structured event log components emit
+  into (op-id and span-correlated, bounded, JSONL-exportable);
+* :mod:`repro.obs.heatmap` — per-block access counters and the
+  hot-block / hot-range / partial-index-efficacy reports;
+* :mod:`repro.obs.explain` — per-operation EXPLAIN reports assembled
+  from the event log, spans and component counters;
 * :mod:`repro.obs.clock` — the only legal wall-clock source
   (enforced by :func:`~repro.obs.clock.check_clock_discipline`).
 """
@@ -25,11 +31,37 @@ from repro.obs.bridge import (
     store_registry,
 )
 from repro.obs.clock import check_clock_discipline, perf_seconds
+from repro.obs.events import (
+    DEFAULT_EVENT_CAPACITY,
+    Event,
+    EventLog,
+    NOOP_EVENT_LOG,
+    NoopEventLog,
+    create_event_log,
+    events_log_jsonl,
+)
+from repro.obs.explain import (
+    EXPLAINABLE_OPS,
+    ExplainRecorder,
+    ExplainReport,
+    explain_operation,
+    run_operation,
+)
 from repro.obs.exporters import (
     events_jsonl,
     prometheus_text,
     render_classic_summary,
     render_top,
+)
+from repro.obs.heatmap import (
+    BlockHeat,
+    BlockHeatmap,
+    NOOP_HEATMAP,
+    NoopHeatmap,
+    create_heatmap,
+    heatmap_json,
+    heatmap_report,
+    render_heatmap,
 )
 from repro.obs.metrics import (
     Counter,
@@ -64,19 +96,31 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "BlockHeat",
+    "BlockHeatmap",
     "Counter",
+    "DEFAULT_EVENT_CAPACITY",
     "DEFAULT_RING_CAPACITY",
+    "EXPLAINABLE_OPS",
+    "Event",
+    "EventLog",
+    "ExplainRecorder",
+    "ExplainReport",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
     "MetricFamily",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NOOP_EVENT_LOG",
+    "NOOP_HEATMAP",
     "NOOP_METRIC",
     "NOOP_REGISTRY",
     "NOOP_SPAN",
     "NOOP_TELEMETRY",
     "NOOP_TRACER",
+    "NoopEventLog",
+    "NoopHeatmap",
     "NoopRegistry",
     "NoopTelemetry",
     "NoopTracer",
@@ -88,14 +132,22 @@ __all__ = [
     "Telemetry",
     "Tracer",
     "check_clock_discipline",
+    "create_event_log",
+    "create_heatmap",
     "create_telemetry",
     "events_jsonl",
+    "events_log_jsonl",
+    "explain_operation",
     "format_value",
+    "heatmap_json",
+    "heatmap_report",
     "metrics_snapshot",
     "perf_seconds",
     "prometheus_text",
     "render_classic_summary",
+    "render_heatmap",
     "render_top",
+    "run_operation",
     "sample_key",
     "snapshot_families",
     "stats_registry",

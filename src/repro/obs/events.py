@@ -1,0 +1,233 @@
+"""Structured event log: who did what on which access path, and when.
+
+Spans (:mod:`repro.obs.tracing`) time *brackets* of work; events record
+*facts inside* them — "partial index probe missed node 42", "range 3
+scanned 211 tokens", "WAL appended insert_into_last".  Every component on
+the lookup path (locator, partial index, range index, full index, buffer
+pool, WAL, xpath evaluator) holds an ``event_log`` attribute — the shared
+no-op singleton unless the store attaches a live log — and emits into it.
+
+Each :class:`Event` carries:
+
+* ``seq`` — monotone sequence number (the ring buffer's own order);
+* ``op_id``/``op`` — the store operation the event belongs to, stamped
+  while an :class:`~repro.obs.explain.ExplainRecorder` (or any caller of
+  :meth:`EventLog.begin_op`) has an operation window open;
+* ``span`` — the sequence number of the innermost open tracing span at
+  emit time, correlating events with the span tree;
+* ``severity`` — ``debug``/``info``/``warning``/``error``;
+* ``source``/``kind`` — emitting component and what happened;
+* ``wall``/``simulated`` — both store clocks at emit time;
+* ``fields`` — free-form payload (node ids, ranges, token counts...).
+
+Like the rest of :mod:`repro.obs`, the disabled path is a shared no-op
+twin (:data:`NOOP_EVENT_LOG`): component emit sites guard on
+``event_log.enabled``, so a store without events performs one attribute
+check and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.clock import perf_seconds
+
+DEFAULT_EVENT_CAPACITY = 4096
+
+SEVERITIES = ("debug", "info", "warning", "error")
+
+
+@dataclass
+class Event:
+    """One structured log record, as stored in the ring buffer."""
+
+    seq: int
+    op_id: Optional[int]
+    op: Optional[str]
+    span: Optional[int]
+    severity: str
+    source: str
+    kind: str
+    wall: float
+    simulated: float
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "seq": self.seq,
+            "severity": self.severity,
+            "source": self.source,
+            "kind": self.kind,
+            "wall": self.wall,
+            "simulated": self.simulated,
+        }
+        if self.op_id is not None:
+            out["op_id"] = self.op_id
+            out["op"] = self.op
+        if self.span is not None:
+            out["span"] = self.span
+        if self.fields:
+            out["fields"] = self.fields
+        return out
+
+
+def events_log_jsonl(events: List[Event]) -> str:
+    """Render events as JSON lines (one object per line)."""
+    return "".join(
+        json.dumps(event.to_dict(), sort_keys=True, default=str) + "\n"
+        for event in events
+    )
+
+
+class EventLog:
+    """Bounded, thread-safe ring buffer of :class:`Event` records."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_EVENT_CAPACITY,
+        simulated_clock: Optional[Callable[[], float]] = None,
+        tracer=None,
+    ) -> None:
+        if capacity < 1:
+            capacity = 1
+        self.capacity = capacity
+        self.simulated_clock = simulated_clock
+        #: tracer whose innermost open span stamps each event (optional)
+        self.tracer = tracer
+        self.dropped = 0
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._op_id: Optional[int] = None
+        self._op_name: Optional[str] = None
+        self._next_op_id = 0
+
+    # -- operation windows --------------------------------------------------
+
+    def begin_op(self, name: str) -> int:
+        """Open an operation window; events emitted until :meth:`end_op`
+        carry this operation's id and name."""
+        with self._lock:
+            op_id = self._next_op_id
+            self._next_op_id += 1
+            self._op_id = op_id
+            self._op_name = name
+        return op_id
+
+    def end_op(self) -> None:
+        with self._lock:
+            self._op_id = None
+            self._op_name = None
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(
+        self, source: str, kind: str, severity: str = "debug", **fields: object
+    ) -> Event:
+        """Record one event; returns it (mainly for tests)."""
+        if severity not in SEVERITIES:
+            raise ObservabilityError(
+                f"unknown severity {severity!r}; use one of {SEVERITIES}"
+            )
+        simulated = self.simulated_clock() if self.simulated_clock is not None else 0.0
+        span_seq = self.tracer.current_span_seq() if self.tracer is not None else None
+        with self._lock:
+            event = Event(
+                seq=self._seq,
+                op_id=self._op_id,
+                op=self._op_name,
+                span=span_seq,
+                severity=severity,
+                source=source,
+                kind=kind,
+                wall=perf_seconds(),
+                simulated=simulated,
+                fields=fields,
+            )
+            self._seq += 1
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+        return event
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next event will receive (window marker)."""
+        with self._lock:
+            return self._seq
+
+    def events(
+        self, since: int = 0, op_id: Optional[int] = None
+    ) -> List[Event]:
+        """Events still in the ring, oldest first, with ``seq >= since``
+        (optionally restricted to one operation window)."""
+        with self._lock:
+            out = [e for e in self._events if e.seq >= since]
+        if op_id is not None:
+            out = [e for e in out if e.op_id == op_id]
+        return out
+
+    def to_jsonl(self) -> str:
+        return events_log_jsonl(self.events())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+
+class NoopEventLog:
+    """Disabled event log: every method is a no-op with the same shape."""
+
+    __slots__ = ()
+    enabled = False
+    capacity = 0
+    dropped = 0
+    next_seq = 0
+    simulated_clock = None
+    tracer = None
+
+    def begin_op(self, name: str) -> int:
+        return 0
+
+    def end_op(self) -> None:
+        pass
+
+    def emit(
+        self, source: str, kind: str, severity: str = "debug", **fields: object
+    ) -> None:
+        pass
+
+    def events(self, since: int = 0, op_id: Optional[int] = None) -> List[Event]:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def clear(self) -> None:
+        pass
+
+
+NOOP_EVENT_LOG = NoopEventLog()
+
+
+def create_event_log(
+    enabled: bool,
+    capacity: int = DEFAULT_EVENT_CAPACITY,
+    simulated_clock: Optional[Callable[[], float]] = None,
+    tracer=None,
+):
+    """The configured event log: live when enabled, shared no-op
+    singleton otherwise."""
+    if not enabled:
+        return NOOP_EVENT_LOG
+    return EventLog(capacity=capacity, simulated_clock=simulated_clock, tracer=tracer)

@@ -205,6 +205,19 @@ class Tracer:
     def active_depth(self) -> int:
         return len(self._stack())
 
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next span will receive (window marker for
+        per-operation analysis, see :mod:`repro.obs.explain`)."""
+        with self._lock:
+            return self._seq
+
+    def current_span_seq(self) -> Optional[int]:
+        """Sequence number of the innermost open span on this thread, or
+        None outside any span (event/span correlation)."""
+        stack = self._stack()
+        return stack[-1].seq if stack else None
+
     def events(self) -> List[SpanEvent]:
         """The ring buffer's events, oldest first."""
         with self._lock:
@@ -245,10 +258,14 @@ class NoopTracer:
     capacity = 0
     dropped = 0
     active_depth = 0
+    next_seq = 0
     simulated_clock = None
 
     def span(self, name: str, **fields: object) -> _NoopSpan:
         return NOOP_SPAN
+
+    def current_span_seq(self) -> Optional[int]:
+        return None
 
     def touch(self, name: str) -> None:
         pass

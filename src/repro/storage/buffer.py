@@ -18,10 +18,15 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from repro.errors import BufferPoolExhaustedError, StorageError
+from repro.log import get_logger
+from repro.obs.events import NOOP_EVENT_LOG
+from repro.obs.heatmap import NOOP_HEATMAP
 from repro.storage.disk import BlockDevice
 from repro.storage.pages import SlottedPage
 
 DEFAULT_POOL_CAPACITY = 64
+
+_log = get_logger("storage.buffer")
 
 
 @dataclass
@@ -119,6 +124,10 @@ class BufferPool:
         self.device = device
         self.capacity = capacity
         self.stats = BufferStats()
+        #: Structured event log / block heatmap (no-ops unless the owning
+        #: store attaches live ones).
+        self.event_log = NOOP_EVENT_LOG
+        self.heatmap = NOOP_HEATMAP
         # OrderedDict in LRU order: least-recently-used first.
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
         # Blocks logically freed but not yet released to the device.
@@ -140,11 +149,15 @@ class BufferPool:
         if frame is not None:
             self.stats.hits += 1
             self._frames.move_to_end(block_no)
+            if self.heatmap.enabled:
+                self.heatmap.record_fetch(block_no, hit=True)
         else:
             self.stats.misses += 1
             data = self.device.read_block(block_no)
             frame = _Frame(SlottedPage.from_bytes(data))
             self._admit(block_no, frame)
+            if self.heatmap.enabled:
+                self.heatmap.record_fetch(block_no, hit=False)
         frame.pin_count += 1
         return PageGuard(self, block_no, frame)
 
@@ -177,6 +190,8 @@ class BufferPool:
             self.device.write_block(block_no, frame.page.to_bytes())
             self.stats.dirty_writebacks += 1
             frame.dirty = False
+            if self.heatmap.enabled:
+                self.heatmap.record_write(block_no)
 
     def flush_all(self) -> None:
         """Write back every dirty page, release deferred frees, and sync."""
@@ -217,9 +232,16 @@ class BufferPool:
                 if victim.dirty:
                     self.device.write_block(victim_no, victim.page.to_bytes())
                     self.stats.dirty_writebacks += 1
+                    if self.heatmap.enabled:
+                        self.heatmap.record_write(victim_no)
                 del self._frames[victim_no]
                 self.stats.evictions += 1
+                _log.debug("evicted block %d (dirty=%s)", victim_no, victim.dirty)
+                if self.event_log.enabled:
+                    self.event_log.emit("buffer", "evict",
+                                        block=victim_no, dirty=victim.dirty)
                 return
+        _log.warning("buffer pool exhausted: all %d frames pinned", self.capacity)
         raise BufferPoolExhaustedError(
             f"all {self.capacity} frames are pinned; cannot evict"
         )

@@ -32,8 +32,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import BlockNotFoundError, DiskFaultError, StorageError
+from repro.log import get_logger
 
 DEFAULT_BLOCK_SIZE = 4096
+
+_log = get_logger("storage.disk")
 
 
 class BlockDevice:
@@ -372,6 +375,8 @@ class FaultInjector:
     def check(self, op: str, block_no: int, stats: DiskStats) -> None:
         if self.predicate(op, block_no, stats):
             self.fired += 1
+            _log.warning("injected disk fault #%d: %s (%s block %d)",
+                         self.fired, self.message, op, block_no)
             raise DiskFaultError(f"{self.message} ({op} block {block_no})")
 
 

@@ -20,9 +20,12 @@ import struct
 from typing import Any, List, Protocol
 
 from repro.errors import WALError
+from repro.log import get_logger
 from repro.storage.wal import LogRecord, RecordType, WriteAheadLog
 
 _LEN = struct.Struct("<I")
+
+_log = get_logger("storage.recovery")
 
 
 def encode_op_payload(id_bytes: bytes, xml_text: str) -> bytes:
@@ -108,6 +111,7 @@ def replay(store: ReplayableStore, wal: WriteAheadLog) -> List[LogRecord]:
     cannot be guaranteed, use :func:`replay_all` on a fresh store instead.
     """
     pending = wal.records_after_last_checkpoint()
+    _log.info("replaying %d WAL record(s) after last checkpoint", len(pending))
     for record in pending:
         replay_record(store, record)
     return pending
@@ -122,6 +126,7 @@ def replay_all(store: ReplayableStore, wal: WriteAheadLog) -> List[LogRecord]:
         for record in wal.records()
         if record.record_type != RecordType.CHECKPOINT
     ]
+    _log.info("full restore: replaying %d WAL record(s)", len(records))
     for record in records:
         replay_record(store, record)
     return records

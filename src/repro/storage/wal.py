@@ -25,9 +25,13 @@ from dataclasses import dataclass
 from typing import BinaryIO, Iterator, List, Optional
 
 from repro.errors import WALError
+from repro.log import get_logger
+from repro.obs.events import NOOP_EVENT_LOG
 from repro.obs.telemetry import NOOP_TELEMETRY
 
 _FRAME = struct.Struct("<IIHQ")
+
+_log = get_logger("storage.wal")
 
 
 class RecordType:
@@ -81,6 +85,8 @@ class WriteAheadLog:
         self.fsyncs = 0
         #: Telemetry facade; the owning store attaches a live one.
         self.telemetry = NOOP_TELEMETRY
+        #: Structured event log (no-op unless the store attaches one).
+        self.event_log = NOOP_EVENT_LOG
         if path is None:
             self._stream: BinaryIO = io.BytesIO()
         else:
@@ -104,6 +110,13 @@ class WriteAheadLog:
             self._stream.write(struct.pack("<I", crc) + body)
             self.appends += 1
             self.flush()
+        if self.event_log.enabled:
+            self.event_log.emit(
+                "wal", "append",
+                lsn=lsn,
+                type=RecordType.NAMES.get(record_type, record_type),
+                bytes=len(payload),
+            )
         return lsn
 
     def checkpoint(self) -> int:
@@ -134,9 +147,11 @@ class WriteAheadLog:
             crc, length, record_type, lsn = _FRAME.unpack(header)
             payload = self._stream.read(length)
             if len(payload) < length:
+                _log.warning("torn WAL tail: record lsn=%d truncated", lsn)
                 return
             body = header[4:] + payload
             if zlib.crc32(body) != crc:
+                _log.warning("torn WAL tail: record lsn=%d fails checksum", lsn)
                 return
             yield LogRecord(lsn=lsn, record_type=record_type, payload=payload)
 
@@ -154,6 +169,7 @@ class WriteAheadLog:
 
     def truncate(self) -> None:
         """Discard the whole log (after a checkpoint has made it redundant)."""
+        _log.info("truncating WAL (%d records appended so far)", self.appends)
         self._stream.seek(0)
         self._stream.truncate()
         self.flush()

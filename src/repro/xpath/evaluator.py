@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import XPathUnsupportedError
+from repro.obs.events import NOOP_EVENT_LOG
 from repro.xpath.ast import (
     Axis,
     BooleanOp,
@@ -137,8 +138,18 @@ def build_view(store) -> XPathNode:
 def evaluate(store, expression: str) -> List[XPathNode]:
     """Evaluate ``expression`` against ``store``; results in document order."""
     path = parse(expression)
+    before_scanned = store.locator.stats.tokens_scanned
     root = build_view(store)
-    return evaluate_path(path, context=[root], root=root)
+    matches = evaluate_path(path, context=[root], root=root)
+    event_log = getattr(store, "event_log", NOOP_EVENT_LOG)
+    if event_log.enabled:
+        event_log.emit(
+            "xpath", "evaluate", severity="info",
+            expression=expression,
+            matches=len(matches),
+            view_tokens=store.locator.stats.tokens_scanned - before_scanned,
+        )
+    return matches
 
 
 def evaluate_path(

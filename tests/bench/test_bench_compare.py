@@ -1,0 +1,142 @@
+"""The benchmark regression gate (tools/bench_compare.py)."""
+
+import copy
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+)
+import bench_compare  # noqa: E402
+
+
+def _rows():
+    """A synthetic Table-5 result with the paper's shape."""
+    return [
+        {"approach": "Full Index (max. granularity)",
+         "insert": {"kb_per_second": 30.0},
+         "seq_scan": {"kb_per_second": 1100.0},
+         "random_reads": {"kb_per_second": 650.0}},
+        {"approach": "Range Index (many, granular entries)",
+         "insert": {"kb_per_second": 95.0},
+         "seq_scan": {"kb_per_second": 1500.0},
+         "random_reads": {"kb_per_second": 140.0}},
+        {"approach": "Range Index (few, coarse, large entries)",
+         "insert": {"kb_per_second": 90.0},
+         "seq_scan": {"kb_per_second": 1500.0},
+         "random_reads": {"kb_per_second": 33.0}},
+        {"approach": "Range Index (coarse) + Partial Index (memory)",
+         "insert": {"kb_per_second": 180.0},
+         "seq_scan": {"kb_per_second": 1500.0},
+         "random_reads": {"kb_per_second": 990.0}},
+    ]
+
+
+def _write(path, rows):
+    path.write_text(json.dumps(rows))
+    return str(path)
+
+
+class TestCompare:
+    def test_identical_results_pass(self):
+        baseline = {r["approach"]: {p: r[p]["kb_per_second"]
+                                    for p in bench_compare.PHASES}
+                    for r in _rows()}
+        assert bench_compare.compare(baseline, copy.deepcopy(baseline)) == []
+
+    def test_uniform_rescaling_passes(self):
+        baseline = {r["approach"]: {p: r[p]["kb_per_second"]
+                                    for p in bench_compare.PHASES}
+                    for r in _rows()}
+        scaled = {
+            approach: {phase: value * 3.0 for phase, value in phases.items()}
+            for approach, phases in baseline.items()
+        }
+        assert bench_compare.compare(baseline, scaled) == []
+
+    def test_drift_beyond_tolerance_fails(self):
+        baseline = {r["approach"]: {p: r[p]["kb_per_second"]
+                                    for p in bench_compare.PHASES}
+                    for r in _rows()}
+        drifted = copy.deepcopy(baseline)
+        # partial-index inserts collapse to coarse level: the headline
+        # trade-off changed, the gate must notice
+        drifted["Range Index (coarse) + Partial Index (memory)"]["insert"] = 90.0
+        messages = bench_compare.compare(baseline, drifted, tolerance=0.25)
+        assert len(messages) == 1
+        assert "insert" in messages[0]
+
+    def test_drift_within_tolerance_passes(self):
+        baseline = {r["approach"]: {p: r[p]["kb_per_second"]
+                                    for p in bench_compare.PHASES}
+                    for r in _rows()}
+        drifted = copy.deepcopy(baseline)
+        drifted["Full Index (max. granularity)"]["insert"] *= 1.10
+        assert bench_compare.compare(baseline, drifted, tolerance=0.25) == []
+
+    def test_missing_approach_reported(self):
+        baseline = {r["approach"]: {p: r[p]["kb_per_second"]
+                                    for p in bench_compare.PHASES}
+                    for r in _rows()}
+        current = copy.deepcopy(baseline)
+        del current["Full Index (max. granularity)"]
+        messages = bench_compare.compare(baseline, current)
+        assert any("missing" in m for m in messages)
+
+
+class TestMain:
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        path = _write(tmp_path / "a.json", _rows())
+        assert bench_compare.main([path, path]) == 0
+        assert "stable" in capsys.readouterr().out
+
+    def test_drift_exit_one(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "a.json", _rows())
+        drifted_rows = _rows()
+        drifted_rows[3]["insert"]["kb_per_second"] = 90.0
+        drifted = _write(tmp_path / "b.json", drifted_rows)
+        assert bench_compare.main([baseline, drifted]) == 1
+        out = capsys.readouterr().out
+        assert "benchmark regression" in out
+        assert "Partial Index" in out
+
+    def test_wider_tolerance_forgives(self, tmp_path):
+        baseline = _write(tmp_path / "a.json", _rows())
+        drifted_rows = _rows()
+        drifted_rows[3]["insert"]["kb_per_second"] = 90.0
+        drifted = _write(tmp_path / "b.json", drifted_rows)
+        assert bench_compare.main([baseline, drifted, "--tolerance", "2.0"]) == 0
+
+    def test_malformed_exit_two(self, tmp_path, capsys):
+        good = _write(tmp_path / "a.json", _rows())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert bench_compare.main([good, str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_exit_two(self, tmp_path):
+        good = _write(tmp_path / "a.json", _rows())
+        assert bench_compare.main([good, str(tmp_path / "absent.json")]) == 2
+
+    def test_missing_reference_row_exit_two(self, tmp_path):
+        rows = [r for r in _rows()
+                if r["approach"] != bench_compare.REFERENCE_APPROACH]
+        path = _write(tmp_path / "a.json", rows)
+        assert bench_compare.main([path, path]) == 2
+
+    def test_tolerance_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            bench_compare.main(["--help"])
+        help_text = capsys.readouterr().out
+        assert "tolerance" in help_text
+        assert "0.25" in help_text
+
+    def test_committed_baseline_compares_clean_with_itself(self):
+        baseline = os.path.join(
+            os.path.dirname(__file__), "..", "..",
+            "bench_results", "BENCH_table5.json",
+        )
+        assert bench_compare.main([baseline, baseline]) == 0

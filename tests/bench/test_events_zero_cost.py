@@ -1,0 +1,55 @@
+"""Profiling must be free when off: Table 5 is byte-identical either way.
+
+The EXPLAIN layer's contract is that the *disabled* path costs nothing —
+in particular, the simulated-cost numbers that reproduce the paper's
+Table 5 must not move by a single byte when events/telemetry are off
+versus on (the event log reads the simulated clock but never advances
+it; clock discipline keeps wall time out of the simulated numbers).
+"""
+
+from repro.bench.reporting import format_table5
+from repro.bench.table5 import Table5Config, run_table5
+
+#: A micro preset: big enough that all four approaches take distinct
+#: access paths, small enough to run twice in a test.
+MICRO = dict(
+    base_orders=16,
+    items_per_order=3,
+    insert_orders=4,
+    random_reads=40,
+    hot_fraction=0.1,
+    pool_capacity=8,
+    granular_tokens=64,
+)
+
+
+def test_simulated_table_is_byte_identical_with_profiling_on():
+    plain = run_table5(Table5Config(**MICRO))
+    profiled = run_table5(Table5Config(events_enabled=True, **MICRO))
+    # the simulated-clock table (the paper's numbers) must not move at all
+    assert format_table5(plain) == format_table5(profiled)
+    # and not merely after rounding: the raw simulated seconds are exact
+    for plain_row, profiled_row in zip(plain, profiled):
+        for phase in ("insert", "seq_scan", "random_reads"):
+            assert (
+                getattr(plain_row, phase).simulated_seconds
+                == getattr(profiled_row, phase).simulated_seconds
+            ), f"{plain_row.approach} / {phase} simulated cost drifted"
+
+
+def test_profiled_run_attaches_explain_reports():
+    rows = run_table5(Table5Config(events_enabled=True, **MICRO))
+    for row in rows:
+        for phase in ("insert", "seq_scan", "random_reads"):
+            explain = getattr(row, phase).explain
+            assert explain is not None
+            assert explain["access_path"]
+            assert "resolutions" in explain
+
+
+def test_plain_run_attaches_nothing():
+    rows = run_table5(Table5Config(**MICRO))
+    for row in rows:
+        assert row.insert.explain is None
+        assert row.seq_scan.explain is None
+        assert row.random_reads.explain is None

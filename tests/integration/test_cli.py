@@ -131,3 +131,139 @@ class TestCLI:
         run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
         with pytest.raises(NodeNotFoundError):
             run([store_dir, "delete", "99"])
+
+
+class TestExplainCommand:
+    def test_explain_read(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a>x</a></r>"))
+        out = run([store_dir, "explain", "read", "2"])
+        assert "EXPLAIN read 2" in out
+        assert "access path:" in out
+        assert "tokens: replayed=" in out
+
+    def test_explain_xpath_distinguishes_miss_from_hit(self, store_dir):
+        """The CLI acceptance path: the same query's second run within
+        one invocation resolves through the partial index."""
+        import json
+
+        run([store_dir, "load", "-"],
+            stdin=io.StringIO("<r>" + "".join(f"<a n='{i}'/>" for i in range(20)) + "</r>"))
+        query = "/r/a[@n='7']"
+        first = json.loads(run([store_dir, "explain", "xpath", query, "--json"]))
+        assert first["access_path"] == "range-scan"
+        assert first["partial"]["misses"] > 0
+        # the store checkpoints between invocations but the partial index
+        # is memory-only, so warm it and re-explain in one process
+        from repro.core.config import StoreConfig
+        from repro.core.filestore import close_directory, open_directory
+        from repro.obs.explain import explain_operation
+
+        store = open_directory(
+            store_dir,
+            config=StoreConfig(telemetry_enabled=True, events_enabled=True),
+        )
+        try:
+            miss = explain_operation(store, "xpath", [query])
+            hit = explain_operation(store, "xpath", [query])
+        finally:
+            close_directory(store_dir, store)
+        assert miss.access_path == "range-scan"
+        assert hit.access_path == "partial-hit"
+
+    def test_explain_mutation(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        out = run([store_dir, "explain", "insert-last", "1", "<a/>"])
+        assert "wal: appends=" in out
+        assert run([store_dir, "read"]) == "<r><a/></r>"
+
+    def test_explain_json(self, store_dir):
+        import json
+
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a/></r>"))
+        payload = json.loads(run([store_dir, "explain", "read", "--json"]))
+        assert payload["operation"] == "read"
+        assert "events" in payload
+
+    def test_explain_unknown_op_fails(self, store_dir):
+        from repro.errors import InvalidOperationError
+
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        with pytest.raises(InvalidOperationError):
+            run([store_dir, "explain", "compact"])
+
+
+class TestHeatmapCommand:
+    def test_heatmap_renders_sections(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a>x</a></r>"))
+        out = run([store_dir, "heatmap"])
+        assert "block heatmap" in out
+        assert "hottest blocks" in out
+        assert "partial-index efficacy" in out
+
+    def test_heatmap_xpath_warms_the_map(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a>x</a></r>"))
+        out = run([store_dir, "heatmap", "--xpath", "/r/a", "--top", "2"])
+        assert "hottest blocks (top 2)" in out
+
+    def test_heatmap_json(self, store_dir):
+        import json
+
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a/></r>"))
+        payload = json.loads(run([store_dir, "heatmap", "--json"]))
+        assert "blocks_touched" in payload
+
+
+class TestOutputOption:
+    @pytest.mark.parametrize(
+        "command",
+        [
+            ["trace"],
+            ["explain", "read"],
+            ["heatmap"],
+        ],
+        ids=["trace", "explain", "heatmap"],
+    )
+    def test_output_writes_file(self, store_dir, tmp_path, command):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a/></r>"))
+        target = tmp_path / "out.txt"
+        out = run([store_dir] + command + ["--output", str(target)])
+        assert out == f"wrote {target}"
+        assert target.read_text().strip()
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            ["trace"],
+            ["explain", "read"],
+            ["heatmap"],
+        ],
+        ids=["trace", "explain", "heatmap"],
+    )
+    def test_unwritable_output_exits_nonzero(self, store_dir, command, monkeypatch, capsys):
+        from repro import cli
+
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a/></r>"))
+        bad = "/nonexistent-dir/deeply/out.txt"
+        monkeypatch.setattr(
+            "sys.argv", ["repro.cli", store_dir] + command + ["--output", bad]
+        )
+        assert cli.main() == 1
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestVerboseFlag:
+    def test_verbose_logs_lifecycle_to_stderr(self, store_dir, capsys):
+        import logging
+
+        from repro.log import get_logger
+
+        run([store_dir, "--verbose", "load", "-"], stdin=io.StringIO("<r/>"))
+        try:
+            err = capsys.readouterr().err
+            assert "repro.core.filestore" in err
+        finally:
+            # drop the handler --verbose installed so later tests stay quiet
+            root = get_logger()
+            for handler in list(root.handlers):
+                if not isinstance(handler, logging.NullHandler):
+                    root.removeHandler(handler)

@@ -1,0 +1,173 @@
+"""EXPLAIN layer: access-path attribution per operation."""
+
+import json
+
+import pytest
+
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+from repro.errors import InvalidOperationError, NodeNotFoundError
+from repro.obs.explain import (
+    EXPLAINABLE_OPS,
+    ExplainRecorder,
+    explain_operation,
+    run_operation,
+)
+
+
+def _store(policy=IndexingPolicy.RANGE_PLUS_PARTIAL) -> XMLStore:
+    store = XMLStore.open(
+        StoreConfig(
+            policy=policy, telemetry_enabled=True, events_enabled=True,
+            heatmap_enabled=True,
+        )
+    )
+    store.load_document(
+        "<doc>" + "".join(f"<item n='{i}'>t{i}</item>" for i in range(30)) + "</doc>"
+    )
+    return store
+
+
+class TestAccessPathAttribution:
+    def test_same_xpath_twice_miss_then_partial_hit(self):
+        """Acceptance: the report distinguishes a partial-index hit from
+        a miss on the very same query run twice."""
+        store = _store()
+        query = "/doc/item[@n='11']"
+        first = explain_operation(store, "xpath", [query])
+        second = explain_operation(store, "xpath", [query])
+        # run 1: the partial index has never seen the node, so serializing
+        # the match resolves by range scan (and memoizes the location)
+        assert first.access_path == "range-scan"
+        assert first.resolutions["scan"] > 0
+        assert first.resolutions["partial"] == 0
+        assert first.partial["misses"] > 0
+        assert first.ranges_scanned, "the scanned interval must be attributed"
+        # run 2: identical query, but now the memoized location hits
+        assert second.access_path == "partial-hit"
+        assert second.resolutions["partial"] > 0
+        assert second.resolutions["scan"] == 0
+        assert second.partial["hits"] > 0
+        assert second.partial["misses"] == 0
+        # and the hit shows up as cost: no tokens replayed for the locate
+        assert second.tokens_replayed < first.tokens_replayed
+
+    def test_full_index_probe_path(self):
+        store = _store(policy=IndexingPolicy.FULL)
+        report = explain_operation(store, "read", ["5"])
+        assert report.access_path == "full-probe"
+        assert report.resolutions["full"] > 0
+        assert report.partial is None  # FULL policy keeps no partial index
+
+    def test_read_report_counts_tokens_and_blocks(self):
+        store = _store()
+        store.pool.flush_all()
+        store.pool.drop_all()  # cold cache so blocks_read is non-zero
+        report = explain_operation(store, "read", ["5"])
+        assert report.operation == "read"
+        assert report.tokens_emitted > 0
+        assert report.tokens_replayed > 0
+        assert report.blocks_read > 0
+        assert report.buffer_misses > 0
+        assert report.simulated_seconds > 0
+
+    def test_insert_pays_wal_appends(self):
+        store = _store()
+        report = explain_operation(store, "insert-last", ["1", "<item>new</item>"])
+        assert report.wal_appends >= 1
+        assert "inserted" in report.result
+
+    def test_events_scoped_to_the_operation(self):
+        store = _store()
+        explain_operation(store, "read", ["5"])  # emits events outside window
+        report = explain_operation(store, "read", ["8"])
+        assert report.events
+        assert all(e.op_id == report.op_id for e in report.events)
+
+
+class TestReportShape:
+    def test_render_mentions_the_essentials(self):
+        store = _store()
+        report = explain_operation(store, "xpath", ["/doc/item[@n='3']"])
+        text = report.render()
+        assert "EXPLAIN xpath" in text
+        assert "access path:" in text
+        assert "tokens: replayed=" in text
+        assert "blocks: read=" in text
+        assert "wal:" in text
+
+    def test_to_dict_is_json_ready(self):
+        store = _store()
+        report = explain_operation(store, "read", ["5"])
+        payload = json.loads(json.dumps(report.to_dict(), default=str))
+        assert payload["operation"] == "read"
+        assert isinstance(payload["events"], list)
+
+    def test_to_dict_can_compact_events(self):
+        store = _store()
+        report = explain_operation(store, "read", ["5"])
+        compact = report.to_dict(include_events=False)
+        assert compact["events"] == len(report.events)
+
+    def test_stage_breakdown_covers_spans(self):
+        store = _store()
+        report = explain_operation(store, "read", ["5"])
+        stages = {stage["stage"] for stage in report.stages}
+        assert "node_read" in stages
+
+
+class TestOperationDispatch:
+    def test_every_explainable_op_runs(self):
+        store = _store()
+        run_operation(store, "read", [])
+        run_operation(store, "xpath", ["/doc"])
+        run_operation(store, "insert-last", ["1", "<x/>"])
+        run_operation(store, "insert-before", ["2", "<y/>"])
+        run_operation(store, "insert-after", ["2", "<z/>"])
+        out = run_operation(store, "replace", ["2", "<w/>"])
+        new_id = int(out.rsplit("=", 1)[1])  # replacement got a fresh id
+        run_operation(store, "delete", [str(new_id)])
+
+    def test_unknown_operation_rejected(self):
+        store = _store()
+        with pytest.raises(InvalidOperationError):
+            run_operation(store, "compact", [])
+
+    def test_bad_arguments_rejected(self):
+        store = _store()
+        with pytest.raises(InvalidOperationError):
+            run_operation(store, "delete", [])
+        with pytest.raises(InvalidOperationError):
+            run_operation(store, "delete", ["not-a-number"])
+        with pytest.raises(InvalidOperationError):
+            run_operation(store, "insert-last", ["1"])
+
+    def test_explainable_ops_is_the_contract(self):
+        assert "xpath" in EXPLAINABLE_OPS
+        assert "read" in EXPLAINABLE_OPS
+
+
+class TestRecorder:
+    def test_failed_operation_produces_no_report(self):
+        store = _store()
+        recorder = ExplainRecorder(store, "read", ["99999"])
+        with pytest.raises(NodeNotFoundError):
+            with recorder:
+                store.read(99999)
+        assert recorder.report is None
+
+    def test_recorder_closes_op_window_on_failure(self):
+        store = _store()
+        try:
+            with ExplainRecorder(store, "read", ["99999"]):
+                store.read(99999)
+        except NodeNotFoundError:
+            pass
+        event = store.event_log.emit("test", "after")
+        assert event.op_id is None
+
+    def test_works_without_partial_index(self):
+        store = _store(policy=IndexingPolicy.RANGE)
+        report = explain_operation(store, "read", ["5"])
+        assert report.partial is None
+        assert report.access_path == "range-scan"

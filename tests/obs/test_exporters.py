@@ -112,3 +112,49 @@ class TestClassicSummary:
         assert rendered == store.stats.summary()
         assert rendered.startswith("operations: ")
         assert "partial index:" in rendered
+
+
+class TestPrometheusEdgeCases:
+    def test_backslash_escaped_before_quotes_and_newlines(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labelnames=("p",)).labels(p='a\\b"c\nd').inc()
+        text = prometheus_text(registry.collect())
+        # exposition-format escaping: \ -> \\, " -> \", newline -> \n
+        assert 'p="a\\\\b\\"c\\nd"' in text
+
+    def test_backslash_alone(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", labelnames=("path",)).labels(path="C:\\tmp").set(1)
+        assert 'path="C:\\\\tmp"' in prometheus_text(registry.collect())
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry().collect()) == ""
+
+    def test_histogram_value_exactly_on_bucket_edge(self):
+        # a value equal to a bucket bound belongs IN that le bucket
+        # (le is <=, and observe uses bisect_left)
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.001, 1.0))
+        histogram.observe(0.001)
+        text = prometheus_text(registry.collect())
+        assert 'h_bucket{le="0.001"} 1' in text
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_sum 0.001" in text
+        assert "h_count 1" in text
+
+    def test_histogram_value_on_top_edge(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.001, 1.0))
+        histogram.observe(1.0)
+        text = prometheus_text(registry.collect())
+        assert 'h_bucket{le="0.001"} 0' in text
+        assert 'h_bucket{le="1"} 1' in text
+
+    def test_histogram_value_beyond_top_edge_only_in_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.001, 1.0))
+        histogram.observe(2.0)
+        text = prometheus_text(registry.collect())
+        assert 'h_bucket{le="1"} 0' in text
+        assert 'h_bucket{le="+Inf"} 1' in text

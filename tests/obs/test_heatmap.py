@@ -1,0 +1,128 @@
+"""Block heatmap: counters, reports, and the no-op twin."""
+
+import json
+
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+from repro.obs.heatmap import (
+    BlockHeatmap,
+    NOOP_HEATMAP,
+    NoopHeatmap,
+    create_heatmap,
+    heatmap_json,
+    heatmap_report,
+    render_heatmap,
+)
+
+
+def _store(policy=IndexingPolicy.RANGE_PLUS_PARTIAL) -> XMLStore:
+    store = XMLStore.open(
+        StoreConfig(policy=policy, events_enabled=True, heatmap_enabled=True)
+    )
+    store.load_document(
+        "<doc>" + "".join(f"<item n='{i}'>t{i}</item>" for i in range(30)) + "</doc>"
+    )
+    return store
+
+
+class TestBlockHeatmap:
+    def test_fetch_hit_vs_miss(self):
+        heatmap = BlockHeatmap()
+        heatmap.record_fetch(7, hit=False)
+        heatmap.record_fetch(7, hit=True)
+        heat = heatmap.counts()[7]
+        assert heat.fetches == 2
+        assert heat.misses == 1
+        assert heat.touches == 2
+
+    def test_writes(self):
+        heatmap = BlockHeatmap()
+        heatmap.record_write(3)
+        heat = heatmap.counts()[3]
+        assert heat.writes == 1
+        assert heat.fetches == 0
+
+    def test_len_and_clear(self):
+        heatmap = BlockHeatmap()
+        heatmap.record_fetch(1, hit=True)
+        heatmap.record_write(2)
+        assert len(heatmap) == 2
+        heatmap.clear()
+        assert len(heatmap) == 0
+
+    def test_noop_twin(self):
+        assert create_heatmap(False) is NOOP_HEATMAP
+        assert create_heatmap(True).enabled
+        NOOP_HEATMAP.record_fetch(1, hit=True)
+        NOOP_HEATMAP.record_write(1)
+        assert NOOP_HEATMAP.counts() == {}
+        assert len(NOOP_HEATMAP) == 0
+        assert not hasattr(NoopHeatmap(), "__dict__")
+
+
+class TestStoreHeatmap:
+    def test_buffer_pool_records_accesses(self):
+        store = _store()
+        store.pool.flush_all()
+        store.pool.drop_all()
+        store.read(5)
+        counts = store.heatmap.counts()
+        assert counts, "cold reads must touch blocks"
+        assert any(h.misses > 0 for h in counts.values())
+
+    def test_disabled_store_records_nothing(self):
+        store = XMLStore.open(StoreConfig())
+        store.load_document("<r><a/></r>")
+        assert store.heatmap is NOOP_HEATMAP
+        assert store.heatmap.counts() == {}
+
+
+class TestReports:
+    def test_report_classifies_data_and_index_blocks(self):
+        store = _store()
+        store.read()
+        report = heatmap_report(store)
+        kinds = {row["kind"] for row in report["blocks"]}
+        assert "data" in kinds
+        assert "index" in kinds  # range-index B+-tree pages
+        assert report["blocks_touched"] == len(store.heatmap.counts())
+
+    def test_range_rows_aggregate_block_counts(self):
+        store = _store()
+        store.read()
+        report = heatmap_report(store)
+        assert report["ranges"]
+        row = report["ranges"][0]
+        assert row["fetches"] > 0
+        assert row["blocks"] >= 1
+
+    def test_partial_efficacy_section(self):
+        store = _store()
+        store.read(5)
+        store.read(5)  # second read hits the memoized location
+        report = heatmap_report(store)
+        partial = report["partial_index"]
+        assert partial["hits"] >= 1
+        assert partial["est_tokens_avoided"] > 0
+
+    def test_no_partial_index_under_full_policy(self):
+        store = _store(policy=IndexingPolicy.FULL)
+        report = heatmap_report(store)
+        assert report["partial_index"] is None
+        assert "(policy maintains no partial index)" in render_heatmap(store)
+
+    def test_top_limits_rows(self):
+        store = _store()
+        store.read()
+        report = heatmap_report(store, top=1)
+        assert len(report["blocks"]) <= 1
+        assert len(report["ranges"]) <= 1
+
+    def test_render_and_json(self):
+        store = _store()
+        store.read(5)
+        text = render_heatmap(store, top=3)
+        assert "hottest blocks (top 3)" in text
+        assert "partial-index efficacy" in text
+        payload = json.loads(heatmap_json(store))
+        assert set(payload) == {"blocks", "blocks_touched", "partial_index", "ranges"}

@@ -1,0 +1,77 @@
+"""The repro.* logger hierarchy (repro.log)."""
+
+import io
+import logging
+
+from repro.log import ROOT_LOGGER_NAME, get_logger, install_handler, remove_handler
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        assert get_logger("storage.wal").name == "repro.storage.wal"
+
+    def test_bare_name_is_the_root(self):
+        assert get_logger().name == ROOT_LOGGER_NAME
+
+    def test_already_prefixed_name_not_doubled(self):
+        assert get_logger("repro.core.store").name == "repro.core.store"
+
+    def test_root_has_null_handler(self):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_modules_use_the_hierarchy(self):
+        # the satellite's point: no module does ad-hoc logging config
+        import repro.core.filestore as filestore
+        import repro.storage.buffer as buffer
+        import repro.storage.wal as wal
+
+        for module in (filestore, buffer, wal):
+            assert module._log.name.startswith("repro.")
+
+
+class TestInstallHandler:
+    def test_captures_module_logs(self):
+        stream = io.StringIO()
+        handler = install_handler(logging.DEBUG, stream=stream)
+        try:
+            get_logger("test.module").debug("hello %d", 42)
+        finally:
+            remove_handler(handler)
+        text = stream.getvalue()
+        assert "hello 42" in text
+        assert "repro.test.module" in text
+        assert "DEBUG" in text
+
+    def test_remove_stops_capture(self):
+        stream = io.StringIO()
+        handler = install_handler(logging.DEBUG, stream=stream)
+        remove_handler(handler)
+        get_logger("test.module").debug("after removal")
+        assert "after removal" not in stream.getvalue()
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        handler = install_handler(logging.WARNING, stream=stream)
+        try:
+            get_logger("test.module").info("quiet")
+            get_logger("test.module").warning("loud")
+        finally:
+            remove_handler(handler)
+        text = stream.getvalue()
+        assert "quiet" not in text
+        assert "loud" in text
+
+    def test_store_lifecycle_logs_flow_through(self, tmp_path):
+        from repro.core.filestore import StoreDirectory
+
+        stream = io.StringIO()
+        handler = install_handler(logging.INFO, stream=stream)
+        try:
+            with StoreDirectory(str(tmp_path / "s")) as store:
+                store.load_document("<r/>")
+        finally:
+            remove_handler(handler)
+        text = stream.getvalue()
+        assert "creating fresh store" in text
+        assert "closing store" in text

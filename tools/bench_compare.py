@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare two BENCH_table5.json files.
+
+Absolute simulated kb/s moves with the scale preset and with legitimate
+cost-model tuning, so the gate compares the *shape* instead: for every
+phase, each approach's throughput as a ratio of the coarse-range
+reference row.  Those ratios are what the paper's Table 5 is about
+(e.g. "coarse+partial inserts are ~2x coarse", "coarse random reads are
+the slowest"); if a change moves one by more than the tolerance, the
+indexing trade-off itself changed and the gate fails.
+
+Exit status: 0 when every ratio is within tolerance, 1 on drift (each
+drifted cell is listed), 2 on malformed input.
+
+Usage::
+
+    python tools/bench_compare.py baseline.json current.json [--tolerance F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+#: Reference row the per-phase ratios are computed against.
+REFERENCE_APPROACH = "Range Index (few, coarse, large entries)"
+
+PHASES = ("insert", "seq_scan", "random_reads")
+
+#: Default allowed relative drift of a throughput ratio.  0.25 rides out
+#: dict-ordering and allocator noise between runs of the same code while
+#: still catching the >2x shifts that a changed access path causes.
+DEFAULT_TOLERANCE = 0.25
+
+
+class CompareError(Exception):
+    """Malformed or incomparable benchmark files."""
+
+
+def load_rows(path: str) -> Dict[str, Dict[str, float]]:
+    """Parse one BENCH_table5.json into {approach: {phase: kb_per_second}}."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise CompareError(f"cannot read {path}: {error}") from error
+    if not isinstance(payload, list):
+        raise CompareError(f"{path}: expected a list of approach rows")
+    rows: Dict[str, Dict[str, float]] = {}
+    for entry in payload:
+        try:
+            rows[entry["approach"]] = {
+                phase: float(entry[phase]["kb_per_second"]) for phase in PHASES
+            }
+        except (KeyError, TypeError) as error:
+            raise CompareError(f"{path}: malformed row ({error})") from error
+    if REFERENCE_APPROACH not in rows:
+        raise CompareError(f"{path}: missing reference row {REFERENCE_APPROACH!r}")
+    return rows
+
+
+def ratios(rows: Dict[str, Dict[str, float]]) -> Dict[Tuple[str, str], float]:
+    """{(approach, phase): kb/s relative to the reference row's phase}."""
+    reference = rows[REFERENCE_APPROACH]
+    out: Dict[Tuple[str, str], float] = {}
+    for approach, phases in rows.items():
+        if approach == REFERENCE_APPROACH:
+            continue
+        for phase in PHASES:
+            if reference[phase] <= 0:
+                raise CompareError(
+                    f"reference throughput for {phase} is not positive"
+                )
+            out[(approach, phase)] = phases[phase] / reference[phase]
+    return out
+
+
+def compare(
+    baseline: Dict[str, Dict[str, float]],
+    current: Dict[str, Dict[str, float]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Drift messages for every ratio outside tolerance (empty = pass)."""
+    base_ratios = ratios(baseline)
+    current_ratios = ratios(current)
+    drifts: List[str] = []
+    for key in sorted(base_ratios):
+        if key not in current_ratios:
+            drifts.append(f"{key[0]} / {key[1]}: missing from current results")
+            continue
+        expected = base_ratios[key]
+        observed = current_ratios[key]
+        relative = abs(observed - expected) / expected
+        if relative > tolerance:
+            drifts.append(
+                f"{key[0]} / {key[1]}: ratio-to-coarse {observed:.3f} "
+                f"vs baseline {expected:.3f} ({relative:+.0%} drift, "
+                f"tolerance {tolerance:.0%})"
+            )
+    for key in sorted(current_ratios):
+        if key not in base_ratios:
+            drifts.append(f"{key[0]} / {key[1]}: not present in baseline")
+    return drifts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=(
+            "The tolerance is the allowed relative drift of each "
+            "approach's per-phase throughput ratio against the coarse-"
+            f"range reference row (default {DEFAULT_TOLERANCE:.0%}).  "
+            "Ratios, not absolute kb/s, are compared, so rescaling the "
+            "workload or retuning the cost model uniformly does not trip "
+            "the gate — changing which access path wins does."
+        ),
+    )
+    parser.add_argument("baseline", help="committed BENCH_table5.json baseline")
+    parser.add_argument("current", help="freshly generated BENCH_table5.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=(
+            "allowed relative drift of each throughput ratio, as a "
+            "fraction (default %(default)s: a ratio may move by 25%% "
+            "before the gate fails)"
+        ),
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.tolerance <= 0:
+        parser.error("--tolerance must be positive")
+    try:
+        baseline = load_rows(arguments.baseline)
+        current = load_rows(arguments.current)
+        drifts = compare(baseline, current, arguments.tolerance)
+    except CompareError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if drifts:
+        print(f"benchmark regression: {len(drifts)} ratio(s) drifted")
+        for message in drifts:
+            print(f"  {message}")
+        return 1
+    print(
+        f"benchmark shape stable: {len(ratios(baseline))} ratios within "
+        f"{arguments.tolerance:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
