@@ -3,8 +3,13 @@
 Regenerates the paper's only experimental table.  Each (approach, phase)
 cell is one pytest-benchmark measurement; the final test assembles the
 whole table, asserts the paper's qualitative shape, and writes
-``bench_results/table5.txt``.
+``bench_results/table5.txt`` plus the cost-model calibration report
+(the second gate of ``tools/bench_compare.py --calibration``).  Run with
+``--profile`` to attach a cost profile to every phase row and write the
+``PROFILE_table5.json`` artifact.
 """
+
+import json
 
 import pytest
 
@@ -73,12 +78,20 @@ def test_random_read_throughput(benchmark, approach, policy, granularity):
     assert result.operations == CONFIG.random_reads
 
 
-def test_table5_shape(benchmark, results_dir):
+@pytest.fixture(scope="session")
+def table5_config(request):
+    """The shared scale preset, profiled when ``--profile`` is given."""
+    config = Table5Config.small()
+    config.profile = request.config.getoption("--profile")
+    return config
+
+
+def test_table5_shape(benchmark, results_dir, table5_config):
     """The whole table, with the paper's qualitative claims asserted."""
 
     def run():
         return [
-            run_row(approach, policy, granularity, CONFIG)
+            run_row(approach, policy, granularity, table5_config)
             for approach, policy, granularity in APPROACHES
         ]
 
@@ -86,6 +99,7 @@ def test_table5_shape(benchmark, results_dir):
     table = format_table5(rows)
     write_artifact(results_dir, "table5.txt", table)
     write_artifact(results_dir, "BENCH_table5.json", table5_to_json(rows))
+    _write_calibration_artifacts(results_dir, rows, table5_config)
     for row in rows:
         benchmark.extra_info[row.approach] = {
             "insert": round(row.insert.kb_per_second, 2),
@@ -94,3 +108,30 @@ def test_table5_shape(benchmark, results_dir):
         }
     violated = check_shape(rows)
     assert not violated, f"paper shape violated: {violated}\n{table}"
+
+
+def _write_calibration_artifacts(results_dir, rows, config):
+    """The wall-vs-simulated calibration report, and — when the run was
+    profiled — every phase's cost profile as one JSON artifact."""
+    from repro.obs.calibration import calibration_report, render_calibration
+
+    payload = json.loads(table5_to_json(rows))
+    write_artifact(
+        results_dir,
+        "CALIBRATION_table5.json",
+        json.dumps(calibration_report(payload), indent=2, sort_keys=True),
+    )
+    write_artifact(results_dir, "calibration.txt", render_calibration(payload))
+    if config.profile:
+        profiles = {
+            row.approach: {
+                phase: getattr(row, phase).profile
+                for phase in ("insert", "seq_scan", "random_reads")
+            }
+            for row in rows
+        }
+        write_artifact(
+            results_dir,
+            "PROFILE_table5.json",
+            json.dumps(profiles, indent=2, sort_keys=True),
+        )

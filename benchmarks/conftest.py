@@ -13,6 +13,20 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help=(
+            "attach cost profiles (repro.obs.profiler) to every Table-5 "
+            "phase row and write the profile artifact; the simulated "
+            "numbers are byte-identical either way (the zero-cost "
+            "contract pinned by tests/bench/test_profiler_zero_cost.py)"
+        ),
+    )
+
+
 @pytest.fixture(scope="session")
 def results_dir():
     path = os.path.abspath(RESULTS_DIR)

@@ -12,6 +12,7 @@ what reproduces the paper's *shape*.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -19,6 +20,7 @@ from repro.core.store import XMLStore
 from repro.obs.bridge import metrics_snapshot
 from repro.obs.clock import perf_seconds
 from repro.obs.explain import ExplainRecorder
+from repro.obs.profiler import ProfileRecorder
 
 #: Floor for elapsed simulated time, so fully cached phases report a very
 #: large (but finite) throughput instead of dividing by zero.
@@ -43,6 +45,9 @@ class PhaseResult:
     #: EXPLAIN report for the phase (access-path attribution; only
     #: captured when the store's event log is enabled).
     explain: Optional[Dict[str, object]] = None
+    #: cost profile for the phase (call tree + component attribution;
+    #: only captured when the store's config enables profiling).
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def kb_per_second(self) -> float:
@@ -93,12 +98,21 @@ def run_phase(
     # registry snapshots happen outside the wall-clock window so the
     # telemetry export never contaminates the measured time
     metrics_before = metrics_snapshot(store)
-    # only profile the phase when the event log is on, so the default
-    # (disabled) path stays exactly as it was
+    # only profile the phase when the event log (or the cost profiler)
+    # is on, so the default (disabled) path stays exactly as it was
     recorder = ExplainRecorder(store, label) if store.event_log.enabled else None
+    profiler = (
+        ProfileRecorder(store, label)
+        if store.config.profiling_enabled
+        else None
+    )
     wall_start = perf_seconds()
-    if recorder is not None:
-        with recorder:
+    if recorder is not None or profiler is not None:
+        with ExitStack() as recorders:
+            if profiler is not None:
+                recorders.enter_context(profiler)
+            if recorder is not None:
+                recorders.enter_context(recorder)
             xml_bytes = thunk()
             store.pool.flush_all()
     else:
@@ -110,6 +124,9 @@ def run_phase(
     explain = None
     if recorder is not None and recorder.report is not None:
         explain = recorder.report.to_dict(include_events=False)
+    profile = None
+    if profiler is not None and profiler.profile is not None:
+        profile = profiler.profile.to_dict()
     return PhaseResult(
         label=label,
         operations=operations,
@@ -121,6 +138,7 @@ def run_phase(
         tokens_scanned=store.locator.stats.tokens_scanned - scanned_before,
         metrics=metrics_after.delta(metrics_before),
         explain=explain,
+        profile=profile,
     )
 
 

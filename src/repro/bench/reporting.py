@@ -90,6 +90,8 @@ def phase_dict(result) -> dict:
         out["metrics"] = result.metrics
     if result.explain is not None:
         out["explain"] = result.explain
+    if result.profile is not None:
+        out["profile"] = result.profile
     return out
 
 

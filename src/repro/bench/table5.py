@@ -71,6 +71,10 @@ class Table5Config:
     #: the phase rows).  Off by default: the disabled path must leave the
     #: simulated numbers byte-identical.
     events_enabled: bool = False
+    #: attach a cost profile (call tree + component attribution, see
+    #: :mod:`repro.obs.profiler`) to every phase row.  Same contract as
+    #: ``events_enabled``: off by default, byte-identical numbers when on.
+    profile: bool = False
     seed: int = 7
 
     @classmethod
@@ -128,6 +132,7 @@ def build_store(
         ),
         telemetry_enabled=config.events_enabled,
         events_enabled=config.events_enabled,
+        profiling_enabled=config.profile,
     )
     store = XMLStore.open(store_config)
     document = purchase_orders_document(

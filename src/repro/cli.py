@@ -20,14 +20,20 @@ Commands:
     trace [--limit N]          dump recorded spans as JSON lines
     explain <op> [args...]     run one operation and report its access
                                path, blocks touched and tokens replayed
+    profile <op> [args...]     run one operation and report where its
+                               cost went (call tree, component table;
+                               --format top|collapsed|speedscope|
+                               components|json, --sample for the
+                               wall-clock stack sampler)
     heatmap [--top N]          per-block access counts and hot ranges
     compact                    merge adjacent ranges
-    verify                     run the integrity checker
+    verify [--json]            run every integrity check and report each
 
-``trace``, ``explain`` and ``heatmap`` accept ``--output FILE`` to write
-the report to a file instead of stdout; an unwritable path exits
-non-zero.  The global ``--verbose`` flag turns on the ``repro.*`` log
-hierarchy on stderr.
+``trace``, ``explain``, ``profile``, ``heatmap`` and ``verify`` accept
+``--output FILE`` to write the report to a file instead of stdout; an
+unwritable path exits non-zero, and a failed ``verify`` exits non-zero
+listing the broken invariants.  The global ``--verbose`` flag turns on
+the ``repro.*`` log hierarchy on stderr.
 
 Every invocation opens the store, applies the command, checkpoints and
 closes — so the directory is always consistent afterwards.  The CLI
@@ -143,6 +149,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write to FILE instead of stdout"
     )
 
+    profile = commands.add_parser(
+        "profile",
+        help="run one operation and report where its cost went",
+        description=(
+            "Runs <op> exactly like the plain command would, and reports "
+            "a deterministic cost profile: the span call tree and a per-"
+            "component table on both the simulated and the wall axis.  "
+            "--sample switches to the statistical wall-clock stack "
+            "sampler (collapsed/speedscope formats only)."
+        ),
+    )
+    profile.add_argument(
+        "op", help="operation to profile: read, xpath, insert-last, ..."
+    )
+    profile.add_argument(
+        "op_args", nargs="*", help="the operation's own arguments"
+    )
+    profile.add_argument(
+        "--format",
+        choices=("top", "collapsed", "speedscope", "components", "json"),
+        default="top",
+        help="output shape (default: pstats-style top table)",
+    )
+    profile.add_argument(
+        "--axis",
+        choices=("simulated", "wall"),
+        default="simulated",
+        help="which clock weights collapsed/speedscope output",
+    )
+    profile.add_argument(
+        "--sample",
+        action="store_true",
+        help="use the wall-clock stack sampler instead of span folding",
+    )
+    profile.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
+
     heatmap = commands.add_parser(
         "heatmap", help="per-block access counts and hot ranges"
     )
@@ -166,7 +210,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     commands.add_parser("compact", help="merge adjacent ranges")
-    commands.add_parser("verify", help="run the integrity checker")
+
+    verify = commands.add_parser(
+        "verify", help="run every integrity check and report each"
+    )
+    verify.add_argument(
+        "--json", action="store_true", help="per-check report as JSON"
+    )
+    verify.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
     return parser
 
 
@@ -179,7 +232,10 @@ def run(argv: Optional[List[str]] = None, stdin=None) -> str:
     store = open_directory(
         arguments.store,
         config=StoreConfig(
-            telemetry_enabled=True, events_enabled=True, heatmap_enabled=True
+            telemetry_enabled=True,
+            events_enabled=True,
+            heatmap_enabled=True,
+            profiling_enabled=True,
         ),
     )
     try:
@@ -271,6 +327,48 @@ def _dispatch(store, arguments, stdin) -> str:
         else:
             text = report.render()
         return _deliver(text, arguments.output)
+    if command == "profile":
+        from repro.obs.explain import run_operation
+        from repro.obs.profile_export import (
+            collapsed_stacks,
+            render_profile_top,
+            speedscope_json,
+        )
+        from repro.obs.profiler import profile_operation
+
+        if arguments.sample:
+            from repro.obs.sampler import StackSampler
+
+            if arguments.format not in ("collapsed", "speedscope"):
+                raise ReproError(
+                    "--sample emits raw stacks; use --format collapsed "
+                    "or speedscope"
+                )
+            with StackSampler(store.config.sampler_interval) as sampler:
+                run_operation(store, arguments.op, arguments.op_args)
+            if arguments.format == "collapsed":
+                text = sampler.collapsed().rstrip("\n")
+            else:
+                text = sampler.speedscope_json(
+                    name=f"{arguments.op} (sampled)"
+                )
+            return _deliver(text, arguments.output)
+        profile = profile_operation(store, arguments.op, arguments.op_args)
+        if arguments.format == "collapsed":
+            text = collapsed_stacks(profile, axis=arguments.axis).rstrip("\n")
+        elif arguments.format == "components":
+            text = collapsed_stacks(
+                profile, axis=arguments.axis, by="component"
+            ).rstrip("\n")
+        elif arguments.format == "speedscope":
+            text = speedscope_json(
+                profile, name=arguments.op, axis=arguments.axis
+            )
+        elif arguments.format == "json":
+            text = json.dumps(profile.to_dict(), indent=2, sort_keys=True)
+        else:
+            text = render_profile_top(profile)
+        return _deliver(text, arguments.output)
     if command == "heatmap":
         from repro.obs.heatmap import heatmap_json, render_heatmap
 
@@ -289,8 +387,19 @@ def _dispatch(store, arguments, stdin) -> str:
             f"ranges ({report.merges} merges)"
         )
     if command == "verify":
-        store.check_integrity()
-        return "integrity ok"
+        from repro.core.integrity import integrity_report
+
+        report = integrity_report(store)
+        if arguments.json:
+            text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        else:
+            text = report.render()
+        delivered = _deliver(text, arguments.output)
+        if not report.ok:
+            # the report was delivered (file written) before failing
+            names = ", ".join(check.name for check in report.failed())
+            raise ReproError(f"integrity check(s) failed: {names}")
+        return delivered
     raise AssertionError(f"unhandled command {command}")  # pragma: no cover
 
 

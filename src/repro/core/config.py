@@ -127,6 +127,18 @@ class StoreConfig:
     #: :mod:`repro.obs.heatmap`).  Off by default.
     heatmap_enabled: bool = False
 
+    #: Build deterministic cost profiles (see :mod:`repro.obs.profiler`).
+    #: Implies live telemetry spans (the profiler folds them into its
+    #: call tree).  Off by default under the same contract as the rest of
+    #: :mod:`repro.obs`: the simulated numbers are byte-identical with
+    #: profiling on or off (``tests/bench/test_profiler_zero_cost.py``).
+    profiling_enabled: bool = False
+
+    #: Wall-clock stack-sampler interval in seconds (``repro profile
+    #: --sample`` and the bench ``--profile`` flag).  The sampler is
+    #: statistical and never touches the simulated clock.
+    sampler_interval: float = 0.005
+
     def __post_init__(self) -> None:
         if self.page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
@@ -142,3 +154,5 @@ class StoreConfig:
             raise ValueError("telemetry_ring_capacity must be at least 1")
         if self.events_capacity < 1:
             raise ValueError("events_capacity must be at least 1")
+        if self.sampler_interval <= 0:
+            raise ValueError("sampler_interval must be positive")

@@ -274,10 +274,15 @@ class Locator:
     def _locate_by_scan(self, meta: RangeMeta, node_id: int) -> NodeLocation:
         self.stats.scan_resolutions += 1
         scanned_before = self.stats.tokens_scanned
+        # the span gives token replay its own frame in cost profiles
+        # (both clocks); a NoopTelemetry span costs one attribute check
         try:
-            for item in self.scan_range(meta):
-                if item.token.starts_node and item.last_id == node_id:
-                    return NodeLocation(node_id=node_id, begin=item)
+            with self.telemetry.span(
+                "locator.scan", node_id=node_id, range_id=meta.range_id
+            ):
+                for item in self.scan_range(meta):
+                    if item.token.starts_node and item.last_id == node_id:
+                        return NodeLocation(node_id=node_id, begin=item)
         finally:
             scanned = self.stats.tokens_scanned - scanned_before
             self._scan_tokens.observe(scanned)

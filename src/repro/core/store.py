@@ -92,6 +92,7 @@ TABLE1_SPANS = (
     "wal.append",
     "wal.fsync",
     "lock.wait",
+    "locator.scan",
     "store.open",
 )
 
@@ -193,7 +194,8 @@ class XMLStore:
     def _setup_telemetry(self) -> None:
         """Select the live or no-op recorder and attach it everywhere."""
         self.telemetry = create_telemetry(
-            self.config.telemetry_enabled,
+            # the profiler folds spans, so profiling implies telemetry
+            self.config.telemetry_enabled or self.config.profiling_enabled,
             simulated_clock=lambda: self.simulated_seconds,
             ring_capacity=self.config.telemetry_ring_capacity,
         )
@@ -503,26 +505,17 @@ class XMLStore:
         )
 
     def check_integrity(self) -> None:
-        """Verify every store invariant (test/debug aid)."""
-        self.layout.check_integrity()
-        self.range_index.check_integrity(self.ranges)
-        # id density: scanning each range must regenerate exactly its interval
-        for meta in self.ranges.in_order():
-            ids = [
-                item.last_id
-                for item in self.locator.scan_range(meta)
-                if item.token.starts_node
-            ]
-            if not meta.has_interval:
-                if ids:
-                    raise StoreError(f"{meta!r} has node tokens but no interval")
-                continue
-            expected = list(range(meta.start_id, meta.end_id + 1))
-            if ids != expected:
-                raise StoreError(
-                    f"{meta!r} regenerates ids {ids[:5]}...{ids[-5:] if len(ids) > 5 else ''}, "
-                    f"expected [{meta.start_id}..{meta.end_id}]"
-                )
+        """Verify every store invariant; raises on the first broken one.
+        For a per-check structured report (what ``repro verify`` prints),
+        see :func:`repro.core.integrity.integrity_report`."""
+        from repro.core.integrity import integrity_report
+
+        report = integrity_report(self)
+        failed = report.failed()
+        if failed:
+            raise StoreError(
+                f"integrity check {failed[0].name!r} failed: {failed[0].error}"
+            )
 
     # ================================================================ durability ==
 

@@ -1,0 +1,195 @@
+"""Cost-model calibration: does simulated cost still track wall time?
+
+The benchmarks report the *simulated* clock (DESIGN.md), which only
+reproduces the paper's shape as long as the cost model keeps charging
+work in rough proportion to what the implementation actually does.  A
+new code path that does real work the model never charges (or charges
+work it no longer does) silently skews every simulated number while the
+shape gate (:mod:`tools.bench_compare`) may still pass.
+
+This module joins, per Table-5 cell (approach x phase), the simulated
+seconds against the measured wall seconds and computes each cell's
+wall/sim **ratio**.  Absolute ratios are meaningless (Python wall time
+measures the interpreter, and CI machines vary wildly), so the check is
+*internal consistency*: every cell's ratio against the run's own median
+ratio.  A cell whose ratio is orders of magnitude off the median is
+doing wall-clock work the model does not see, or vice versa.  The
+default spread limit is deliberately generous (the committed baseline's
+cells span a ~25x ratio range — sequential scans are model-cheap,
+insert phases interpreter-heavy); the gate exists to catch the model
+going *completely* out of whack, not to measure CI noise.
+
+When phase rows carry profiles (``Table5Config(profile=True)``), the
+report also joins per-component simulated cost vs. span wall time —
+informational, not gated, since only span-covered components have wall
+attribution.
+
+Wired as the second gate of ``tools/bench_compare.py --calibration``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ObservabilityError
+
+PHASES = ("insert", "seq_scan", "random_reads")
+
+#: Default allowed spread of a cell's wall/sim ratio against the run's
+#: median ratio, in either direction.  The committed baseline's largest
+#: observed deviation is ~10x; 50x still catches an uncharged code path
+#: (typically 100x+) while riding out interpreter and CI variance.
+DEFAULT_SPREAD_LIMIT = 50.0
+
+
+@dataclass
+class CalibrationCell:
+    """One Table-5 cell's simulated-vs-wall join."""
+
+    approach: str
+    phase: str
+    simulated_seconds: float
+    wall_seconds: float
+    #: wall / simulated (how many real seconds per simulated second)
+    ratio: float
+    #: ratio / the run's median ratio (filled by :func:`calibration_cells`)
+    spread: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "approach": self.approach,
+            "phase": self.phase,
+            "simulated_seconds": self.simulated_seconds,
+            "wall_seconds": self.wall_seconds,
+            "ratio": self.ratio,
+            "spread": self.spread,
+        }
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def calibration_cells(payload: List[Dict]) -> List[CalibrationCell]:
+    """Extract the per-cell joins from a parsed BENCH_table5.json list
+    and normalize each ratio against the run's median."""
+    cells: List[CalibrationCell] = []
+    for entry in payload:
+        try:
+            approach = entry["approach"]
+            for phase in PHASES:
+                row = entry[phase]
+                simulated = float(row["simulated_seconds"])
+                wall = float(row["wall_seconds"])
+                if simulated <= 0.0 or wall <= 0.0:
+                    raise ObservabilityError(
+                        f"{approach}/{phase}: non-positive clock "
+                        f"(simulated={simulated}, wall={wall}); every "
+                        "Table-5 phase must advance both clocks"
+                    )
+                cells.append(
+                    CalibrationCell(approach, phase, simulated, wall, wall / simulated)
+                )
+        except (KeyError, TypeError) as error:
+            raise ObservabilityError(
+                f"malformed Table-5 row ({error})"
+            ) from error
+    if not cells:
+        raise ObservabilityError("no Table-5 cells to calibrate")
+    median = _median([cell.ratio for cell in cells])
+    for cell in cells:
+        cell.spread = cell.ratio / median
+    return cells
+
+
+def check_calibration(
+    cells: List[CalibrationCell], limit: float = DEFAULT_SPREAD_LIMIT
+) -> List[str]:
+    """Cells whose wall/sim ratio deviates from the median by more than
+    ``limit`` in either direction (empty = calibrated)."""
+    if limit <= 1.0:
+        raise ObservabilityError(f"spread limit must exceed 1, got {limit}")
+    out: List[str] = []
+    for cell in cells:
+        if cell.spread > limit or cell.spread < 1.0 / limit:
+            out.append(
+                f"{cell.approach} / {cell.phase}: wall/sim ratio "
+                f"{cell.ratio:.4f} is {cell.spread:.1f}x the run median "
+                f"(limit {limit:g}x either way) — the cost model does not "
+                "see this cell's work"
+            )
+    return out
+
+
+def component_cells(payload: List[Dict]) -> List[Dict[str, object]]:
+    """Per-component simulated-vs-wall joins from profiled phase rows
+    (rows without a ``profile`` attachment contribute nothing)."""
+    out: List[Dict[str, object]] = []
+    for entry in payload:
+        for phase in PHASES:
+            profile = entry.get(phase, {}).get("profile")
+            if not profile:
+                continue
+            for row in profile.get("components", ()):
+                if row.get("wall_seconds") is None:
+                    continue
+                out.append(
+                    {
+                        "approach": entry["approach"],
+                        "phase": phase,
+                        "component": row["component"],
+                        "simulated_seconds": row["simulated_seconds"],
+                        "wall_seconds": row["wall_seconds"],
+                    }
+                )
+    return out
+
+
+def calibration_report(
+    payload: List[Dict], limit: float = DEFAULT_SPREAD_LIMIT
+) -> Dict[str, object]:
+    """JSON-ready report: every cell, the median ratio, violations, and
+    (when profiled) the per-component joins."""
+    cells = calibration_cells(payload)
+    return {
+        "median_ratio": _median([cell.ratio for cell in cells]),
+        "spread_limit": limit,
+        "cells": [cell.to_dict() for cell in cells],
+        "violations": check_calibration(cells, limit),
+        "components": component_cells(payload),
+    }
+
+
+def render_calibration(
+    payload: List[Dict], limit: float = DEFAULT_SPREAD_LIMIT
+) -> str:
+    """Human-readable calibration table."""
+    from repro.bench.reporting import format_table
+
+    cells = calibration_cells(payload)
+    table = format_table(
+        ["Approach", "Phase", "Sim (s)", "Wall (s)", "Wall/Sim", "x median"],
+        [
+            (
+                cell.approach,
+                cell.phase,
+                cell.simulated_seconds,
+                cell.wall_seconds,
+                cell.ratio,
+                cell.spread,
+            )
+            for cell in cells
+        ],
+        title="Cost-model calibration (wall vs simulated, per Table-5 cell)",
+    )
+    violations = check_calibration(cells, limit)
+    if violations:
+        lines = [table, "violations:"]
+        lines.extend(f"  {message}" for message in violations)
+        return "\n".join(lines)
+    return table + f"calibrated: all ratios within {limit:g}x of the median\n"

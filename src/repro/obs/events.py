@@ -32,7 +32,7 @@ import json
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ObservabilityError
 from repro.obs.clock import perf_seconds
@@ -105,26 +105,28 @@ class EventLog:
         self._events: Deque[Event] = deque(maxlen=capacity)
         self._seq = 0
         self._lock = threading.Lock()
-        self._op_id: Optional[int] = None
-        self._op_name: Optional[str] = None
+        #: stack of open (op_id, op_name) windows; events are stamped with
+        #: the innermost one, and ending an inner window re-exposes the
+        #: enclosing one (nested ops: an xpath EXPLAIN wrapping node reads)
+        self._op_stack: List[Tuple[int, str]] = []
         self._next_op_id = 0
 
     # -- operation windows --------------------------------------------------
 
     def begin_op(self, name: str) -> int:
-        """Open an operation window; events emitted until :meth:`end_op`
-        carry this operation's id and name."""
+        """Open an operation window; events emitted until the matching
+        :meth:`end_op` carry this operation's id and name.  Windows nest:
+        ending an inner window restores the enclosing one."""
         with self._lock:
             op_id = self._next_op_id
             self._next_op_id += 1
-            self._op_id = op_id
-            self._op_name = name
+            self._op_stack.append((op_id, name))
         return op_id
 
     def end_op(self) -> None:
         with self._lock:
-            self._op_id = None
-            self._op_name = None
+            if self._op_stack:
+                self._op_stack.pop()
 
     # -- emission -----------------------------------------------------------
 
@@ -139,10 +141,11 @@ class EventLog:
         simulated = self.simulated_clock() if self.simulated_clock is not None else 0.0
         span_seq = self.tracer.current_span_seq() if self.tracer is not None else None
         with self._lock:
+            op_id, op_name = self._op_stack[-1] if self._op_stack else (None, None)
             event = Event(
                 seq=self._seq,
-                op_id=self._op_id,
-                op=self._op_name,
+                op_id=op_id,
+                op=op_name,
                 span=span_seq,
                 severity=severity,
                 source=source,

@@ -1,0 +1,237 @@
+"""Renderers for :class:`~repro.obs.profiler.CostProfile`.
+
+Three output shapes, all deterministic on the simulated axis (same
+workload, same bytes):
+
+* **collapsed stacks** — ``a;b;c <value>`` lines, the input format of
+  Brendan Gregg's ``flamegraph.pl``.  ``by="stack"`` folds the span call
+  tree (one line per frame, value = *self* time in integer
+  microseconds); ``by="component"`` emits one line per component with
+  the exact float seconds (``repr``), so totals parsed back from the
+  file equal the profile's — and therefore the registry's — values
+  bit-for-bit;
+* **speedscope JSON** — an "evented" profile of the call tree laid out
+  on a synthetic left-heavy timeline (frames open at their subtree's
+  cumulative offset, so nesting is correct by construction even though
+  the simulated clock often does not advance inside a span), plus a
+  second "sampled" profile carrying the component table with exact
+  weights;
+* **top table** — a pstats-style text summary (spans by cumulative
+  simulated cost, then the component table).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.profiler import CallNode, CostProfile
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+_AXES = ("simulated", "wall")
+
+
+def _axis_total(node: CallNode, axis: str) -> float:
+    return node.simulated_seconds if axis == "simulated" else node.wall_seconds
+
+
+def _axis_self(node: CallNode, axis: str) -> float:
+    return (
+        node.self_simulated_seconds
+        if axis == "simulated"
+        else node.self_wall_seconds
+    )
+
+
+def _require_axis(axis: str) -> None:
+    if axis not in _AXES:
+        raise ValueError(f"unknown axis {axis!r}; use one of {_AXES}")
+
+
+def collapsed_stacks(
+    profile: CostProfile, axis: str = "simulated", by: str = "stack"
+) -> str:
+    """Flamegraph.pl-compatible collapsed-stack text.
+
+    ``by="stack"``: one line per call-tree frame, semicolon-joined path,
+    value = self time in integer microseconds (rounded; zero-self frames
+    are skipped, their time lives in their children).  ``by="component"``:
+    one line per component, value = exact float seconds (``repr``, which
+    round-trips), usable for ±0 reconciliation.
+    """
+    _require_axis(axis)
+    if by == "component":
+        lines = []
+        for row in profile.components:
+            value: Optional[float] = (
+                row.simulated_seconds if axis == "simulated" else row.wall_seconds
+            )
+            if value is None:
+                continue  # component without wall-axis coverage
+            lines.append(f"{row.component} {value!r}")
+        return "\n".join(lines) + "\n" if lines else ""
+    if by != "stack":
+        raise ValueError(f"unknown grouping {by!r}; use 'stack' or 'component'")
+    lines = []
+
+    def walk(node: CallNode, prefix: str) -> None:
+        path = f"{prefix};{node.name}" if prefix else node.name
+        micros = round(_axis_self(node, axis) * 1e6)
+        if micros > 0:
+            lines.append(f"{path} {micros}")
+        for child in node.children.values():
+            walk(child, path)
+
+    for child in profile.root.children.values():
+        walk(child, "")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def speedscope_json(
+    profile: CostProfile, name: str = "repro", axis: str = "simulated"
+) -> str:
+    """The profile as a speedscope file (https://speedscope.app).
+
+    Contains two profiles sharing one frame table: the span call tree as
+    an evented profile (left-heavy synthetic timeline), and the component
+    cost table as a sampled profile whose weights are the exact component
+    values — summing a frame's weights reproduces the profile's (and the
+    registry's) per-component totals without rounding.
+    """
+    _require_axis(axis)
+    frames: List[Dict[str, str]] = []
+    frame_index: Dict[str, int] = {}
+
+    def frame(label: str) -> int:
+        index = frame_index.get(label)
+        if index is None:
+            index = len(frames)
+            frame_index[label] = index
+            frames.append({"name": label})
+        return index
+
+    events: List[Dict[str, object]] = []
+
+    def emit(node: CallNode, start: float) -> float:
+        index = frame(node.name)
+        events.append({"type": "O", "frame": index, "at": start})
+        cursor = start
+        for child in node.children.values():
+            cursor = emit(child, cursor)
+        # self time follows the children; clamp for float re-association
+        end = max(cursor, start + _axis_total(node, axis))
+        events.append({"type": "C", "frame": index, "at": end})
+        return end
+
+    cursor = 0.0
+    for child in profile.root.children.values():
+        cursor = emit(child, cursor)
+
+    samples: List[List[int]] = []
+    weights: List[float] = []
+    for row in profile.components:
+        value: Optional[float] = (
+            row.simulated_seconds if axis == "simulated" else row.wall_seconds
+        )
+        if value is None:
+            continue
+        samples.append([frame(f"component: {row.component}")])
+        weights.append(value)
+
+    document = {
+        "$schema": SPEEDSCOPE_SCHEMA,
+        "name": name,
+        "exporter": "repro-profiler",
+        "activeProfileIndex": 0,
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "evented",
+                "name": f"{profile.operation} spans ({axis})",
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": cursor,
+                "events": events,
+            },
+            {
+                "type": "sampled",
+                "name": f"{profile.operation} components ({axis})",
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": sum(weights),
+                "samples": samples,
+                "weights": weights,
+            },
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_profile_top(profile: CostProfile, limit: int = 20) -> str:
+    """pstats-style summary: spans by cumulative simulated cost, then
+    the component cost table (both axes side by side)."""
+    lines = [
+        f"PROFILE {profile.operation}",
+        (
+            f"window: simulated={profile.simulated_seconds:.6f}s"
+            f" wall={profile.wall_seconds:.6f}s"
+        ),
+    ]
+    if profile.spans_dropped:
+        lines.append(
+            f"warning: {profile.spans_dropped} span(s) evicted from the ring"
+            " during the window; the tree under-reports"
+        )
+    # aggregate self time per span name across the merged tree
+    self_sim: Dict[str, float] = {}
+    self_wall: Dict[str, float] = {}
+
+    def walk(node: CallNode) -> None:
+        self_sim[node.name] = (
+            self_sim.get(node.name, 0.0) + node.self_simulated_seconds
+        )
+        self_wall[node.name] = (
+            self_wall.get(node.name, 0.0) + node.self_wall_seconds
+        )
+        for child in node.children.values():
+            walk(child)
+
+    for child in profile.root.children.values():
+        walk(child)
+    ranked = sorted(
+        profile.span_totals.items(),
+        key=lambda item: (-item[1]["simulated_seconds"], item[0]),
+    )
+    shown = ranked[:limit]
+    lines.append(
+        f"spans (by cumulative simulated cost, top {len(shown)}"
+        f" of {len(ranked)}):"
+    )
+    header = (
+        f"  {'span':<20} {'count':>6} {'cum sim':>12} {'self sim':>12}"
+        f" {'cum wall':>12} {'self wall':>12}"
+    )
+    lines.append(header)
+    for name, totals in shown:
+        lines.append(
+            f"  {name:<20} {totals['count']:>6}"
+            f" {totals['simulated_seconds']:>12.6f}"
+            f" {self_sim.get(name, 0.0):>12.6f}"
+            f" {totals['wall_seconds']:>12.6f}"
+            f" {self_wall.get(name, 0.0):>12.6f}"
+        )
+    lines.append("components:")
+    lines.append(
+        f"  {'component':<15} {'simulated':>12} {'wall':>12}  counts"
+    )
+    for row in profile.components:
+        wall = f"{row.wall_seconds:.6f}" if row.wall_seconds is not None else "-"
+        counts = " ".join(
+            f"{key}={value}" for key, value in row.counts.items()
+        )
+        lines.append(
+            f"  {row.component:<15} {row.simulated_seconds:>12.6f}"
+            f" {wall:>12}  {counts}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Sampling wall-clock profiler: where the *interpreter* spends time.
+
+The deterministic profiler (:mod:`repro.obs.profiler`) attributes cost
+to spans — but spans only exist where someone put one.  This sampler
+answers the complementary question with no instrumentation at all: a
+daemon thread wakes every ``interval`` seconds, grabs the target
+thread's current Python stack via ``sys._current_frames()``, and counts
+it.  Output is the usual collapsed-stack / speedscope material, with
+sample *counts* as weights (wall seconds ~= count x interval).
+
+This module is the one sanctioned wall-clock consumer outside
+:mod:`repro.obs.clock` — it is explicitly allowlisted in
+``ALLOWED_CLOCK_MODULES`` (sampling needs ``threading.Event.wait``
+timeouts and monotonic timestamps of its own), and the clock-discipline
+lint still fails any *other* module that touches ``time`` directly.
+
+Sampling is statistical: two runs never produce identical profiles, so
+none of the byte-identity guarantees of the deterministic profiler apply
+here.  Use it to find hot interpreter code; use the cost profiler to
+reason about the paper's simulated numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+# Wall-clock imports are sanctioned here and nowhere else outside
+# repro.obs.clock: see ALLOWED_CLOCK_MODULES.
+import time as _time
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.profile_export import SPEEDSCOPE_SCHEMA
+
+DEFAULT_SAMPLE_INTERVAL = 0.005
+
+Stack = Tuple[str, ...]
+
+
+def _format_frame(frame) -> str:
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{frame.f_code.co_name}"
+
+
+class StackSampler:
+    """Samples one thread's Python stack at a fixed wall-clock interval.
+
+    Usage::
+
+        with StackSampler(interval=0.002) as sampler:
+            run_workload()
+        print(sampler.collapsed())
+
+    The sampler targets the thread that calls :meth:`start` (usually via
+    ``__enter__``).  Frames below the target's outermost frame at sample
+    time are recorded outermost-first, so collapsed output reads like a
+    flamegraph stack.
+    """
+
+    def __init__(self, interval: float = DEFAULT_SAMPLE_INTERVAL) -> None:
+        if interval <= 0:
+            raise ObservabilityError(
+                f"sampler interval must be positive, got {interval}"
+            )
+        self.interval = interval
+        self.samples: Dict[Stack, int] = {}
+        self.total_samples = 0
+        #: wall seconds the sampler actually ran (start to stop)
+        self.elapsed_seconds = 0.0
+        self._target_ident: Optional[int] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "StackSampler":
+        if self._thread is not None:
+            raise ObservabilityError("sampler already started")
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._started_at = _time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-stack-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        self.elapsed_seconds = _time.perf_counter() - self._started_at
+
+    def __enter__(self) -> "StackSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self._target_ident)
+            if frame is None:
+                continue
+            stack: List[str] = []
+            while frame is not None:
+                stack.append(_format_frame(frame))
+                frame = frame.f_back
+            stack.reverse()
+            key = tuple(stack)
+            self.samples[key] = self.samples.get(key, 0) + 1
+            self.total_samples += 1
+
+    # -- export -------------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text (``a;b;c <count>``), stacks sorted so the
+        output is stable for a given sample multiset."""
+        lines = [
+            ";".join(stack) + f" {count}"
+            for stack, count in sorted(self.samples.items())
+        ]
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def speedscope_json(self, name: str = "repro sampled") -> str:
+        """The samples as a speedscope "sampled" profile (weights are
+        seconds: sample count x interval)."""
+        frames: List[Dict[str, str]] = []
+        frame_index: Dict[str, int] = {}
+
+        def frame(label: str) -> int:
+            index = frame_index.get(label)
+            if index is None:
+                index = len(frames)
+                frame_index[label] = index
+                frames.append({"name": label})
+            return index
+
+        samples: List[List[int]] = []
+        weights: List[float] = []
+        for stack, count in sorted(self.samples.items()):
+            samples.append([frame(label) for label in stack])
+            weights.append(count * self.interval)
+        document = {
+            "$schema": SPEEDSCOPE_SCHEMA,
+            "name": name,
+            "exporter": "repro-sampler",
+            "activeProfileIndex": 0,
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "seconds",
+                    "startValue": 0,
+                    "endValue": sum(weights),
+                    "samples": samples,
+                    "weights": weights,
+                }
+            ],
+        }
+        return json.dumps(document, indent=2, sort_keys=True)

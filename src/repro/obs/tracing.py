@@ -52,6 +52,10 @@ class SpanEvent:
     parent: Optional[int]
     #: perf-clock timestamp at span start (process-relative seconds)
     start: float
+    #: simulated-clock timestamp at span start (store clock; 0.0 when the
+    #: tracer has no simulated clock).  The simulated timeline this anchors
+    #: is what makes profile exports deterministic (see repro.obs.profiler).
+    sim_start: float
     wall_seconds: float
     simulated_seconds: float
     fields: Dict[str, object] = field(default_factory=dict)
@@ -63,6 +67,7 @@ class SpanEvent:
             "depth": self.depth,
             "parent": self.parent,
             "start": self.start,
+            "sim_start": self.sim_start,
             "wall_seconds": self.wall_seconds,
             "simulated_seconds": self.simulated_seconds,
         }
@@ -186,6 +191,7 @@ class Tracer:
             depth=span.depth,
             parent=span.parent,
             start=span._start_perf,
+            sim_start=span._start_sim,
             wall_seconds=wall,
             simulated_seconds=simulated,
             fields=span.fields,

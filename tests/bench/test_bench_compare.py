@@ -140,3 +140,73 @@ class TestMain:
             "bench_results", "BENCH_table5.json",
         )
         assert bench_compare.main([baseline, baseline]) == 0
+
+
+def _calibrated_rows(skew=None):
+    """_rows() plus both clocks per phase, with consistent wall/sim
+    ratios; ``skew={(row_index, phase): factor}`` inflates wall time."""
+    rows = _rows()
+    base = {"insert": 0.5, "seq_scan": 0.1, "random_reads": 0.25}
+    for index, row in enumerate(rows):
+        for phase, simulated in base.items():
+            factor = (skew or {}).get((index, phase), 1.0)
+            row[phase]["simulated_seconds"] = simulated
+            row[phase]["wall_seconds"] = simulated * (2.0 + 0.1 * index) * factor
+    return rows
+
+
+class TestCalibrationGate:
+    def test_calibrated_run_passes(self, tmp_path, capsys):
+        path = _write(tmp_path / "a.json", _calibrated_rows())
+        assert bench_compare.main([path, path, "--calibration"]) == 0
+        assert "cost model calibrated" in capsys.readouterr().out
+
+    def test_uncharged_work_fails_the_gate(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "a.json", _calibrated_rows())
+        current = _write(
+            tmp_path / "b.json",
+            _calibrated_rows(skew={(3, "insert"): 100000.0}),
+        )
+        assert bench_compare.main([baseline, current, "--calibration"]) == 1
+        out = capsys.readouterr().out
+        assert "calibration" in out
+        assert "Partial Index" in out
+
+    def test_calibration_failure_is_independent_of_shape(self, tmp_path):
+        # the shape gate compares ratios of kb/s, which the skewed wall
+        # clock does not touch — only the calibration gate trips
+        baseline = _write(tmp_path / "a.json", _calibrated_rows())
+        current = _write(
+            tmp_path / "b.json",
+            _calibrated_rows(skew={(0, "seq_scan"): 100000.0}),
+        )
+        assert bench_compare.main([baseline, current]) == 0
+        assert bench_compare.main([baseline, current, "--calibration"]) == 1
+
+    def test_custom_limit(self, tmp_path):
+        baseline = _write(tmp_path / "a.json", _calibrated_rows())
+        current = _write(
+            tmp_path / "b.json",
+            _calibrated_rows(skew={(1, "random_reads"): 5.0}),
+        )
+        assert bench_compare.main([baseline, current, "--calibration"]) == 0
+        assert (
+            bench_compare.main(
+                [baseline, current, "--calibration",
+                 "--calibration-limit", "2.0"]
+            )
+            == 1
+        )
+
+    def test_rows_without_wall_clock_exit_two(self, tmp_path, capsys):
+        # plain shape-only rows lack the clocks the calibration needs
+        path = _write(tmp_path / "a.json", _rows())
+        assert bench_compare.main([path, path, "--calibration"]) == 2
+        assert "calibration" in capsys.readouterr().err
+
+    def test_committed_baseline_is_calibrated(self):
+        baseline = os.path.join(
+            os.path.dirname(__file__), "..", "..",
+            "bench_results", "BENCH_table5.json",
+        )
+        assert bench_compare.main([baseline, baseline, "--calibration"]) == 0

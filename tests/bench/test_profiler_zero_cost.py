@@ -1,0 +1,63 @@
+"""The profiler must be free when off: Table 5 is byte-identical either way.
+
+Same contract the event log pins in test_events_zero_cost.py, now for
+``Table5Config(profile=True)``: attaching a cost profile to every phase
+row must not move the simulated-clock numbers by a single byte.  The
+profiler only *reads* counters the store maintains anyway and folds
+spans the tracer already recorded — it never advances the simulated
+clock, and clock discipline keeps wall time out of the simulated axis.
+"""
+
+from repro.bench.reporting import format_table5
+from repro.bench.table5 import Table5Config, run_table5
+
+#: A micro preset: big enough that all four approaches take distinct
+#: access paths, small enough to run twice in a test.
+MICRO = dict(
+    base_orders=16,
+    items_per_order=3,
+    insert_orders=4,
+    random_reads=40,
+    hot_fraction=0.1,
+    pool_capacity=8,
+    granular_tokens=64,
+)
+
+PHASES = ("insert", "seq_scan", "random_reads")
+
+
+def test_simulated_table_is_byte_identical_with_profiling_on():
+    plain = run_table5(Table5Config(**MICRO))
+    profiled = run_table5(Table5Config(profile=True, **MICRO))
+    # the simulated-clock table (the paper's numbers) must not move at all
+    assert format_table5(plain) == format_table5(profiled)
+    # and not merely after rounding: the raw simulated seconds are exact
+    for plain_row, profiled_row in zip(plain, profiled):
+        for phase in PHASES:
+            assert (
+                getattr(plain_row, phase).simulated_seconds
+                == getattr(profiled_row, phase).simulated_seconds
+            ), f"{plain_row.approach} / {phase} simulated cost drifted"
+
+
+def test_profiled_run_attaches_cost_profiles():
+    rows = run_table5(Table5Config(profile=True, **MICRO))
+    for row in rows:
+        for phase in PHASES:
+            profile = getattr(row, phase).profile
+            assert profile is not None, f"{row.approach} / {phase}"
+            assert profile["components"]
+            assert profile["span_totals"]
+            assert profile["simulated_seconds"] > 0
+            # the attached profile window is the phase window
+            assert (
+                profile["simulated_seconds"]
+                == getattr(row, phase).simulated_seconds
+            )
+
+
+def test_plain_run_attaches_nothing():
+    rows = run_table5(Table5Config(**MICRO))
+    for row in rows:
+        for phase in PHASES:
+            assert getattr(row, phase).profile is None

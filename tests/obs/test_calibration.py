@@ -1,0 +1,155 @@
+"""Cost-model calibration: the wall-vs-simulated consistency gate."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.calibration import (
+    DEFAULT_SPREAD_LIMIT,
+    CalibrationCell,
+    calibration_cells,
+    calibration_report,
+    check_calibration,
+    component_cells,
+    render_calibration,
+)
+
+
+def _payload(skew=None):
+    """A synthetic Table-5 payload whose wall/sim ratios sit near 2.0
+    (within a 2x band); ``skew={(approach_index, phase): factor}``
+    multiplies selected cells' wall time."""
+    approaches = (
+        "Full Index (max. granularity)",
+        "Range Index (few, coarse, large entries)",
+        "Range Index (coarse) + Partial Index (memory)",
+    )
+    base = {"insert": 0.5, "seq_scan": 0.1, "random_reads": 0.25}
+    payload = []
+    for index, approach in enumerate(approaches):
+        entry = {"approach": approach}
+        for phase, simulated in base.items():
+            wall = simulated * (2.0 + 0.2 * index)
+            factor = (skew or {}).get((index, phase), 1.0)
+            entry[phase] = {
+                "simulated_seconds": simulated,
+                "wall_seconds": wall * factor,
+                "kb_per_second": 100.0,
+            }
+        payload.append(entry)
+    return payload
+
+
+class TestCells:
+    def test_extracts_every_cell_with_ratio_and_spread(self):
+        cells = calibration_cells(_payload())
+        assert len(cells) == 9
+        first = cells[0]
+        assert first.approach == "Full Index (max. granularity)"
+        assert first.phase == "insert"
+        assert first.ratio == pytest.approx(2.0)
+        # spreads are normalized against the run's own median ratio
+        spreads = sorted(cell.spread for cell in cells)
+        assert spreads[len(spreads) // 2] == pytest.approx(1.0)
+
+    def test_non_positive_clock_rejected(self):
+        payload = _payload()
+        payload[0]["insert"]["simulated_seconds"] = 0.0
+        with pytest.raises(ObservabilityError, match="non-positive clock"):
+            calibration_cells(payload)
+        payload = _payload()
+        payload[1]["seq_scan"]["wall_seconds"] = -1.0
+        with pytest.raises(ObservabilityError, match="non-positive clock"):
+            calibration_cells(payload)
+
+    def test_malformed_row_rejected(self):
+        payload = _payload()
+        del payload[0]["insert"]["wall_seconds"]
+        with pytest.raises(ObservabilityError, match="malformed"):
+            calibration_cells(payload)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ObservabilityError, match="no Table-5 cells"):
+            calibration_cells([])
+
+    def test_to_dict(self):
+        cell = calibration_cells(_payload())[0]
+        payload = cell.to_dict()
+        assert payload["ratio"] == cell.ratio
+        assert payload["spread"] == cell.spread
+
+
+class TestCheck:
+    def test_consistent_ratios_pass(self):
+        cells = calibration_cells(_payload())
+        assert check_calibration(cells) == []
+
+    def test_uncharged_work_is_flagged(self):
+        # one cell burns 1000x more wall time than the model charges —
+        # the signature of a code path the simulated clock never sees
+        cells = calibration_cells(_payload(skew={(2, "insert"): 1000.0}))
+        violations = check_calibration(cells)
+        assert len(violations) == 1
+        assert "Partial Index" in violations[0]
+        assert "insert" in violations[0]
+
+    def test_overcharged_work_is_flagged_too(self):
+        cells = calibration_cells(_payload(skew={(0, "seq_scan"): 1 / 1000.0}))
+        violations = check_calibration(cells)
+        assert len(violations) == 1
+        assert "seq_scan" in violations[0]
+
+    def test_limit_tightens_the_gate(self):
+        cells = calibration_cells(_payload(skew={(1, "random_reads"): 5.0}))
+        assert check_calibration(cells, limit=DEFAULT_SPREAD_LIMIT) == []
+        assert len(check_calibration(cells, limit=2.0)) == 1
+
+    def test_limit_must_exceed_one(self):
+        cells = [CalibrationCell("a", "insert", 1.0, 2.0, 2.0, spread=1.0)]
+        for bad in (1.0, 0.5, -3.0):
+            with pytest.raises(ObservabilityError):
+                check_calibration(cells, limit=bad)
+
+
+class TestComponentCells:
+    def test_joins_profiled_components(self):
+        payload = _payload()
+        payload[0]["insert"]["profile"] = {
+            "components": [
+                {
+                    "component": "token-replay",
+                    "simulated_seconds": 0.01,
+                    "wall_seconds": 0.02,
+                },
+                {
+                    "component": "token-emit",
+                    "simulated_seconds": 0.03,
+                    "wall_seconds": None,  # no span coverage: skipped
+                },
+            ]
+        }
+        cells = component_cells(payload)
+        assert len(cells) == 1
+        assert cells[0]["component"] == "token-replay"
+        assert cells[0]["phase"] == "insert"
+
+    def test_unprofiled_rows_contribute_nothing(self):
+        assert component_cells(_payload()) == []
+
+
+class TestReportAndRender:
+    def test_report_shape(self):
+        report = calibration_report(_payload())
+        assert report["spread_limit"] == DEFAULT_SPREAD_LIMIT
+        assert len(report["cells"]) == 9
+        assert report["violations"] == []
+        assert report["median_ratio"] > 0
+
+    def test_render_calibrated(self):
+        text = render_calibration(_payload())
+        assert "Cost-model calibration" in text
+        assert "calibrated: all ratios within" in text
+
+    def test_render_lists_violations(self):
+        text = render_calibration(_payload(skew={(2, "insert"): 1000.0}))
+        assert "violations:" in text
+        assert "Partial Index" in text

@@ -41,6 +41,26 @@ def test_lint_allowlists_the_clock_module(tmp_path):
     assert check_clock_discipline(str(tmp_path)) == []
 
 
+def test_lint_allowlists_the_stack_sampler(tmp_path):
+    """obs/sampler.py is the one sanctioned wall-clock consumer besides
+    the clock module itself (sampling *is* wall-clock work)."""
+    obs = tmp_path / "obs"
+    obs.mkdir()
+    (obs / "sampler.py").write_text("import time as _time\n")
+    assert check_clock_discipline(str(tmp_path)) == []
+
+
+def test_allowlist_matches_the_exact_path_only(tmp_path):
+    obs = tmp_path / "obs"
+    obs.mkdir()
+    # same filename, wrong directory: not allowlisted
+    (tmp_path / "sampler.py").write_text("import time\n")
+    # same directory, different filename: not allowlisted
+    (obs / "sampler2.py").write_text("import time\n")
+    violations = check_clock_discipline(str(tmp_path))
+    assert len(violations) == 2
+
+
 def test_lint_catches_time_time_calls_mid_file(tmp_path):
     (tmp_path / "late.py").write_text(
         "x = 1\n\n\ndef stamp():\n    return time.time()\n"

@@ -66,6 +66,42 @@ class TestEventLog:
         assert inside.op == "read"
         assert log.events(op_id=op_id) == [inside]
 
+    def test_nested_operation_windows_restore_the_outer_one(self):
+        """Regression: an inner window (an xpath EXPLAIN wrapping node
+        reads) must not wipe the enclosing operation's stamp when it
+        closes — windows form a stack, not a single slot."""
+        log = EventLog()
+        outer_id = log.begin_op("xpath")
+        before = log.emit("a", "b")
+        inner_id = log.begin_op("node_read")
+        inside = log.emit("a", "c")
+        log.end_op()
+        after = log.emit("a", "d")
+        log.end_op()
+        outside = log.emit("a", "e")
+        assert before.op_id == outer_id and before.op == "xpath"
+        assert inside.op_id == inner_id and inside.op == "node_read"
+        # the event after the inner window closes belongs to the outer op
+        assert after.op_id == outer_id and after.op == "xpath"
+        assert outside.op_id is None and outside.op is None
+
+    def test_end_op_on_empty_stack_is_safe(self):
+        log = EventLog()
+        log.end_op()  # unbalanced close: no crash, no phantom window
+        event = log.emit("a", "b")
+        assert event.op_id is None
+
+    def test_op_filter_separates_nested_windows(self):
+        log = EventLog()
+        outer = log.begin_op("outer")
+        log.emit("a", "b")
+        inner = log.begin_op("inner")
+        log.emit("a", "c")
+        log.end_op()
+        log.end_op()
+        assert [e.fields for e in log.events(op_id=outer)] == [{}]
+        assert len(log.events(op_id=inner)) == 1
+
     def test_op_ids_are_unique(self):
         log = EventLog()
         first = log.begin_op("x")

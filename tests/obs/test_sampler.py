@@ -1,0 +1,97 @@
+"""The wall-clock stack sampler (the statistical complement of the
+deterministic cost profiler)."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.profile_export import SPEEDSCOPE_SCHEMA
+from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, StackSampler
+
+
+def _busy_until_sampled(sampler, deadline_seconds=5.0):
+    """Burn CPU in a recognizably-named frame until the sampler has
+    caught at least one stack (bounded so a loaded CI box cannot hang)."""
+    stop_at = time.monotonic() + deadline_seconds
+    total = 0
+    while sampler.total_samples < 2 and time.monotonic() < stop_at:
+        for value in range(2000):
+            total += value * value
+    return total
+
+
+class TestLifecycle:
+    def test_interval_must_be_positive(self):
+        for bad in (0, -0.1):
+            with pytest.raises(ObservabilityError):
+                StackSampler(interval=bad)
+
+    def test_default_interval(self):
+        assert StackSampler().interval == DEFAULT_SAMPLE_INTERVAL
+
+    def test_double_start_rejected(self):
+        sampler = StackSampler(interval=0.05)
+        sampler.start()
+        try:
+            with pytest.raises(ObservabilityError):
+                sampler.start()
+        finally:
+            sampler.stop()
+
+    def test_stop_is_idempotent(self):
+        sampler = StackSampler(interval=0.05)
+        sampler.start()
+        sampler.stop()
+        sampler.stop()  # second stop is a no-op, not an error
+        assert sampler.elapsed_seconds > 0.0
+
+    def test_no_samples_before_start(self):
+        sampler = StackSampler()
+        assert sampler.collapsed() == ""
+        assert sampler.total_samples == 0
+
+
+class TestSampling:
+    def test_busy_workload_is_sampled(self):
+        with StackSampler(interval=0.001) as sampler:
+            _busy_until_sampled(sampler)
+        assert sampler.total_samples >= 1
+        # stacks are outermost-first and name this module's busy frame
+        assert any(
+            stack[-1].endswith(":_busy_until_sampled")
+            for stack in sampler.samples
+        )
+
+    def test_collapsed_format(self):
+        with StackSampler(interval=0.001) as sampler:
+            _busy_until_sampled(sampler)
+        text = sampler.collapsed()
+        assert text.endswith("\n")
+        counts = 0
+        for line in text.strip().split("\n"):
+            path, count = line.rsplit(" ", 1)
+            assert ";" in path  # a real stack, not a single frame
+            counts += int(count)
+        assert counts == sampler.total_samples
+
+    def test_speedscope_output(self):
+        with StackSampler(interval=0.001) as sampler:
+            _busy_until_sampled(sampler)
+        document = json.loads(sampler.speedscope_json(name="busy"))
+        assert document["$schema"] == SPEEDSCOPE_SCHEMA
+        frames = document["shared"]["frames"]
+        profile = document["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert len(profile["samples"]) == len(profile["weights"])
+        for sample, weight in zip(profile["samples"], profile["weights"]):
+            for index in sample:
+                assert 0 <= index < len(frames)
+            # weights are seconds: count x interval
+            assert weight == pytest.approx(
+                round(weight / sampler.interval) * sampler.interval
+            )
+        assert profile["endValue"] == pytest.approx(
+            sampler.total_samples * sampler.interval
+        )

@@ -9,20 +9,31 @@ reference row.  Those ratios are what the paper's Table 5 is about
 the slowest"); if a change moves one by more than the tolerance, the
 indexing trade-off itself changed and the gate fails.
 
-Exit status: 0 when every ratio is within tolerance, 1 on drift (each
-drifted cell is listed), 2 on malformed input.
+``--calibration`` adds a second, independent gate on the *current* file
+alone: the cost-model calibration check (:mod:`repro.obs.calibration`),
+which fails when any Table-5 cell's wall/simulated ratio deviates from
+the run's median by more than ``--calibration-limit`` in either
+direction — i.e. when new code does real work the simulated cost model
+never charges (or vice versa).
+
+Exit status: 0 when every gate passes, 1 on drift or calibration
+violation (each offending cell is listed), 2 on malformed input.
 
 Usage::
 
-    python tools/bench_compare.py baseline.json current.json [--tolerance F]
+    python tools/bench_compare.py baseline.json current.json \
+        [--tolerance F] [--calibration] [--calibration-limit X]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 #: Reference row the per-phase ratios are computed against.
 REFERENCE_APPROACH = "Range Index (few, coarse, large entries)"
@@ -129,6 +140,25 @@ def main(argv=None) -> int:
             "before the gate fails)"
         ),
     )
+    parser.add_argument(
+        "--calibration",
+        action="store_true",
+        help=(
+            "also run the cost-model calibration gate on the current "
+            "file (per-cell wall/simulated ratio vs. the run median)"
+        ),
+    )
+    parser.add_argument(
+        "--calibration-limit",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "calibration spread limit: a cell fails when its wall/sim "
+            "ratio is more than X times (or less than 1/X of) the run "
+            "median (default: repro.obs.calibration.DEFAULT_SPREAD_LIMIT)"
+        ),
+    )
     arguments = parser.parse_args(argv)
     if arguments.tolerance <= 0:
         parser.error("--tolerance must be positive")
@@ -139,16 +169,52 @@ def main(argv=None) -> int:
     except CompareError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    failed = False
     if drifts:
         print(f"benchmark regression: {len(drifts)} ratio(s) drifted")
         for message in drifts:
             print(f"  {message}")
-        return 1
-    print(
-        f"benchmark shape stable: {len(ratios(baseline))} ratios within "
-        f"{arguments.tolerance:.0%} of baseline"
-    )
-    return 0
+        failed = True
+    else:
+        print(
+            f"benchmark shape stable: {len(ratios(baseline))} ratios within "
+            f"{arguments.tolerance:.0%} of baseline"
+        )
+    if arguments.calibration:
+        from repro.errors import ObservabilityError
+        from repro.obs.calibration import (
+            DEFAULT_SPREAD_LIMIT,
+            calibration_cells,
+            check_calibration,
+        )
+
+        limit = (
+            arguments.calibration_limit
+            if arguments.calibration_limit is not None
+            else DEFAULT_SPREAD_LIMIT
+        )
+        try:
+            with open(arguments.current) as handle:
+                payload = json.load(handle)
+            cells = calibration_cells(payload)
+            violations = check_calibration(cells, limit)
+        except (OSError, ValueError, ObservabilityError) as error:
+            print(f"error: calibration: {error}", file=sys.stderr)
+            return 2
+        if violations:
+            print(
+                f"cost-model calibration: {len(violations)} cell(s) "
+                "out of range"
+            )
+            for message in violations:
+                print(f"  {message}")
+            failed = True
+        else:
+            print(
+                f"cost model calibrated: {len(cells)} cells within "
+                f"{limit:g}x of the median wall/sim ratio"
+            )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

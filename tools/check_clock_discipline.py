@@ -8,7 +8,11 @@ mixed.  Run from the repository root::
     PYTHONPATH=src python tools/check_clock_discipline.py
 
 Exits non-zero (listing the violations) if any module imports ``time``
-or calls ``time.time`` outside the allowlisted clock module.
+or calls ``time.time`` outside the allowlisted modules
+(``repro.obs.clock.ALLOWED_CLOCK_MODULES``): the clock module itself and
+the wall-clock stack sampler (``obs/sampler.py``), whose entire job is
+wall-clock work.  Adding a module to the allowlist is a reviewed code
+change, not something this lint will ever do silently.
 """
 
 from __future__ import annotations
