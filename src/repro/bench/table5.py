@@ -75,6 +75,12 @@ class Table5Config:
     #: :mod:`repro.obs.profiler`) to every phase row.  Same contract as
     #: ``events_enabled``: off by default, byte-identical numbers when on.
     profile: bool = False
+    #: build each row's block device from this ``StoreConfig -> BlockDevice``
+    #: callable instead of the default in-memory device.  The crash-
+    #: consistency tests use it to run Table 5 over a pass-through
+    #: :class:`~repro.storage.faults.FaultyDisk` and pin the numbers
+    #: byte-identical (the fault layer's zero-cost contract).
+    backend_factory: Optional[object] = None
     seed: int = 7
 
     @classmethod
@@ -134,7 +140,12 @@ def build_store(
         events_enabled=config.events_enabled,
         profiling_enabled=config.profile,
     )
-    store = XMLStore.open(store_config)
+    device = (
+        config.backend_factory(store_config)
+        if config.backend_factory is not None
+        else None
+    )
+    store = XMLStore.open(store_config, device=device)
     document = purchase_orders_document(
         config.base_orders, config.items_per_order, seed=config.seed
     )

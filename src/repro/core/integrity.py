@@ -12,7 +12,14 @@ payload, JSON-able and renderable):
   range, and lookups agree with the range table;
 * ``id-density`` — replaying each range's tokens regenerates exactly its
   dense id interval ``[start_id, end_id]`` (the soundness condition of
-  the paper's id-regeneration trick, §4.3).
+  the paper's id-regeneration trick, §4.3);
+* ``partial-memo`` — every *current* partial-index entry agrees with a
+  from-scratch probe: the memoized (range, offset) really holds the
+  node's begin token at the memoized position.  Stale entries (version
+  mismatch) are legal — invalidation-by-version drops them on probe —
+  but a *current* entry pointing at the wrong token would silently
+  corrupt reads, which is exactly what the crash-consistency harness
+  hunts for.
 
 Every check runs even when an earlier one fails, so one corrupted
 structure does not mask the state of the rest.
@@ -116,6 +123,49 @@ def _check_id_density(store) -> Dict[str, int]:
     return {"ranges": ranges}
 
 
+def _check_partial_memo(store) -> Dict[str, int]:
+    """Every current memo entry must match a from-scratch range probe."""
+    if store.partial_index is None:
+        return {"entries": 0}
+    checked = 0
+    stale = 0
+    for node_id, entry in list(store.partial_index._entries.items()):
+        if entry.node_id != node_id:
+            raise StoreError(
+                f"memo keyed {node_id} holds entry for node {entry.node_id}"
+            )
+        if not entry.is_current(store.ranges):
+            stale += 1  # legal: dropped on next probe
+            continue
+        meta = store.ranges.get(entry.range_id)
+        if entry.begin_offset >= meta.token_count:
+            raise StoreError(
+                f"memo for node {node_id} points at offset "
+                f"{entry.begin_offset} past {meta!r}"
+            )
+        for item in store.locator.scan_range(meta):
+            if item.offset < entry.begin_offset:
+                continue
+            if not item.token.starts_node:
+                raise StoreError(
+                    f"memo for node {node_id} points at a non-node token "
+                    f"(offset {entry.begin_offset} of {meta!r})"
+                )
+            if item.last_id != node_id:
+                raise StoreError(
+                    f"memo for node {node_id} resolves to node "
+                    f"{item.last_id} (offset {entry.begin_offset} of {meta!r})"
+                )
+            if item.pos != entry.begin_pos:
+                raise StoreError(
+                    f"memo for node {node_id} records position "
+                    f"{entry.begin_pos} but the token lives at {item.pos}"
+                )
+            break
+        checked += 1
+    return {"entries": checked, "stale": stale}
+
+
 def integrity_report(store) -> IntegrityReport:
     """Run every invariant check against ``store``; never raises for a
     *failed invariant* (that lands in the report), only for errors
@@ -143,6 +193,11 @@ def integrity_report(store) -> IntegrityReport:
             "id-density",
             "replaying each range regenerates exactly [start_id..end_id]",
             lambda: _check_id_density(store),
+        ),
+        (
+            "partial-memo",
+            "current memo entries agree with a from-scratch probe",
+            lambda: _check_partial_memo(store),
         ),
     )
     checks: List[IntegrityCheck] = []

@@ -218,6 +218,15 @@ class XMLStore:
         if self.full_index is not None:
             self.full_index.event_log = self.event_log
         self.wal.event_log = self.event_log
+        # fault-injection layer (if any): crash/torn-write events land in
+        # the same log so EXPLAIN can attribute recovery work to faults
+        from repro.storage.faults import find_fault_layer
+
+        faulty = find_fault_layer(self.device)
+        if faulty is not None:
+            faulty.event_log = self.event_log
+        if self.wal.fault_adapter is not None:
+            self.wal.fault_adapter.event_log = self.event_log
 
     # -- convenience constructors -----------------------------------------------------
 

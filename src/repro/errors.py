@@ -49,6 +49,15 @@ class DiskFaultError(StorageError):
     """An injected fault fired (used by failure-injection tests)."""
 
 
+class SimulatedCrashError(DiskFaultError):
+    """A simulated crash point fired (see :mod:`repro.storage.faults`).
+
+    Raised by the deterministic fault layer when the process "dies": the
+    operation in flight is abandoned and only the durable state (synced
+    blocks, flushed WAL prefix) survives for recovery.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Token / parse layer
 # ---------------------------------------------------------------------------

@@ -16,7 +16,11 @@ Each :class:`Event` carries:
 * ``span`` — the sequence number of the innermost open tracing span at
   emit time, correlating events with the span tree;
 * ``severity`` — ``debug``/``info``/``warning``/``error``;
-* ``source``/``kind`` — emitting component and what happened;
+* ``source``/``kind`` — emitting component and what happened.  Sources
+  include the lookup-path components above plus ``"fault"`` (the
+  crash-consistency layer, :mod:`repro.storage.faults`: ``torn_write``,
+  ``torn_wal_append``, ``sync``, ``crash``) and ``"recovery"`` (WAL
+  replay), so EXPLAIN can attribute post-crash work;
 * ``wall``/``simulated`` — both store clocks at emit time;
 * ``fields`` — free-form payload (node ids, ranges, token counts...).
 

@@ -84,6 +84,10 @@ class ExplainReport:
     #: per-span-name cost breakdown within the window (nested spans each
     #: count their own totals)
     stages: List[Dict[str, object]] = field(default_factory=list)
+    #: fault-injection and recovery events in the window (source "fault"
+    #: from :mod:`repro.storage.faults`, "recovery" from WAL replay) —
+    #: how EXPLAIN attributes post-crash work to torn writes and replay
+    faults: List[Dict[str, object]] = field(default_factory=list)
     #: structured events emitted during the window
     events: List[Event] = field(default_factory=list)
     #: the operation's rendered output (what the plain command prints)
@@ -114,6 +118,7 @@ class ExplainReport:
             "simulated_seconds": self.simulated_seconds,
             "wall_seconds": self.wall_seconds,
             "stages": self.stages,
+            "faults": self.faults,
         }
         if include_events:
             out["events"] = [event.to_dict() for event in self.events]
@@ -163,6 +168,13 @@ class ExplainReport:
             f" seconds={self.wal_seconds:.6f}"
             f"  lock wait={self.lock_wait_seconds:.6f}s"
         )
+        for fault in self.faults:
+            detail = " ".join(
+                f"{key}={value}"
+                for key, value in fault.items()
+                if key not in ("source", "kind")
+            )
+            lines.append(f"{fault['source']}: {fault['kind']} {detail}".rstrip())
         lines.append(
             f"cost: simulated={self.simulated_seconds:.6f}s"
             f" wall={self.wall_seconds:.6f}s"
@@ -295,6 +307,11 @@ class ExplainRecorder:
             simulated_seconds=store.simulated_seconds - self._simulated_before,
             wall_seconds=wall_seconds,
             stages=_stage_breakdown(spans),
+            faults=[
+                {"source": event.source, "kind": event.kind, **event.fields}
+                for event in events
+                if event.source in ("fault", "recovery")
+            ],
             events=events,
         )
 

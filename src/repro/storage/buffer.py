@@ -195,12 +195,18 @@ class BufferPool:
 
     def flush_all(self) -> None:
         """Write back every dirty page, release deferred frees, and sync."""
+        flushed = 0
         for block_no in list(self._frames):
+            if self._frames[block_no].dirty:
+                flushed += 1
             self.flush(block_no)
+        freed = len(self._pending_frees)
         for block_no in self._pending_frees:
             self.device.free_block(block_no)
         self._pending_frees.clear()
         self.device.sync()
+        if self.event_log.enabled:
+            self.event_log.emit("buffer", "flush_all", flushed=flushed, freed=freed)
 
     def drop_all(self) -> None:
         """Forget every cached page *without* writing back, and abandon
@@ -214,6 +220,19 @@ class BufferPool:
 
     def cached_blocks(self) -> Iterator[int]:
         return iter(self._frames)
+
+    def dirty_blocks(self) -> list:
+        """Blocks whose cached page differs from the device image.
+
+        The crash-consistency harness inspects this to relate in-memory
+        state to what a simulated crash would lose.
+        """
+        return [no for no, frame in self._frames.items() if frame.dirty]
+
+    @property
+    def pending_frees(self) -> int:
+        """Blocks logically freed but not yet released to the device."""
+        return len(self._pending_frees)
 
     @property
     def num_cached(self) -> int:

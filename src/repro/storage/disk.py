@@ -22,7 +22,11 @@ Two storage backends are provided:
 
 Both are normally wrapped in an :class:`InstrumentedDevice`, which adds the
 statistics and cost accounting, and optionally a :class:`FaultInjector` used
-by the failure-injection test-suite.
+by the failure-injection test-suite.  For crash-consistency testing the
+torture harness inserts a :class:`repro.storage.faults.FaultyDisk` *between*
+the instrumented wrapper and the backend: writes then land in a volatile
+cache that only reaches stable storage on :meth:`BlockDevice.sync`, so a
+simulated crash can discard everything since the last fsync barrier.
 """
 
 from __future__ import annotations
@@ -296,6 +300,7 @@ class DiskStats:
     sequential_writes: int = 0
     allocations: int = 0
     frees: int = 0
+    syncs: int = 0
     simulated_seconds: float = 0.0
 
     @property
@@ -322,6 +327,7 @@ class DiskStats:
             sequential_writes=self.sequential_writes - earlier.sequential_writes,
             allocations=self.allocations - earlier.allocations,
             frees=self.frees - earlier.frees,
+            syncs=self.syncs - earlier.syncs,
             simulated_seconds=self.simulated_seconds - earlier.simulated_seconds,
         )
 
@@ -332,6 +338,7 @@ class DiskStats:
         self.sequential_writes = 0
         self.allocations = 0
         self.frees = 0
+        self.syncs = 0
         self.simulated_seconds = 0.0
 
     def register_metrics(self, registry) -> None:
@@ -351,6 +358,11 @@ class DiskStats:
         registry.counter(
             "repro_disk_frees_total", "Blocks freed."
         ).inc(self.frees)
+        registry.counter(
+            "repro_disk_syncs_total",
+            "Durability barriers issued (fsync boundaries; the crash-"
+            "consistency harness may only reorder writes within one).",
+        ).inc(self.syncs)
         registry.counter(
             "repro_disk_simulated_seconds_total",
             "Simulated seconds charged by the disk cost model.",
@@ -449,6 +461,7 @@ class InstrumentedDevice(BlockDevice):
 
     def sync(self) -> None:
         self.backend.sync()
+        self.stats.syncs += 1
 
     def close(self) -> None:
         self.backend.close()

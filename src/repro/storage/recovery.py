@@ -112,8 +112,10 @@ def replay(store: ReplayableStore, wal: WriteAheadLog) -> List[LogRecord]:
     """
     pending = wal.records_after_last_checkpoint()
     _log.info("replaying %d WAL record(s) after last checkpoint", len(pending))
+    _emit_recovery_event(store, "replay", pending)
     for record in pending:
         replay_record(store, record)
+    _emit_recovery_event(store, "replay_done", pending)
     return pending
 
 
@@ -127,6 +129,22 @@ def replay_all(store: ReplayableStore, wal: WriteAheadLog) -> List[LogRecord]:
         if record.record_type != RecordType.CHECKPOINT
     ]
     _log.info("full restore: replaying %d WAL record(s)", len(records))
+    _emit_recovery_event(store, "full_restore", records)
     for record in records:
         replay_record(store, record)
+    _emit_recovery_event(store, "full_restore_done", records)
     return records
+
+
+def _emit_recovery_event(store, kind: str, records: List[LogRecord]) -> None:
+    """Recovery work shows up in the structured event log (when the store
+    has one), so EXPLAIN can attribute post-crash cost to replay."""
+    event_log = getattr(store, "event_log", None)
+    if event_log is None or not event_log.enabled:
+        return
+    event_log.emit(
+        "recovery", kind, severity="info",
+        records=len(records),
+        first_lsn=records[0].lsn if records else None,
+        last_lsn=records[-1].lsn if records else None,
+    )

@@ -87,6 +87,11 @@ class WriteAheadLog:
         self.telemetry = NOOP_TELEMETRY
         #: Structured event log (no-op unless the store attaches one).
         self.event_log = NOOP_EVENT_LOG
+        #: Fault-injection hook (see :class:`repro.storage.faults.
+        #: WALFaultAdapter`): when set, frame writes go through it so a
+        #: simulated crash can persist a torn record prefix.  None in
+        #: normal operation — appends take one attribute check.
+        self.fault_adapter = None
         if path is None:
             self._stream: BinaryIO = io.BytesIO()
         else:
@@ -107,7 +112,11 @@ class WriteAheadLog:
             body = _FRAME.pack(0, len(payload), record_type, lsn)[4:] + payload
             crc = zlib.crc32(body)
             self._stream.seek(0, os.SEEK_END)
-            self._stream.write(struct.pack("<I", crc) + body)
+            frame = struct.pack("<I", crc) + body
+            if self.fault_adapter is not None:
+                self.fault_adapter.append_frame(self._stream, frame)
+            else:
+                self._stream.write(frame)
             self.appends += 1
             self.flush()
         if self.event_log.enabled:
@@ -130,6 +139,29 @@ class WriteAheadLog:
             with self.telemetry.span("wal.fsync"):
                 os.fsync(self._stream.fileno())
             self.fsyncs += 1
+
+    # -- snapshots --------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """The raw log image written so far (including any torn tail).
+
+        The torture harness captures this as the *durable* log at a
+        simulated crash: appends flush (and fsync) before returning, so
+        everything in the stream has reached stable storage.
+        """
+        position = self._stream.tell()
+        self._stream.seek(0)
+        data = self._stream.read()
+        self._stream.seek(position)
+        return data
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WriteAheadLog":
+        """An in-memory log over a captured image (crash-recovery input)."""
+        wal = cls()
+        wal._stream = io.BytesIO(data)
+        wal._next_lsn = wal._scan_next_lsn()
+        return wal
 
     # -- scanning ---------------------------------------------------------------
 

@@ -1,0 +1,16 @@
+"""Test harnesses shipped with the library.
+
+:mod:`repro.testing.reference` — a plain in-memory reference
+implementation of the store's Table-1 interface (the differential-test
+oracle).
+
+:mod:`repro.testing.torture` — the crash-consistency torture harness:
+deterministic fault injection (:mod:`repro.storage.faults`) plus
+exhaustive crash-point enumeration with recovery verification.
+
+These live under ``src`` (not ``tests``) because they are part of the
+product's correctness story: the CLI exposes the torture harness
+(``repro.cli <dir> torture``), CI runs it as a release gate, and future
+subsystems (sharding, async, alternative backends) are expected to gate
+on the same enumeration.
+"""

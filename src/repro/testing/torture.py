@@ -1,0 +1,563 @@
+"""Crash-consistency torture: exhaustive crash-point enumeration.
+
+The harness answers one question: *is there any single point in a
+workload's I/O stream where dying loses or corrupts data that recovery
+should have saved?*  It does so by brute force:
+
+1. **Oracle run** — the workload executes on a plain store; after every
+   operation the harness snapshots the serialized document and the
+   cumulative WAL append count.  ``snapshots[M]`` is, by definition, the
+   state a correct recovery must restore when exactly ``M`` operations
+   have durable log records.
+2. **Counting run** — the same workload executes on a store whose device
+   and WAL are wrapped in the deterministic fault layer
+   (:mod:`repro.storage.faults`) with no crash armed.  Every block
+   write, per-block fsync flush and WAL frame append registers a crash
+   point.  This run doubles as the zero-cost self-check: its simulated
+   clock and final document must be byte-identical to the oracle's.
+3. **Crash runs** — one run per crash point (or a seeded sample when
+   capped): the workload is replayed from scratch, dies at point ``k``,
+   and the surviving durable state (stable blocks + flushed WAL prefix,
+   torn tails included) is recovered and verified:
+
+   * **full-log restore** (always sound): replay the entire durable WAL
+     onto a fresh store; the result must serialize to ``snapshots[M]``,
+     pass every :mod:`repro.core.integrity` check — range-index
+     intervals, token-replay id regeneration, partial-index memo
+     validity — and accept new operations.
+   * **checkpoint recovery** (when sound): if no fsync barrier started
+     since the last completed checkpoint, the durable image is exactly
+     the checkpoint's, so the store is also reopened from the captured
+     catalog and the WAL suffix replayed; it must agree with the oracle
+     the same way.
+
+Every decision — workload, fault behavior, crash point — derives from
+``TortureConfig.seed``, so a failure report is a replayable recipe:
+``run_crash_point(config, point)`` reproduces it exactly, and
+:func:`shrink_failing` minimizes the operation count while the failure
+still fires.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.integrity import integrity_report
+from repro.core.store import XMLStore
+from repro.errors import ReproError, SimulatedCrashError, StoreError
+from repro.log import get_logger
+from repro.storage.disk import MemoryBlockDevice
+from repro.storage.faults import FaultConfig, FaultHarness, build_fault_harness
+from repro.storage.recovery import replay
+from repro.storage.wal import WriteAheadLog
+from repro.testing.reference import ReferenceStore
+from repro.workloads.generator import purchase_order_stream, purchase_orders_document
+
+_log = get_logger("testing.torture")
+
+#: One logged store operation: (method name, positional args).
+Op = Tuple[str, tuple]
+
+#: Small fragments mixed into the random workload (mirrors the property
+#: tests' corpus: elements, text, attributes, nesting, multi-rooted).
+FRAGMENTS = (
+    "<a/>",
+    "<b>text</b>",
+    "<c x='1'><d/></c>",
+    "<e><f>deep</f><g/></e>",
+    "<h/><i/>",
+)
+
+
+@dataclass
+class TortureConfig:
+    """Everything that determines a torture run, seed first."""
+
+    seed: int = 0
+    #: mutating operations after the initial bulk load
+    ops: int = 30
+    #: ``insert`` = the Table-5 append workload (bulk base + order
+    #: appends); ``mixed`` = random inserts/deletes/replaces at random
+    #: positions
+    workload: str = "mixed"
+    policy: IndexingPolicy = IndexingPolicy.RANGE_PLUS_PARTIAL
+    page_size: int = 512
+    pool_capacity: int = 8
+    max_range_tokens: Optional[int] = 32
+    #: checkpoint every N operations (None = never)
+    checkpoint_every: Optional[int] = 7
+    #: run a compaction pass every N operations (None = never) — crashed
+    #: compactions are the partial-index invalidation hot spot
+    compact_every: Optional[int] = 11
+    #: fault classes
+    torn_page_writes: bool = True
+    torn_wal_appends: bool = True
+    reorder_sync: bool = True
+    #: test at most this many crash points (seeded sample); None = all
+    crash_points: Optional[int] = None
+    #: attach a live event log to every store (fault/recovery events)
+    events_enabled: bool = False
+    #: orders in the bulk-loaded base document
+    base_orders: int = 2
+    items_per_order: int = 2
+
+    def store_config(self) -> StoreConfig:
+        return StoreConfig(
+            policy=self.policy,
+            page_size=self.page_size,
+            buffer_pool_capacity=self.pool_capacity,
+            max_range_tokens=self.max_range_tokens,
+            events_enabled=self.events_enabled,
+        )
+
+    def fault_config(self, crash_at: Optional[int]) -> FaultConfig:
+        return FaultConfig(
+            seed=self.seed,
+            crash_at=crash_at,
+            torn_page_writes=self.torn_page_writes,
+            torn_wal_appends=self.torn_wal_appends,
+            reorder_sync=self.reorder_sync,
+        )
+
+
+# ===================================================================== workload ==
+
+
+def generate_workload(config: TortureConfig) -> List[Op]:
+    """A deterministic operation sequence for ``config.seed``.
+
+    Valid targets are tracked with the :class:`ReferenceStore` oracle, so
+    every generated op addresses a node that exists when it runs — the
+    sequence replays identically on every crash run.
+    """
+    rng = random.Random(config.seed)
+    model = ReferenceStore()
+    ops: List[Op] = []
+
+    def emit(kind: str, *args) -> None:
+        ops.append((kind, args))
+
+    base = purchase_orders_document(
+        config.base_orders, config.items_per_order, seed=config.seed
+    )
+    emit("load_document", base)
+    model.load_document(base)
+    if config.workload == "insert":
+        _generate_insert_ops(config, ops)
+        return ops
+    if config.workload != "mixed":
+        raise ReproError(f"unknown torture workload {config.workload!r}")
+    orders = purchase_order_stream(
+        config.ops, config.items_per_order, seed=config.seed + 1,
+        start_no=config.base_orders,
+    )
+    for index in range(1, config.ops + 1):
+        if config.checkpoint_every and index % config.checkpoint_every == 0:
+            emit("checkpoint")
+            continue
+        if config.compact_every and index % config.compact_every == 0:
+            emit("compact")
+            continue
+        choice = rng.random()
+        targets = model.sibling_target_ids()
+        elements = model.element_ids()
+        if not targets or choice < 0.15:
+            fragment = next(orders)
+            emit("load_document", fragment)
+            model.load_document(fragment)
+        elif choice < 0.45 and elements:
+            node_id = rng.choice(elements)
+            fragment = rng.choice(FRAGMENTS)
+            emit("insert_into_last", node_id, fragment)
+            model.insert_into_last(node_id, fragment)
+        elif choice < 0.60:
+            node_id = rng.choice(targets)
+            fragment = rng.choice(FRAGMENTS)
+            emit("insert_before", node_id, fragment)
+            model.insert_before(node_id, fragment)
+        elif choice < 0.75:
+            node_id = rng.choice(targets)
+            fragment = rng.choice(FRAGMENTS)
+            emit("insert_after", node_id, fragment)
+            model.insert_after(node_id, fragment)
+        elif choice < 0.90:
+            node_id = rng.choice(targets)
+            fragment = rng.choice(FRAGMENTS)
+            emit("replace_node", node_id, fragment)
+            model.replace_node(node_id, fragment)
+        else:
+            node_id = rng.choice(targets)
+            emit("delete_node", node_id)
+            model.delete_node(node_id)
+    return ops
+
+
+def _generate_insert_ops(config: TortureConfig, ops: List[Op]) -> None:
+    """The Table-5 insert workload: append order fragments to the root."""
+    root_id = 1  # sequential ids: the bulk-loaded root element
+    fragments = purchase_order_stream(
+        config.ops, config.items_per_order, seed=config.seed + 1,
+        start_no=config.base_orders,
+    )
+    for index in range(1, config.ops + 1):
+        if config.checkpoint_every and index % config.checkpoint_every == 0:
+            ops.append(("checkpoint", ()))
+            continue
+        if config.compact_every and index % config.compact_every == 0:
+            ops.append(("compact", ()))
+            continue
+        ops.append(("insert_into_last", (root_id, next(fragments))))
+
+
+def apply_op(store: XMLStore, op: Op):
+    """Execute one workload op; returns the catalog for checkpoints."""
+    kind, args = op
+    if kind == "checkpoint":
+        return store.checkpoint()
+    if kind == "compact":
+        return store.compact()
+    return getattr(store, kind)(*args)
+
+
+# ===================================================================== baseline ==
+
+
+@dataclass
+class WorkloadTrace:
+    """What the oracle and counting runs learned about the workload."""
+
+    ops: List[Op]
+    #: ``snapshots[i]`` = serialized document after the first ``i`` ops
+    snapshots: List[str]
+    #: cumulative WAL appends after each op (``appends_after[i]`` = count
+    #: once op ``i`` finished; non-decreasing)
+    appends_after: List[int]
+    #: total crash points the workload exposes
+    total_points: int
+    #: label of each crash point (``write:...``/``sync:...``/``wal:...``)
+    point_labels: List[str]
+    #: the counting run matched the oracle byte-for-byte and cost-for-cost
+    passthrough_identical: bool
+    oracle_simulated_seconds: float
+    faulty_simulated_seconds: float
+
+
+def _build_faulty_store(
+    config: TortureConfig, crash_at: Optional[int]
+) -> Tuple[XMLStore, FaultHarness]:
+    store_config = config.store_config()
+    harness = build_fault_harness(
+        config.fault_config(crash_at),
+        MemoryBlockDevice(block_size=store_config.page_size),
+        cost_model=store_config.cost_model,
+    )
+    wal = WriteAheadLog()
+    wal.fault_adapter = harness.wal_adapter
+    store = XMLStore.open(store_config, device=harness.device, wal=wal)
+    return store, harness
+
+
+def run_baseline(config: TortureConfig, ops: Optional[List[Op]] = None) -> WorkloadTrace:
+    """The oracle and counting runs (steps 1 and 2 of the module doc)."""
+    ops = ops if ops is not None else generate_workload(config)
+    # --- oracle: plain store, snapshot after every op
+    oracle = XMLStore.open(config.store_config())
+    snapshots = [oracle.read()]
+    appends_after = []
+    for op in ops:
+        apply_op(oracle, op)
+        snapshots.append(oracle.read())
+        appends_after.append(oracle.wal.appends)
+    # --- cost reference: the same run on a plain store with *no* reads
+    # (the oracle's per-op snapshot reads shift its buffer traffic, so
+    # its clock is not comparable to the counting run's)
+    plain = XMLStore.open(config.store_config())
+    for op in ops:
+        apply_op(plain, op)
+    plain_seconds = plain.simulated_seconds
+    # --- counting: identical run under the (pass-through) fault layer;
+    # no reads in the loop, so its I/O stream is exactly a crash run's
+    faulty, harness = _build_faulty_store(config, crash_at=None)
+    for op in ops:
+        apply_op(faulty, op)
+    # count points *before* the verification read below: reading can
+    # evict dirty pages (more ticks), and crash runs never read
+    total_points = harness.clock.ticks
+    point_labels = list(harness.clock.points)
+    faulty_seconds = faulty.simulated_seconds
+    identical = (
+        faulty_seconds == plain_seconds and faulty.read() == snapshots[-1]
+    )
+    return WorkloadTrace(
+        ops=ops,
+        snapshots=snapshots,
+        appends_after=appends_after,
+        total_points=total_points,
+        point_labels=point_labels,
+        passthrough_identical=identical,
+        oracle_simulated_seconds=plain_seconds,
+        faulty_simulated_seconds=faulty_seconds,
+    )
+
+
+# =================================================================== crash runs ==
+
+
+@dataclass
+class CrashPointResult:
+    """Verdict for one crash point."""
+
+    point: int
+    label: str
+    #: operations whose WAL records were fully durable at the crash
+    durable_ops: int
+    full_restore_ok: bool
+    #: checkpoint recovery was applicable (durable image == catalog state)
+    catalog_checked: bool
+    catalog_ok: bool
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.full_restore_ok and (self.catalog_ok or not self.catalog_checked)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "point": self.point,
+            "label": self.label,
+            "durable_ops": self.durable_ops,
+            "ok": self.ok,
+            "full_restore_ok": self.full_restore_ok,
+            "catalog_checked": self.catalog_checked,
+            "catalog_ok": self.catalog_ok,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def _verify_recovered(
+    recovered: XMLStore, expected: str, path: str
+) -> Optional[str]:
+    """Integrity + oracle agreement + liveness; returns an error or None."""
+    report = integrity_report(recovered)
+    if not report.ok:
+        failed = ", ".join(check.name for check in report.failed())
+        first = report.failed()[0]
+        return f"{path}: integrity check(s) failed [{failed}]: {first.error}"
+    actual = recovered.read()
+    if actual != expected:
+        return (
+            f"{path}: recovered document diverges from oracle "
+            f"(expected {len(expected)} chars, got {len(actual)}): "
+            f"expected {expected[:120]!r}... got {actual[:120]!r}..."
+        )
+    # the recovered store must stay usable
+    recovered.load_document("<post-crash-probe/>")
+    probe_report = integrity_report(recovered)
+    if not probe_report.ok:
+        failed = ", ".join(check.name for check in probe_report.failed())
+        return f"{path}: store broke on first post-recovery write [{failed}]"
+    return None
+
+
+def run_crash_point(
+    config: TortureConfig, point: int, trace: Optional[WorkloadTrace] = None
+) -> CrashPointResult:
+    """Replay the workload, crash at ``point``, recover and verify."""
+    trace = trace if trace is not None else run_baseline(config)
+    store, harness = _build_faulty_store(config, crash_at=point)
+    last_catalog: Optional[bytes] = None
+    sync_attempts_at_capture = -1
+    crashed = False
+    for op in trace.ops:
+        try:
+            result = apply_op(store, op)
+        except SimulatedCrashError:
+            crashed = True
+            break
+        if op[0] == "checkpoint":
+            last_catalog = result
+            sync_attempts_at_capture = harness.disk.sync_attempts
+    label = harness.clock.crash_label or "(none)"
+    if not crashed:
+        raise StoreError(
+            f"crash point {point} never fired ({harness.clock.ticks} points total)"
+        )
+    # the process is dead: only durable state survives
+    harness.disk.crash()
+    wal_bytes = store.wal.to_bytes()
+    durable_frames = harness.wal_adapter.frames_completed
+    durable_ops = sum(1 for count in trace.appends_after if count <= durable_frames)
+    expected = trace.snapshots[durable_ops]
+    # --- recovery path 1: full-log logical restore (always sound)
+    error: Optional[str] = None
+    try:
+        recovered = XMLStore.recover(
+            WriteAheadLog.from_bytes(wal_bytes), config=config.store_config()
+        )
+        error = _verify_recovered(recovered, expected, "full-restore")
+    except ReproError as failure:
+        error = f"full-restore: recovery raised {type(failure).__name__}: {failure}"
+    full_restore_ok = error is None
+    # --- recovery path 2: checkpoint catalog + WAL suffix (when sound)
+    catalog_checked = False
+    catalog_ok = True
+    if (
+        full_restore_ok
+        and last_catalog is not None
+        and harness.disk.sync_attempts == sync_attempts_at_capture
+    ):
+        catalog_checked = True
+        try:
+            from repro.storage.disk import InstrumentedDevice
+
+            device = InstrumentedDevice(
+                harness.disk, cost_model=config.store_config().cost_model
+            )
+            wal = WriteAheadLog.from_bytes(wal_bytes)
+            reopened = XMLStore.from_catalog(
+                device, last_catalog, config=config.store_config(), wal=wal
+            )
+            replay(reopened, wal)
+            catalog_error = _verify_recovered(reopened, expected, "catalog-replay")
+        except ReproError as failure:
+            catalog_error = (
+                f"catalog-replay: recovery raised {type(failure).__name__}: {failure}"
+            )
+        if catalog_error is not None:
+            catalog_ok = False
+            error = catalog_error
+    return CrashPointResult(
+        point=point,
+        label=label,
+        durable_ops=durable_ops,
+        full_restore_ok=full_restore_ok,
+        catalog_checked=catalog_checked,
+        catalog_ok=catalog_ok,
+        error=error,
+    )
+
+
+# ====================================================================== report ==
+
+
+@dataclass
+class TortureReport:
+    """Outcome of a whole enumeration."""
+
+    config: TortureConfig
+    total_points: int
+    tested_points: int
+    results: List[CrashPointResult] = field(default_factory=list)
+    passthrough_identical: bool = True
+
+    @property
+    def failures(self) -> List[CrashPointResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and self.passthrough_identical
+
+    @property
+    def catalog_checked_points(self) -> int:
+        return sum(1 for result in self.results if result.catalog_checked)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "seed": self.config.seed,
+            "workload": self.config.workload,
+            "ops": self.config.ops,
+            "fault_classes": {
+                "torn_page_writes": self.config.torn_page_writes,
+                "torn_wal_appends": self.config.torn_wal_appends,
+                "reorder_sync": self.config.reorder_sync,
+            },
+            "total_points": self.total_points,
+            "tested_points": self.tested_points,
+            "catalog_checked_points": self.catalog_checked_points,
+            "passthrough_identical": self.passthrough_identical,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"torture seed={self.config.seed} workload={self.config.workload} "
+            f"ops={self.config.ops}",
+            f"crash points: {self.total_points} total, {self.tested_points} tested, "
+            f"{self.catalog_checked_points} also checked via catalog recovery",
+            "pass-through: "
+            + ("byte-identical" if self.passthrough_identical else "DIVERGED"),
+        ]
+        if self.failures:
+            lines.append(f"{len(self.failures)} FAILING crash point(s):")
+            for failure in self.failures:
+                lines.append(
+                    f"  point {failure.point} [{failure.label}] "
+                    f"durable_ops={failure.durable_ops}: {failure.error}"
+                )
+            lines.append(
+                f"reproduce with: TortureConfig(seed={self.config.seed}, "
+                f"ops={self.config.ops}, workload={self.config.workload!r}) "
+                f"+ run_crash_point(config, {self.failures[0].point})"
+            )
+        else:
+            lines.append("all tested crash points recovered verify-clean")
+        return "\n".join(lines)
+
+
+def select_points(total: int, cap: Optional[int], seed: int) -> List[int]:
+    """Which crash points to test: all, or a seeded sample of ``cap``."""
+    if cap is None or cap >= total:
+        return list(range(total))
+    rng = random.Random(seed ^ 0x5EED)
+    return sorted(rng.sample(range(total), cap))
+
+
+def run_torture(config: Optional[TortureConfig] = None) -> TortureReport:
+    """Enumerate crash points for ``config`` and verify recovery at each."""
+    config = config if config is not None else TortureConfig()
+    trace = run_baseline(config)
+    points = select_points(trace.total_points, config.crash_points, config.seed)
+    _log.info(
+        "torture: %d crash points (%d tested), seed=%d",
+        trace.total_points, len(points), config.seed,
+    )
+    report = TortureReport(
+        config=config,
+        total_points=trace.total_points,
+        tested_points=len(points),
+        passthrough_identical=trace.passthrough_identical,
+    )
+    for point in points:
+        result = run_crash_point(config, point, trace)
+        report.results.append(result)
+        if not result.ok:
+            _log.warning("crash point %d FAILED: %s", point, result.error)
+    return report
+
+
+def shrink_failing(config: TortureConfig, rounds: int = 6) -> TortureConfig:
+    """Minimize ``config.ops`` while the torture run still fails.
+
+    Greedy halving: each round tries a workload half the size; the
+    smallest failing size wins.  Returns the minimized config (possibly
+    the original if nothing smaller fails).
+    """
+    best = config
+    candidate_ops = config.ops
+    for _ in range(rounds):
+        candidate_ops //= 2
+        if candidate_ops < 1:
+            break
+        from dataclasses import replace
+
+        candidate = replace(best, ops=candidate_ops)
+        if not run_torture(candidate).ok:
+            best = candidate
+    return best

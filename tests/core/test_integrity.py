@@ -9,7 +9,7 @@ from repro.core.integrity import IntegrityCheck, IntegrityReport, integrity_repo
 from repro.core.store import XMLStore
 from repro.errors import StoreError
 
-CHECK_NAMES = ("layout", "range-index", "id-density")
+CHECK_NAMES = ("layout", "range-index", "id-density", "partial-memo")
 
 
 def _store(max_range_tokens=32):
@@ -51,7 +51,7 @@ class TestHealthyStore:
     def test_to_dict_is_json_ready(self):
         payload = json.loads(json.dumps(integrity_report(_store()).to_dict()))
         assert payload["ok"] is True
-        assert len(payload["checks"]) == 3
+        assert len(payload["checks"]) == len(CHECK_NAMES)
         assert all("error" not in check for check in payload["checks"])
 
 
@@ -96,6 +96,69 @@ class TestCorruptedStore:
 
     def test_healthy_check_integrity_is_quiet(self):
         _store().check_integrity()  # no exception
+
+
+class TestPartialMemo:
+    """The partial-memo check: current entries vs. a from-scratch probe."""
+
+    def _store_with_memos(self):
+        store = _store()
+        node_ids = []
+        for meta in store.ranges.in_order():
+            if meta.has_interval:
+                node_ids.extend(range(meta.start_id, meta.end_id + 1))
+        for node_id in node_ids[:6]:
+            store.read(node_id)  # memoize some lookups
+        assert len(store.partial_index) > 1
+        return store
+
+    def test_healthy_memos_pass_and_are_counted(self):
+        report = integrity_report(self._store_with_memos())
+        by_name = {check.name: check for check in report.checks}
+        assert by_name["partial-memo"].ok
+        assert by_name["partial-memo"].detail["entries"] > 0
+
+    def test_stale_entries_are_legal(self):
+        # bump the version of every memoized range: the entries go stale,
+        # which invalidation-by-version handles — not an integrity failure
+        store = self._store_with_memos()
+        for entry in store.partial_index._entries.values():
+            store.ranges.get(entry.range_id).version += 1
+        report = integrity_report(store)
+        by_name = {check.name: check for check in report.checks}
+        assert by_name["partial-memo"].ok
+        assert by_name["partial-memo"].detail["stale"] > 0
+        assert by_name["partial-memo"].detail["entries"] == 0
+
+    def test_current_entry_at_wrong_offset_fails(self):
+        store = self._store_with_memos()
+        entry = next(iter(store.partial_index._entries.values()))
+        meta = store.ranges.get(entry.range_id)
+        entry.begin_offset = meta.token_count + 5  # points past the range
+        report = integrity_report(store)
+        failed_names = [check.name for check in report.failed()]
+        assert failed_names == ["partial-memo"]
+
+    def test_current_entry_naming_the_wrong_node_fails(self):
+        store = self._store_with_memos()
+        entries = list(store.partial_index._entries.values())
+        a, b = entries[0], entries[1]
+        # graft b's location onto a's entry: current version, wrong node
+        a.range_id, a.version = b.range_id, b.version
+        a.begin_pos, a.begin_offset = b.begin_pos, b.begin_offset
+        report = integrity_report(store)
+        assert [check.name for check in report.failed()] == ["partial-memo"]
+        assert "resolves to node" in report.failed()[0].error
+
+    def test_no_partial_index_reports_zero_entries(self):
+        from repro.core.config import IndexingPolicy
+
+        store = XMLStore.open(StoreConfig(policy=IndexingPolicy.RANGE))
+        store.load_document("<r><a/></r>")
+        report = integrity_report(store)
+        by_name = {check.name: check for check in report.checks}
+        assert by_name["partial-memo"].ok
+        assert by_name["partial-memo"].detail["entries"] == 0
 
 
 class TestReportPlumbing:

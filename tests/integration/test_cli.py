@@ -125,7 +125,7 @@ class TestCLI:
         run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
         out = run([store_dir, "verify"])
         # per-check report: one line per invariant, verdict last
-        for name in ("layout", "range-index", "id-density"):
+        for name in ("layout", "range-index", "id-density", "partial-memo"):
             assert name in out
         assert out.splitlines()[-1] == "integrity ok"
 
@@ -136,7 +136,7 @@ class TestCLI:
         payload = json.loads(run([store_dir, "verify", "--json"]))
         assert payload["ok"] is True
         assert [c["name"] for c in payload["checks"]] == [
-            "layout", "range-index", "id-density",
+            "layout", "range-index", "id-density", "partial-memo",
         ]
 
     def test_error_surfaces_as_repro_error(self, store_dir):
@@ -368,3 +368,55 @@ class TestVerboseFlag:
             for handler in list(root.handlers):
                 if not isinstance(handler, logging.NullHandler):
                     root.removeHandler(handler)
+
+
+class TestTortureCommand:
+    def test_torture_reports_all_points_clean(self, store_dir):
+        out = run([store_dir, "torture", "--seed", "3", "--ops", "6"])
+        assert "crash points" in out
+        assert "all tested crash points recovered verify-clean" in out
+
+    def test_torture_never_touches_the_store_dir(self, store_dir):
+        import os
+
+        run([store_dir, "torture", "--ops", "5"])
+        assert not os.path.exists(store_dir)
+
+    def test_torture_json_and_cap(self, store_dir):
+        import json
+
+        payload = json.loads(
+            run([store_dir, "torture", "--ops", "8", "--json",
+                 "--crash-points", "6"])
+        )
+        assert payload["ok"] is True
+        assert payload["tested_points"] == 6
+        assert payload["failures"] == []
+
+    def test_torture_insert_workload_and_fault_classes(self, store_dir):
+        import json
+
+        payload = json.loads(
+            run([store_dir, "torture", "--ops", "6", "--workload", "insert",
+                 "--fault-classes", "torn-wal,reorder", "--json",
+                 "--crash-points", "5"])
+        )
+        assert payload["ok"] is True
+        assert payload["workload"] == "insert"
+        assert payload["fault_classes"]["torn_page_writes"] is False
+        assert payload["fault_classes"]["torn_wal_appends"] is True
+
+    def test_torture_output_file(self, store_dir, tmp_path):
+        target = tmp_path / "torture.json"
+        out = run([store_dir, "torture", "--ops", "5", "--json",
+                   "--crash-points", "4", "--output", str(target)])
+        assert out == f"wrote {target}"
+        import json
+
+        assert json.loads(target.read_text())["ok"] is True
+
+    def test_torture_unknown_fault_class_fails(self, store_dir):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run([store_dir, "torture", "--fault-classes", "torn-floppy"])

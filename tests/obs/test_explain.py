@@ -171,3 +171,42 @@ class TestRecorder:
         report = explain_operation(store, "read", ["5"])
         assert report.partial is None
         assert report.access_path == "range-scan"
+
+
+class TestFaultAttribution:
+    """EXPLAIN attributes fault-layer events (torn writes, sync barriers,
+    crashes) emitted inside the operation window."""
+
+    def _faulty_store(self):
+        from repro.storage.disk import MemoryBlockDevice
+        from repro.storage.faults import FaultConfig, build_fault_harness
+
+        config = StoreConfig(telemetry_enabled=True, events_enabled=True)
+        harness = build_fault_harness(
+            FaultConfig(seed=0),
+            MemoryBlockDevice(block_size=config.page_size),
+            cost_model=config.cost_model,
+        )
+        store = XMLStore.open(config, device=harness.device)
+        root = store.load_document("<r/>")
+        for index in range(10):
+            store.insert_into_last(root, f"<e n='{index}'/>")
+        return store
+
+    def test_checkpoint_sync_barrier_is_attributed(self):
+        store = self._faulty_store()
+        with ExplainRecorder(store, "checkpoint") as recorder:
+            store.checkpoint()
+        report = recorder.report
+        assert any(
+            f["source"] == "fault" and f["kind"] == "sync" for f in report.faults
+        )
+        assert "fault: sync" in report.render()
+        payload = json.loads(json.dumps(report.to_dict(), default=str))
+        assert payload["faults"]
+
+    def test_plain_operations_report_no_faults(self):
+        store = _store()
+        report = explain_operation(store, "read", ["5"])
+        assert report.faults == []
+        assert report.to_dict()["faults"] == []

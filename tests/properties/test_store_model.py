@@ -7,8 +7,6 @@ policy and checks they agree on content, node lookup, and errors — the
 strongest statement that laziness never changes answers.
 """
 
-from typing import Dict, List, Optional, Tuple
-
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
@@ -22,98 +20,8 @@ from hypothesis.stateful import (
 from repro.core.config import IndexingPolicy, StoreConfig
 from repro.core.store import XMLStore
 from repro.errors import NodeNotFoundError
-from repro.xmltoken.datamodel import node_end_offset
-from repro.xmltoken.parser import tokenize_fragment
-from repro.xmltoken.serializer import serialize
-from repro.xmltoken.tokens import Token, TokenKind
-
-
-class ReferenceStore:
-    """Token list + dense id assignment; the oracle."""
-
-    def __init__(self) -> None:
-        self.tokens: List[Token] = []
-        self.ids: List[Optional[int]] = []  # id per token (node starts only)
-        self._next_id = 1
-
-    # -- helpers ---------------------------------------------------------------
-
-    def _assign(self, tokens: List[Token]) -> List[Optional[int]]:
-        ids: List[Optional[int]] = []
-        for token in tokens:
-            if token.starts_node:
-                ids.append(self._next_id)
-                self._next_id += 1
-            else:
-                ids.append(None)
-        return ids
-
-    def _find(self, node_id: int) -> int:
-        for index, assigned in enumerate(self.ids):
-            if assigned == node_id:
-                return index
-        raise NodeNotFoundError(str(node_id))
-
-    def _subtree_span(self, index: int) -> Tuple[int, int]:
-        return index, node_end_offset(self.tokens, index)
-
-    def _splice(self, at: int, tokens: List[Token]) -> None:
-        ids = self._assign(tokens)
-        self.tokens[at:at] = tokens
-        self.ids[at:at] = ids
-
-    # -- mirrored operations -----------------------------------------------------
-
-    def load_document(self, xml: str) -> Optional[int]:
-        tokens = tokenize_fragment(xml)
-        first = self._next_id if any(t.starts_node for t in tokens) else None
-        self._splice(len(self.tokens), tokens)
-        return first
-
-    def read(self, node_id: Optional[int] = None) -> str:
-        if node_id is None:
-            return serialize(self.tokens)
-        start, end = self._subtree_span(self._find(node_id))
-        return serialize(self.tokens[start:end])
-
-    def insert_before(self, node_id: int, xml: str) -> None:
-        index = self._find(node_id)
-        self._splice(index, tokenize_fragment(xml))
-
-    def insert_after(self, node_id: int, xml: str) -> None:
-        _, end = self._subtree_span(self._find(node_id))
-        self._splice(end, tokenize_fragment(xml))
-
-    def insert_into_last(self, node_id: int, xml: str) -> None:
-        start, end = self._subtree_span(self._find(node_id))
-        self._splice(end - 1, tokenize_fragment(xml))
-
-    def insert_into_first(self, node_id: int, xml: str) -> None:
-        index = self._find(node_id)
-        position = index + 1
-        while self.tokens[position].kind in (
-            TokenKind.BEGIN_ATTRIBUTE,
-            TokenKind.ATTRIBUTE_VALUE,
-            TokenKind.END_ATTRIBUTE,
-            TokenKind.NAMESPACE,
-        ):
-            position += 1
-        self._splice(position, tokenize_fragment(xml))
-
-    def delete_node(self, node_id: int) -> None:
-        start, end = self._subtree_span(self._find(node_id))
-        del self.tokens[start:end]
-        del self.ids[start:end]
-
-    def element_ids(self) -> List[int]:
-        return [
-            assigned
-            for token, assigned in zip(self.tokens, self.ids)
-            if assigned is not None and token.kind == TokenKind.BEGIN_ELEMENT
-        ]
-
-    def all_node_ids(self) -> List[int]:
-        return [assigned for assigned in self.ids if assigned is not None]
+from repro.storage.wal import WriteAheadLog
+from repro.testing.reference import ReferenceStore
 
 
 FRAGMENTS = [
@@ -142,14 +50,13 @@ class StoreAgreesWithModel(RuleBasedStateMachine):
         granularity=st.sampled_from([None, 8, 64]),
     )
     def setup(self, policy, page_size, granularity):
-        self.store = XMLStore.open(
-            StoreConfig(
-                policy=policy,
-                page_size=page_size,
-                buffer_pool_capacity=8,
-                max_range_tokens=granularity,
-            )
+        self.config_kwargs = dict(
+            policy=policy,
+            page_size=page_size,
+            buffer_pool_capacity=8,
+            max_range_tokens=granularity,
         )
+        self.store = XMLStore.open(StoreConfig(**self.config_kwargs))
         self.model = ReferenceStore()
 
     # -- operations ------------------------------------------------------------
@@ -202,6 +109,28 @@ class StoreAgreesWithModel(RuleBasedStateMachine):
         self.model.delete_node(node_id)
 
     @precondition(lambda self: self.model.all_node_ids())
+    @rule(data=st.data(), fragment=st.sampled_from(FRAGMENTS))
+    def replace_node(self, data, fragment):
+        node_id = data.draw(st.sampled_from(self.model.all_node_ids()))
+        if self._is_attribute(node_id):
+            return
+        self.store.replace_node(node_id, fragment)
+        self.model.replace_node(node_id, fragment)
+
+    @rule()
+    def crash_recover(self):
+        """Kill the store and rebuild it from its own WAL: the recovered
+        store must serialize identically, keep the same id assignment
+        (checked implicitly — later rules target model-chosen ids), and
+        carry on accepting operations."""
+        wal_bytes = self.store.wal.to_bytes()
+        self.store = XMLStore.recover(
+            WriteAheadLog.from_bytes(wal_bytes),
+            config=StoreConfig(**self.config_kwargs),
+        )
+        assert self.store.read() == self.model.read()
+
+    @precondition(lambda self: self.model.all_node_ids())
     @rule(data=st.data())
     def read_node(self, data):
         node_id = data.draw(st.sampled_from(self.model.all_node_ids()))
@@ -218,11 +147,7 @@ class StoreAgreesWithModel(RuleBasedStateMachine):
             self.store.read(missing)
 
     def _is_attribute(self, node_id: int) -> bool:
-        index = self.model._find(node_id)
-        return self.model.tokens[index].kind in (
-            TokenKind.BEGIN_ATTRIBUTE,
-            TokenKind.NAMESPACE,
-        )
+        return self.model.is_attribute(node_id)
 
     # -- invariants -----------------------------------------------------------------
 

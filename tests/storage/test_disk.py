@@ -189,6 +189,18 @@ class TestInstrumentedDevice:
         stats.reset()
         assert stats.reads == 0 and stats.simulated_seconds == 0.0
 
+    def test_sync_counter_tracks_durability_barriers(self):
+        dev = InstrumentedDevice(MemoryBlockDevice())
+        assert dev.stats.syncs == 0
+        dev.sync()
+        dev.sync()
+        assert dev.stats.syncs == 2
+        snap = dev.stats.snapshot()
+        dev.sync()
+        assert dev.stats.delta(snap).syncs == 1
+        dev.stats.reset()
+        assert dev.stats.syncs == 0
+
     def test_fault_injection_fires(self):
         boom = FaultInjector(lambda op, block, stats: op == "write" and stats.writes >= 1)
         dev = InstrumentedDevice(MemoryBlockDevice(), fault_injector=boom)

@@ -1,0 +1,220 @@
+"""Deterministic fault injection (repro.storage.faults)."""
+
+import pytest
+
+from repro.errors import BlockNotFoundError, SimulatedCrashError, StorageError
+from repro.storage.disk import MemoryBlockDevice
+from repro.storage.faults import (
+    FaultConfig,
+    FaultyDisk,
+    WALFaultAdapter,
+    build_fault_harness,
+    find_fault_layer,
+)
+from repro.storage.wal import RecordType, WriteAheadLog
+
+BLOCK = 512
+
+
+def _disk(**config_kwargs):
+    return FaultyDisk(MemoryBlockDevice(block_size=BLOCK), FaultConfig(**config_kwargs))
+
+
+class TestVolatileSemantics:
+    def test_write_is_volatile_until_sync(self):
+        disk = _disk()
+        block = disk.allocate_block()
+        disk.write_block(block, b"x" * BLOCK)
+        assert disk.read_block(block) == b"x" * BLOCK  # the live process sees it
+        assert disk.backend.read_block(block) == b"\x00" * BLOCK  # disk does not
+        disk.sync()
+        assert disk.backend.read_block(block) == b"x" * BLOCK
+
+    def test_crash_discards_unsynced_writes(self):
+        disk = _disk()
+        block = disk.allocate_block()
+        disk.write_block(block, b"a" * BLOCK)
+        disk.sync()
+        disk.write_block(block, b"b" * BLOCK)
+        assert disk.unsynced_writes == 1
+        disk.crash()
+        assert disk.unsynced_writes == 0
+        assert disk.read_block(block) == b"a" * BLOCK  # last durable image
+
+    def test_frees_are_deferred_to_sync(self):
+        disk = _disk()
+        block = disk.allocate_block()
+        disk.write_block(block, b"x" * BLOCK)
+        disk.sync()
+        disk.free_block(block)
+        with pytest.raises(BlockNotFoundError):
+            disk.read_block(block)  # the live view agrees it is gone
+        assert block in list(disk.backend.block_numbers())  # disk does not, yet
+        disk.sync()
+        assert block not in list(disk.backend.block_numbers())
+
+    def test_crash_revives_a_freed_but_unsynced_block(self):
+        disk = _disk()
+        block = disk.allocate_block()
+        disk.write_block(block, b"x" * BLOCK)
+        disk.sync()
+        disk.free_block(block)
+        disk.crash()
+        assert disk.read_block(block) == b"x" * BLOCK
+
+    def test_num_blocks_and_block_numbers_reflect_the_live_view(self):
+        disk = _disk()
+        kept = disk.allocate_block()
+        doomed = disk.allocate_block()
+        disk.write_block(kept, b"k" * BLOCK)
+        disk.write_block(doomed, b"d" * BLOCK)
+        disk.sync()
+        disk.free_block(doomed)
+        assert disk.num_blocks == disk.backend.num_blocks - 1
+        assert doomed not in list(disk.block_numbers())
+
+
+class TestCrashPoints:
+    def test_crash_at_write_point(self):
+        disk = _disk(crash_at=1)
+        block = disk.allocate_block()
+        disk.write_block(block, b"a" * BLOCK)  # point 0
+        with pytest.raises(SimulatedCrashError):
+            disk.write_block(block, b"b" * BLOCK)  # point 1
+        assert disk.clock.crashed
+        assert disk.clock.crash_label == f"write:block={block}"
+        assert disk.unsynced_writes == 0  # volatile state discarded
+
+    def test_crash_mid_sync_persists_a_strict_subset(self):
+        disk = _disk(crash_at=3, reorder_sync=False, torn_page_writes=False)
+        blocks = [disk.allocate_block() for _ in range(3)]
+        for block in blocks:
+            disk.write_block(block, bytes([block % 251]) * BLOCK)  # points 0-2
+        with pytest.raises(SimulatedCrashError):
+            disk.sync()  # in-order flush: point 3 is the first block
+        survived = [
+            block
+            for block in blocks
+            if disk.backend.read_block(block) != b"\x00" * BLOCK
+        ]
+        assert survived == []  # crashed before the first flush landed
+        assert disk.sync_attempts == 1
+        assert disk.sync_completions == 0
+
+    def test_dry_run_counts_and_labels_every_point(self):
+        disk = _disk()
+        block = disk.allocate_block()
+        disk.write_block(block, b"a" * BLOCK)
+        disk.sync()
+        assert disk.clock.ticks == 2
+        assert disk.clock.points == [
+            f"write:block={block}",
+            f"sync:block={block}",
+        ]
+
+    def test_same_seed_same_point_sequence(self):
+        def run(seed):
+            disk = _disk(seed=seed)
+            blocks = [disk.allocate_block() for _ in range(4)]
+            for block in blocks:
+                disk.write_block(block, b"z" * BLOCK)
+            disk.sync()
+            return disk.clock.points
+
+        assert run(3) == run(3)
+        # reordering makes different seeds flush in different orders
+        assert run(3) != run(4) or run(3) == run(4)  # both legal; just deterministic
+
+
+class TestTornWrites:
+    def test_torn_block_keeps_a_sector_prefix(self):
+        # one block pending, crash on its sync flush: the backend image
+        # must be old suffix + new prefix at a sector boundary
+        for seed in range(6):
+            # points: write=0, first sync flush=1, write=2, second sync flush=3
+            disk = FaultyDisk(
+                MemoryBlockDevice(block_size=2048),
+                FaultConfig(seed=seed, crash_at=3, reorder_sync=False),
+            )
+            block = disk.allocate_block()
+            disk.write_block(block, b"O" * 2048)
+            disk.sync()
+            disk.write_block(block, b"N" * 2048)
+            with pytest.raises(SimulatedCrashError):
+                disk.sync()
+            image = disk.backend.read_block(block)
+            kept = len(image) - len(image.lstrip(b"N"))
+            assert kept % 512 == 0  # sector-aligned tear
+            assert image == b"N" * kept + b"O" * (2048 - kept)
+            assert disk.torn_blocks == [block] or kept == 0
+
+    def test_torn_writes_disabled_leaves_the_old_image(self):
+        disk = _disk(crash_at=3, torn_page_writes=False, reorder_sync=False)
+        block = disk.allocate_block()
+        disk.write_block(block, b"O" * BLOCK)
+        disk.sync()
+        disk.write_block(block, b"N" * BLOCK)
+        with pytest.raises(SimulatedCrashError):
+            disk.sync()
+        assert disk.backend.read_block(block) == b"O" * BLOCK
+        assert disk.torn_blocks == []
+
+
+class TestWALFaults:
+    def test_torn_append_is_rejected_by_crc_framing(self):
+        harness = build_fault_harness(
+            FaultConfig(seed=1, crash_at=1), MemoryBlockDevice(block_size=BLOCK)
+        )
+        wal = WriteAheadLog()
+        wal.fault_adapter = harness.wal_adapter
+        wal.append(RecordType.LOAD_DOCUMENT, b"payload-zero")  # frame 0
+        with pytest.raises(SimulatedCrashError):
+            wal.append(RecordType.LOAD_DOCUMENT, b"payload-one")  # frame 1 torn
+        assert harness.wal_adapter.frames_completed == 1
+        survivors = WriteAheadLog.from_bytes(wal.to_bytes())
+        records = list(survivors.records())
+        assert [record.payload for record in records] == [b"payload-zero"]
+
+    def test_adapter_counts_only_complete_frames(self):
+        harness = build_fault_harness(
+            FaultConfig(), MemoryBlockDevice(block_size=BLOCK)
+        )
+        wal = WriteAheadLog()
+        wal.fault_adapter = harness.wal_adapter
+        for index in range(3):
+            wal.append(RecordType.LOAD_DOCUMENT, b"p%d" % index)
+        assert harness.wal_adapter.frames_completed == 3
+        assert harness.clock.points == [f"wal:frame={i}" for i in range(3)]
+
+
+class TestHarnessPlumbing:
+    def test_build_wires_one_clock_through_everything(self):
+        harness = build_fault_harness(
+            FaultConfig(seed=9), MemoryBlockDevice(block_size=BLOCK)
+        )
+        assert harness.disk.clock is harness.clock
+        assert harness.wal_adapter.clock is harness.clock
+        assert harness.device.backend is harness.disk
+        assert isinstance(harness.wal_adapter, WALFaultAdapter)
+
+    def test_find_fault_layer_unwraps_the_chain(self):
+        harness = build_fault_harness(
+            FaultConfig(), MemoryBlockDevice(block_size=BLOCK)
+        )
+        assert find_fault_layer(harness.device) is harness.disk
+        assert find_fault_layer(harness.disk) is harness.disk
+        assert find_fault_layer(MemoryBlockDevice(block_size=BLOCK)) is None
+        assert find_fault_layer(None) is None
+
+    def test_fault_classes_parsing(self):
+        config = FaultConfig.from_classes("torn-page,reorder")
+        assert config.torn_page_writes
+        assert not config.torn_wal_appends
+        assert config.reorder_sync
+        assert FaultConfig.from_classes("none") == FaultConfig(
+            torn_page_writes=False, torn_wal_appends=False, reorder_sync=False
+        )
+        all_on = FaultConfig.from_classes("all")
+        assert all_on.torn_page_writes and all_on.torn_wal_appends
+        with pytest.raises(StorageError):
+            FaultConfig.from_classes("torn-floppy")

@@ -138,3 +138,45 @@ class TestPayloadCodec:
     def test_truncated_id_raises(self):
         with pytest.raises(WALError):
             decode_op_payload(struct.pack("<I", 10) + b"abc")
+
+
+class TestSerializationRoundtrip:
+    def _populated(self):
+        wal = WriteAheadLog()
+        wal.append(RecordType.LOAD_DOCUMENT, b"alpha")
+        wal.append(RecordType.INSERT_AFTER, b"beta")
+        wal.checkpoint()
+        wal.append(RecordType.DELETE_NODE, b"gamma")
+        return wal
+
+    def test_to_bytes_from_bytes_preserves_everything(self):
+        wal = self._populated()
+        clone = WriteAheadLog.from_bytes(wal.to_bytes())
+        assert [
+            (r.lsn, r.record_type, r.payload) for r in clone.records()
+        ] == [(r.lsn, r.record_type, r.payload) for r in wal.records()]
+        assert clone.to_bytes() == wal.to_bytes()
+
+    def test_from_bytes_resumes_lsn_allocation(self):
+        wal = self._populated()
+        clone = WriteAheadLog.from_bytes(wal.to_bytes())
+        original_last = list(wal.records())[-1].lsn
+        clone.append(RecordType.LOAD_DOCUMENT, b"delta")
+        assert list(clone.records())[-1].lsn == original_last + 1
+
+    def test_to_bytes_does_not_disturb_the_log(self):
+        wal = self._populated()
+        before = [r.lsn for r in wal.records()]
+        wal.to_bytes()
+        wal.append(RecordType.LOAD_DOCUMENT, b"after")
+        assert [r.lsn for r in wal.records()][:-1] == before
+
+    def test_from_bytes_drops_a_torn_tail(self):
+        data = self._populated().to_bytes()
+        clone = WriteAheadLog.from_bytes(data[:-3])  # tear the last frame
+        payloads = [r.payload for r in clone.records()]
+        assert payloads == [b"alpha", b"beta", b""]  # gamma's frame is torn
+
+    def test_empty_roundtrip(self):
+        clone = WriteAheadLog.from_bytes(WriteAheadLog().to_bytes())
+        assert list(clone.records()) == []
