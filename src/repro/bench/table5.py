@@ -81,6 +81,12 @@ class Table5Config:
     #: :class:`~repro.storage.faults.FaultyDisk` and pin the numbers
     #: byte-identical (the fault layer's zero-cost contract).
     backend_factory: Optional[object] = None
+    #: write checksum-framed pages (see :mod:`repro.storage.pages`).  Off
+    #: here — unlike the store default — so the benchmark numbers stay
+    #: comparable with the committed pre-checksum baseline; the robustness
+    #: tests flip it on and bound the overhead with the bench_compare
+    #: tolerance instead (tests/bench/test_checksum_cost.py).
+    checksums: bool = False
     seed: int = 7
 
     @classmethod
@@ -139,6 +145,7 @@ def build_store(
         telemetry_enabled=config.events_enabled,
         events_enabled=config.events_enabled,
         profiling_enabled=config.profile,
+        checksums_enabled=config.checksums,
     )
     device = (
         config.backend_factory(store_config)

@@ -28,17 +28,31 @@ Commands:
     heatmap [--top N]          per-block access counts and hot ranges
     compact                    merge adjacent ranges
     verify [--json]            run every integrity check and report each
+    scrub [--budget N] [--json]
+                               out-of-band checksum verification of every
+                               owned block against the raw device image
+                               (read-only; bad blocks exit 2)
+    repair [--json]            self-healing repair: full-log rebuild when
+                               the WAL is usable, structural salvage
+                               otherwise (degraded result exits 1)
     torture [--seed N] [--ops N] [--crash-points N] [--json]
                                crash-consistency torture: enumerate every
                                crash point of a seeded workload, crash at
                                each, recover and verify (in-memory; the
                                store directory is left untouched)
 
-``trace``, ``explain``, ``profile``, ``heatmap`` and ``verify`` accept
-``--output FILE`` to write the report to a file instead of stdout; an
-unwritable path exits non-zero, and a failed ``verify`` exits non-zero
-listing the broken invariants.  The global ``--verbose`` flag turns on
-the ``repro.*`` log hierarchy on stderr.
+``trace``, ``explain``, ``profile``, ``heatmap``, ``verify``, ``scrub``
+and ``repair`` accept ``--output FILE`` to write the report to a file
+instead of stdout; an unwritable path exits non-zero.  The global
+``--verbose`` flag turns on the ``repro.*`` log hierarchy on stderr.
+
+Exit codes distinguish *how bad* things are (mirroring
+``tools/bench_compare.py``): **0** clean, **1** degraded — the store
+works but something was lost or needs attention (``repair`` that could
+not save every record, ``verify`` on a store carrying a degraded-repair
+sidecar), **2** corrupt — verification failed outright (``scrub``
+finding bad blocks, ``verify`` with failing checks, an unrepairable
+store).
 
 Every invocation opens the store, applies the command, checkpoints and
 closes — so the directory is always consistent afterwards.  The CLI
@@ -55,7 +69,7 @@ import logging
 import sys
 from typing import List, Optional
 
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreCorruptError, StoreDegradedError
 from repro.core.config import StoreConfig
 from repro.core.filestore import close_directory, open_directory
 from repro.log import install_handler
@@ -217,12 +231,76 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("compact", help="merge adjacent ranges")
 
     verify = commands.add_parser(
-        "verify", help="run every integrity check and report each"
+        "verify",
+        help="run every integrity check and report each",
+        description=(
+            "Runs every store invariant check (layout, range-index, "
+            "id-density, partial-memo, block-checksum, quarantine) and "
+            "reports each individually."
+        ),
+        epilog=(
+            "exit codes: 0 = every check passed and no degraded-repair "
+            "sidecar; 1 = checks pass but the store carries a "
+            "store.repair.json sidecar (an earlier repair lost data); "
+            "2 = one or more checks failed (corrupt)"
+        ),
     )
     verify.add_argument(
         "--json", action="store_true", help="per-check report as JSON"
     )
     verify.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
+
+    scrub = commands.add_parser(
+        "scrub",
+        help="verify every owned block's checksum against the raw device",
+        description=(
+            "Walks every block the store owns (data chain + index trees) "
+            "and verifies each raw device image's checksum frame out-of-"
+            "band, bypassing the buffer pool cache.  Read-only: nothing "
+            "is modified (bad blocks are reported, and would be "
+            "quarantined by a running store).  Vacuous on legacy "
+            "no-checksum stores."
+        ),
+        epilog="exit codes: 0 = all blocks verify; 2 = bad block(s) found",
+    )
+    scrub.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="verify in incremental steps of N blocks (default: one pass)",
+    )
+    scrub.add_argument(
+        "--json", action="store_true", help="report as JSON"
+    )
+    scrub.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
+
+    repair = commands.add_parser(
+        "repair",
+        help="self-heal the store around checksum-dead blocks",
+        description=(
+            "Tries a full-log rebuild first (the WAL holds the complete "
+            "operation history, so a readable log recovers everything); "
+            "falls back to structural salvage: surviving records are "
+            "re-chained, provable id prefixes/suffixes are reassigned, "
+            "ambiguous runs are dropped and every derived structure "
+            "(range index, partial memos, full index) is rebuilt.  A "
+            "degraded salvage writes a store.repair.json sidecar that "
+            "'verify' reports as exit 1."
+        ),
+        epilog=(
+            "exit codes: 0 = fully recovered; 1 = repaired but degraded "
+            "(data provably lost); 2 = repair could not restore integrity"
+        ),
+    )
+    repair.add_argument(
+        "--json", action="store_true", help="report as JSON"
+    )
+    repair.add_argument(
         "--output", default=None, help="write to FILE instead of stdout"
     )
 
@@ -254,11 +332,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="mixed",
         help="mixed random updates, or the Table-5 insert stream",
     )
+    from repro.storage.faults import fault_classes_help
+
     torture.add_argument(
         "--fault-classes",
         default="all",
         metavar="LIST",
-        help="comma list of torn-page, torn-wal, reorder; or all / none",
+        help=(
+            "comma list of fault classes, or all (crash classes) / none. "
+            + fault_classes_help()
+        ),
+    )
+    torture.add_argument(
+        "--media-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help=(
+            "per-flush probability of injecting an enabled media fault "
+            "(default 0.05; only meaningful with bitrot / lost_write / "
+            "misdirect classes)"
+        ),
     )
     torture.add_argument(
         "--crash-points",
@@ -286,6 +380,15 @@ def run(argv: Optional[List[str]] = None, stdin=None) -> str:
         # torture runs on throwaway in-memory stores: never open (or
         # mutate) the user's store directory
         return _run_torture(arguments)
+    if arguments.command == "scrub":
+        # scrub is read-only and must see the *device* images, not a
+        # replayed store: never go through open/close (which replays the
+        # WAL and checkpoints on close)
+        return _run_scrub(arguments)
+    if arguments.command == "repair":
+        # repair manages the directory's files itself (and must open in
+        # repair mode: a normal open would choke on the corruption)
+        return _run_repair(arguments)
     store = open_directory(
         arguments.store,
         config=StoreConfig(
@@ -318,7 +421,9 @@ def _run_torture(arguments) -> str:
     from repro.storage.faults import FaultConfig
     from repro.testing.torture import TortureConfig, run_torture
 
-    fault_classes = FaultConfig.from_classes(arguments.fault_classes)
+    fault_classes = FaultConfig.from_classes(
+        arguments.fault_classes, media_fault_rate=arguments.media_rate
+    )
     config = TortureConfig(
         seed=arguments.seed,
         ops=arguments.ops,
@@ -326,6 +431,10 @@ def _run_torture(arguments) -> str:
         torn_page_writes=fault_classes.torn_page_writes,
         torn_wal_appends=fault_classes.torn_wal_appends,
         reorder_sync=fault_classes.reorder_sync,
+        bitrot=fault_classes.bitrot,
+        lost_writes=fault_classes.lost_writes,
+        misdirected_writes=fault_classes.misdirected_writes,
+        media_fault_rate=fault_classes.media_fault_rate,
         crash_points=arguments.crash_points,
     )
     report = run_torture(config)
@@ -338,7 +447,71 @@ def _run_torture(arguments) -> str:
         # the report was delivered (file written) before failing
         raise ReproError(
             f"torture failed at {len(report.failures)} of "
-            f"{report.tested_points} crash point(s) (seed {config.seed})"
+            f"{report.tested_points} tested case(s) (seed {config.seed})"
+        )
+    return delivered
+
+
+def _run_scrub(arguments) -> str:
+    import os
+
+    from repro.core.filestore import CATALOG_FILE, DEVICE_FILE
+    from repro.core.store import XMLStore
+    from repro.storage.disk import FileBlockDevice, InstrumentedDevice
+    from repro.storage.scrub import scrub_store
+
+    config = StoreConfig()
+    catalog_path = os.path.join(arguments.store, CATALOG_FILE)
+    device_path = os.path.join(arguments.store, DEVICE_FILE)
+    if not (os.path.exists(catalog_path) and os.path.exists(device_path)):
+        raise ReproError(
+            f"{arguments.store}: not a store directory (no catalog/device)"
+        )
+    with open(catalog_path, "rb") as handle:
+        catalog = handle.read()
+    device = InstrumentedDevice(
+        FileBlockDevice(device_path, block_size=config.page_size),
+        cost_model=config.cost_model,
+    )
+    try:
+        store = XMLStore.from_catalog(
+            device, catalog, config=config, repair_mode=True
+        )
+        report = scrub_store(store, blocks_per_call=arguments.budget)
+    finally:
+        device.close()
+    if arguments.json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = report.render()
+    delivered = _deliver(text, arguments.output)
+    if not report.ok:
+        # the report was delivered (file written) before failing
+        raise StoreCorruptError(
+            f"scrub found {len(report.issues)} bad block(s): "
+            f"{report.bad_blocks()}"
+        )
+    return delivered
+
+
+def _run_repair(arguments) -> str:
+    from repro.core.repair import repair_directory
+
+    report = repair_directory(arguments.store, config=StoreConfig())
+    if arguments.json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = report.render()
+    delivered = _deliver(text, arguments.output)
+    if not report.integrity_ok:
+        raise StoreCorruptError(
+            "repair could not restore integrity (see report)"
+        )
+    if report.degraded:
+        raise StoreDegradedError(
+            f"store repaired but degraded: {report.lost_ids} id(s) lost, "
+            f"{report.records_dropped} ambiguous record(s) dropped, "
+            f"{report.skipped_ops} WAL op(s) skipped"
         )
     return delivered
 
@@ -474,17 +647,33 @@ def _dispatch(store, arguments, stdin) -> str:
         )
     if command == "verify":
         from repro.core.integrity import integrity_report
+        from repro.core.repair import read_sidecar
 
         report = integrity_report(store)
+        sidecar = read_sidecar(arguments.store)
         if arguments.json:
-            text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+            payload = report.to_dict()
+            if sidecar is not None:
+                payload["degraded_repair"] = sidecar
+            text = json.dumps(payload, indent=2, sort_keys=True)
         else:
             text = report.render()
+            if sidecar is not None:
+                text += (
+                    "\nDEGRADED: an earlier repair lost data "
+                    f"(lost_ids={sidecar.get('lost_ids', '?')}); "
+                    "see store.repair.json"
+                )
         delivered = _deliver(text, arguments.output)
         if not report.ok:
             # the report was delivered (file written) before failing
             names = ", ".join(check.name for check in report.failed())
-            raise ReproError(f"integrity check(s) failed: {names}")
+            raise StoreCorruptError(f"integrity check(s) failed: {names}")
+        if sidecar is not None:
+            raise StoreDegradedError(
+                "store verifies but an earlier repair lost data "
+                "(store.repair.json present)"
+            )
         return delivered
     raise AssertionError(f"unhandled command {command}")  # pragma: no cover
 
@@ -495,7 +684,9 @@ def main() -> int:  # pragma: no cover - thin wrapper
         return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        # 1 = degraded-but-working, 2 = corrupt (ChecksumError,
+        # StoreCorruptError); see the module docstring
+        return getattr(error, "exit_code", 1)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -74,6 +74,15 @@ class StoreConfig:
     #: Maximum keys per B+-tree node (range and full indexes).
     btree_order: int = 64
 
+    #: Frame every block image with a self-verifying checksum header
+    #: (CRC32 over payload + block number; see
+    #: :class:`repro.storage.pages.PageCodec`).  Catches bit rot and
+    #: misdirected writes on fetch at the cost of 8 payload bytes per
+    #: block.  The on-page format of a persisted store is recorded in its
+    #: catalog; this flag only chooses the format for *new* stores, and a
+    #: legacy (pre-checksum) catalog always opens via the raw read path.
+    checksums_enabled: bool = True
+
     #: Cost model charged for every simulated block access.
     cost_model: DiskCostModel = field(default_factory=DiskCostModel)
 

@@ -19,7 +19,13 @@ payload, JSON-able and renderable):
   mismatch) are legal — invalidation-by-version drops them on probe —
   but a *current* entry pointing at the wrong token would silently
   corrupt reads, which is exactly what the crash-consistency harness
-  hunts for.
+  hunts for;
+* ``block-checksum`` — an out-of-band scrub pass: every owned block's
+  raw device image verifies against its checksum frame (vacuous on a
+  legacy no-checksum store, and dirty/pending-free blocks are skipped —
+  see :mod:`repro.storage.scrub`);
+* ``quarantine`` — the buffer pool holds no quarantined (known-bad)
+  blocks; after a repair this must be empty again.
 
 Every check runs even when an earlier one fails, so one corrupted
 structure does not mask the state of the rest.
@@ -178,6 +184,29 @@ def integrity_report(store) -> IntegrityReport:
         store.range_index.check_integrity(store.ranges)
         return {}
 
+    def check_checksums() -> Dict[str, int]:
+        from repro.storage.scrub import scrub_store
+
+        report = scrub_store(store)
+        if report.issues:
+            raise StoreError(
+                f"{len(report.issues)} block(s) failed out-of-band checksum "
+                f"verification: {report.bad_blocks()}"
+            )
+        detail = {
+            "checked": report.blocks_checked,
+            "skipped": report.blocks_skipped,
+        }
+        if report.legacy:
+            detail["legacy"] = 1
+        return detail
+
+    def check_quarantine() -> Dict[str, int]:
+        blocks = store.pool.quarantined_blocks()
+        if blocks:
+            raise StoreError(f"{len(blocks)} quarantined block(s): {blocks}")
+        return {"blocks": 0}
+
     specs = (
         (
             "layout",
@@ -198,6 +227,16 @@ def integrity_report(store) -> IntegrityReport:
             "partial-memo",
             "current memo entries agree with a from-scratch probe",
             lambda: _check_partial_memo(store),
+        ),
+        (
+            "block-checksum",
+            "every owned block's device image verifies out-of-band",
+            check_checksums,
+        ),
+        (
+            "quarantine",
+            "the buffer pool holds no known-bad blocks",
+            check_quarantine,
         ),
     )
     checks: List[IntegrityCheck] = []

@@ -54,6 +54,7 @@ from repro.obs.telemetry import create_telemetry
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import BlockDevice, InstrumentedDevice, MemoryBlockDevice
 from repro.storage.heap import ChainedFile, Position
+from repro.storage.pages import PageCodec
 from repro.storage.recovery import encode_op_payload
 from repro.storage.wal import RecordType, WriteAheadLog
 from repro.xmltoken.binary import decode_token, encode_tokens
@@ -72,6 +73,15 @@ _ATTRIBUTE_KINDS = frozenset(
 )
 
 _CATALOG_HEADER = struct.Struct("<qqqI")  # range_root, full_root(-1), scheme_len, n_sections
+
+#: Third catalog section: the on-disk page format (version, flags).  The
+#: catalog — not the page bytes — is the authority on whether a store's
+#: blocks are checksum-framed, so decoding is always strict: a flipped
+#: bit can never demote a framed page to the legacy raw read path.
+#: Two-section catalogs predate this marker and always mean legacy raw.
+_FORMAT_SECTION = struct.Struct("<HH")
+PAGE_FORMAT_VERSION = 1
+_FORMAT_CHECKSUMS = 1  # flags bit 0
 
 #: Span names pre-registered at store setup so exporters show every
 #: Table-1 operation (plus the maintenance entry points) even at zero.
@@ -151,12 +161,17 @@ class XMLStore:
                 f"page size {self.config.page_size}"
             )
         self.device = device
-        self.pool = BufferPool(device, capacity=self.config.buffer_pool_capacity)
+        self.codec = PageCodec(
+            self.config.page_size, checksums=self.config.checksums_enabled
+        )
+        self.pool = BufferPool(
+            device, capacity=self.config.buffer_pool_capacity, codec=self.codec
+        )
         self.wal = wal if wal is not None else WriteAheadLog()
         self.id_scheme = SequentialIdScheme()
         self.ranges = RangeTable()
         self.layout = TokenLayout(self.pool, self.ranges)
-        order = effective_btree_order(self.config.btree_order, self.config.page_size)
+        order = effective_btree_order(self.config.btree_order, self.codec.page_size)
         self.range_index = RangeIndex(self.pool, order=order)
         policy = self.config.policy
         self.partial_index: Optional[PartialIndex] = None
@@ -537,9 +552,11 @@ class XMLStore:
 
     def to_catalog(self) -> bytes:
         scheme_state = self.id_scheme.to_catalog()
+        flags = _FORMAT_CHECKSUMS if self.codec.checksums else 0
         sections = [
             self.layout.chain.to_catalog(),
             self.ranges.to_catalog(),
+            _FORMAT_SECTION.pack(PAGE_FORMAT_VERSION, flags),
         ]
         full_root = self.full_index.root_block if self.full_index is not None else -1
         parts = [
@@ -563,14 +580,22 @@ class XMLStore:
         catalog: bytes,
         config: Optional[StoreConfig] = None,
         wal: Optional[WriteAheadLog] = None,
+        repair_mode: bool = False,
     ) -> "XMLStore":
-        """Reopen a store from its device + catalog (last checkpoint state)."""
+        """Reopen a store from its device + catalog (last checkpoint state).
+
+        The catalog's format section — not ``config.checksums_enabled`` —
+        decides how block images are decoded: a legacy two-section
+        catalog always opens via the raw read path, a framed store is
+        always verified.  ``repair_mode=True`` skips the residency
+        rebuild (which walks the whole chain and would raise on the
+        first corrupt block); :func:`repro.core.repair.repair_store`
+        rebuilds residency itself once the chain is clean.
+        """
         config = config if config is not None else StoreConfig()
         store = cls.__new__(cls)
         store.config = config
         store.device = device
-        store.pool = BufferPool(device, capacity=config.buffer_pool_capacity)
-        store.wal = wal if wal is not None else WriteAheadLog()
         range_root, full_root, scheme_len, n_sections = _CATALOG_HEADER.unpack_from(
             catalog, 0
         )
@@ -584,10 +609,19 @@ class XMLStore:
             offset += 4
             sections.append(catalog[offset : offset + length])
             offset += length
+        checksums = False
+        if len(sections) > 2:
+            _version, flags = _FORMAT_SECTION.unpack_from(sections[2], 0)
+            checksums = bool(flags & _FORMAT_CHECKSUMS)
+        store.codec = PageCodec(device.block_size, checksums=checksums)
+        store.pool = BufferPool(
+            device, capacity=config.buffer_pool_capacity, codec=store.codec
+        )
+        store.wal = wal if wal is not None else WriteAheadLog()
         chain = ChainedFile.from_catalog(store.pool, sections[0])
         store.ranges = RangeTable.from_catalog(sections[1])
         store.layout = TokenLayout(store.pool, store.ranges, chain)
-        order = effective_btree_order(config.btree_order, config.page_size)
+        order = effective_btree_order(config.btree_order, store.codec.page_size)
         store.range_index = RangeIndex(
             store.pool, order=order, root_block=range_root
         )
@@ -624,7 +658,8 @@ class XMLStore:
 
         store.structural_hints = StructuralHints()
         store._setup_telemetry()
-        store._rebuild_residency()
+        if not repair_mode:
+            store._rebuild_residency()
         return store
 
     @classmethod

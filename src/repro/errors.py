@@ -10,7 +10,15 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    ``exit_code`` is what the CLI returns when the error escapes to
+    :func:`repro.cli.main`; subclasses that signal a specific condition
+    (corruption, degraded state) override it, mirroring the 0/1/2
+    convention of ``tools/bench_compare.py``.
+    """
+
+    exit_code = 1
 
 
 # ---------------------------------------------------------------------------
@@ -43,6 +51,38 @@ class BufferPoolExhaustedError(StorageError):
 
 class WALError(StorageError):
     """The write-ahead log is corrupt or was used incorrectly."""
+
+
+class ChecksumError(StorageError):
+    """A block's stored checksum does not match its payload.
+
+    Raised by the page codec on fetch when a framed page fails
+    verification: bit rot, a misdirected write (the CRC covers the block
+    number, so a page persisted to the wrong block fails too), or a torn
+    write that survived to stable storage.
+
+    Attributes
+    ----------
+    block_no:
+        The block whose image failed verification.
+    expected_crc, actual_crc:
+        CRC32 stored in the page header vs. CRC32 recomputed over the
+        payload (``None`` when the header itself is unreadable).
+    """
+
+    exit_code = 2
+
+    def __init__(
+        self,
+        message: str,
+        block_no: int = -1,
+        expected_crc: "int | None" = None,
+        actual_crc: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.block_no = block_no
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
 
 
 class DiskFaultError(StorageError):
@@ -125,6 +165,23 @@ class InvalidOperationError(StoreError):
 
 class DocumentOrderError(StoreError):
     """An internal document-order invariant was violated (a bug)."""
+
+
+class StoreCorruptError(StoreError):
+    """The store failed integrity verification (unrepaired damage)."""
+
+    exit_code = 2
+
+
+class StoreDegradedError(StoreError):
+    """The store is consistent but data was lost to a repair.
+
+    Verification passes structurally, yet a prior ``repair`` dropped
+    token data it could not reconstruct; reads over the lost ID
+    intervals return degraded (salvaged) answers, never wrong ones.
+    """
+
+    exit_code = 1
 
 
 # ---------------------------------------------------------------------------

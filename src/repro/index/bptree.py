@@ -459,6 +459,22 @@ class PagedBPlusTree(Generic[K]):
                 raise StorageError("leaf chain is broken (bug)")
         return previous
 
+    def block_numbers(self) -> List[int]:
+        """Every block this tree occupies (root-first walk).
+
+        The scrubber uses this to know which device blocks belong to the
+        index chain; unlike :meth:`items` it visits internal nodes too.
+        """
+        out: List[int] = []
+        stack = [self.root_block]
+        while stack:
+            block_no = stack.pop()
+            out.append(block_no)
+            node = self._load(block_no)
+            if not node.is_leaf:
+                stack.extend(reversed(node.children))
+        return out
+
     def _free_subtree(self, block_no: int, keep_root: bool = False) -> None:
         node = self._load(block_no)
         if not node.is_leaf:

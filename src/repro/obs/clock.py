@@ -46,6 +46,14 @@ def perf_seconds() -> float:
     return _time.perf_counter()
 
 
+def sleep(seconds: float) -> None:
+    """Block for ``seconds`` of wall time (the buffer pool's bounded
+    re-read backoff is the one store-side consumer).  Lives here so the
+    clock-discipline lint keeps every wall-clock touchpoint in one
+    module."""
+    _time.sleep(seconds)
+
+
 def check_clock_discipline(src_root: str) -> List[str]:
     """Scan ``src_root`` (the ``repro`` package directory) for modules
     that import ``time`` directly instead of going through this module.

@@ -19,8 +19,13 @@ Each :class:`Event` carries:
 * ``source``/``kind`` — emitting component and what happened.  Sources
   include the lookup-path components above plus ``"fault"`` (the
   crash-consistency layer, :mod:`repro.storage.faults`: ``torn_write``,
-  ``torn_wal_append``, ``sync``, ``crash``) and ``"recovery"`` (WAL
-  replay), so EXPLAIN can attribute post-crash work;
+  ``torn_wal_append``, ``sync``, ``crash``; the silent-corruption layer:
+  ``bitrot``/``lost_write``/``misdirect`` on injection,
+  ``checksum_error`` when the buffer pool quarantines a block,
+  ``scrub_bad_block``/``scrub_complete`` from :mod:`repro.storage.scrub`)
+  and ``"recovery"`` (WAL replay, plus ``repair_complete`` from
+  :mod:`repro.core.repair`), so EXPLAIN can attribute post-crash and
+  post-corruption work;
 * ``wall``/``simulated`` — both store clocks at emit time;
 * ``fields`` — free-form payload (node ids, ranges, token counts...).
 

@@ -11,6 +11,12 @@ span durations and :data:`SIMULATED_COST_BUCKETS` for the store's
 simulated disk seconds, whose magnitudes are very different (a single
 random block access already costs ~8.5 simulated milliseconds).
 
+Robustness counters ride the same registry: the buffer pool registers
+``repro_storage_checksum_errors_total`` (blocks that failed on-fetch
+checksum verification and were quarantined — see
+:meth:`repro.storage.buffer.BufferStats.register_metrics`), so corruption
+detection is visible on the ordinary metrics surface, not a side channel.
+
 The no-op twins (:data:`NOOP_METRIC`, :data:`NOOP_REGISTRY`) are shared
 singletons with the same call surface; selecting them disables telemetry
 without a single conditional at the instrumentation points.

@@ -9,6 +9,15 @@ Device I/O statistics (and hence the simulated clock used by benchmarks)
 only advance on real block reads and writes, so the buffer pool's hit rate
 directly shapes benchmark results — exactly as in the paper's setup, where
 MySQL's buffer pool stood between the store and the disk.
+
+Block images pass through a :class:`~repro.storage.pages.PageCodec` on
+the way in and out; with checksums enabled the codec verifies every
+fetched image and the pool *quarantines* blocks that fail persistently: a
+bounded number of re-reads (with optional backoff) distinguishes a
+transient fault from real media damage, after which the block is marked
+bad and every further fetch fails fast with the original
+:class:`~repro.errors.ChecksumError` — no retry storms, no repeated
+device reads of a rotten block.
 """
 
 from __future__ import annotations
@@ -17,12 +26,14 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
-from repro.errors import BufferPoolExhaustedError, StorageError
+from repro.obs import clock
+
+from repro.errors import BufferPoolExhaustedError, ChecksumError, StorageError
 from repro.log import get_logger
 from repro.obs.events import NOOP_EVENT_LOG
 from repro.obs.heatmap import NOOP_HEATMAP
 from repro.storage.disk import BlockDevice
-from repro.storage.pages import SlottedPage
+from repro.storage.pages import PageCodec, SlottedPage
 
 DEFAULT_POOL_CAPACITY = 64
 
@@ -37,6 +48,7 @@ class BufferStats:
     misses: int = 0
     evictions: int = 0
     dirty_writebacks: int = 0
+    checksum_errors: int = 0
 
     @property
     def accesses(self) -> int:
@@ -51,6 +63,7 @@ class BufferStats:
         self.misses = 0
         self.evictions = 0
         self.dirty_writebacks = 0
+        self.checksum_errors = 0
 
     def register_metrics(self, registry) -> None:
         """Project these counters into a metrics registry."""
@@ -70,6 +83,10 @@ class BufferStats:
         registry.gauge(
             "repro_buffer_hit_rate", "Fraction of requests served from memory."
         ).set(self.hit_rate)
+        registry.counter(
+            "repro_storage_checksum_errors_total",
+            "Block images that failed checksum verification on fetch.",
+        ).inc(self.checksum_errors)
 
 
 class _Frame:
@@ -118,12 +135,30 @@ class PageGuard:
 class BufferPool:
     """Fixed-capacity LRU cache of decoded pages over a block device."""
 
-    def __init__(self, device: BlockDevice, capacity: int = DEFAULT_POOL_CAPACITY) -> None:
+    def __init__(
+        self,
+        device: BlockDevice,
+        capacity: int = DEFAULT_POOL_CAPACITY,
+        codec: Optional[PageCodec] = None,
+        read_retries: int = 2,
+        retry_backoff: float = 0.0,
+    ) -> None:
         if capacity < 1:
             raise StorageError("buffer pool capacity must be >= 1")
         self.device = device
         self.capacity = capacity
+        #: Block-image codec; the pass-through default keeps direct
+        #: ``BufferPool(device)`` construction (tests, tools) legacy-raw.
+        self.codec = codec if codec is not None else PageCodec(device.block_size)
+        #: Bounded re-reads before a failing block is quarantined (covers
+        #: transient faults without retry storms) and the sleep between
+        #: them (0.0 keeps simulated workloads instant).
+        self.read_retries = read_retries
+        self.retry_backoff = retry_backoff
         self.stats = BufferStats()
+        #: Blocks that failed verification even after re-reads: block_no
+        #: -> the ChecksumError to replay on every further fetch.
+        self._quarantined: Dict[int, ChecksumError] = {}
         #: Structured event log / block heatmap (no-ops unless the owning
         #: store attaches live ones).
         self.event_log = NOOP_EVENT_LOG
@@ -144,7 +179,15 @@ class BufferPool:
     # -- public API ---------------------------------------------------------
 
     def fetch(self, block_no: int) -> PageGuard:
-        """Pin and return the page in ``block_no``."""
+        """Pin and return the page in ``block_no``.
+
+        Raises :class:`~repro.errors.ChecksumError` when the block is
+        quarantined or its device image fails verification even after
+        the bounded re-reads.
+        """
+        quarantined = self._quarantined.get(block_no)
+        if quarantined is not None:
+            raise quarantined
         frame = self._frames.get(block_no)
         if frame is not None:
             self.stats.hits += 1
@@ -153,19 +196,68 @@ class BufferPool:
                 self.heatmap.record_fetch(block_no, hit=True)
         else:
             self.stats.misses += 1
-            data = self.device.read_block(block_no)
-            frame = _Frame(SlottedPage.from_bytes(data))
+            frame = _Frame(self._read_verified(block_no))
             self._admit(block_no, frame)
             if self.heatmap.enabled:
                 self.heatmap.record_fetch(block_no, hit=False)
         frame.pin_count += 1
         return PageGuard(self, block_no, frame)
 
+    def _read_verified(self, block_no: int) -> SlottedPage:
+        """Read and decode one block, retrying transient failures; a
+        persistent failure quarantines the block and re-raises."""
+        attempts = 1 + max(0, self.read_retries)
+        error: Optional[ChecksumError] = None
+        for attempt in range(attempts):
+            if attempt and self.retry_backoff > 0.0:
+                clock.sleep(self.retry_backoff * attempt)
+            data = self.device.read_block(block_no)
+            try:
+                return self.codec.decode(data, block_no)
+            except ChecksumError as exc:
+                error = exc
+        assert error is not None
+        self.stats.checksum_errors += 1
+        self.quarantine(block_no, error, retries=attempts - 1)
+        raise error
+
+    def quarantine(
+        self, block_no: int, error: ChecksumError, retries: int = 0
+    ) -> None:
+        """Mark ``block_no`` bad: every further fetch fails fast with
+        ``error`` until :meth:`clear_quarantine`."""
+        self._quarantined[block_no] = error
+        _log.error("quarantined block %d: %s", block_no, error)
+        if self.event_log.enabled:
+            self.event_log.emit(
+                "fault",
+                "checksum_error",
+                severity="error",
+                block=block_no,
+                expected_crc=error.expected_crc,
+                actual_crc=error.actual_crc,
+                retries=retries,
+            )
+
+    def is_quarantined(self, block_no: int) -> bool:
+        return block_no in self._quarantined
+
+    def quarantined_blocks(self) -> list:
+        """Quarantined block numbers, ascending."""
+        return sorted(self._quarantined)
+
+    def clear_quarantine(self, block_no: Optional[int] = None) -> None:
+        """Forget quarantine state for one block (or all) after repair."""
+        if block_no is None:
+            self._quarantined.clear()
+        else:
+            self._quarantined.pop(block_no, None)
+
     def new_page(self, stream: int = 0) -> PageGuard:
         """Allocate a fresh block (from ``stream``'s extents) and return
         its (empty, dirty) page."""
         block_no = self.device.allocate_block(stream)
-        frame = _Frame(SlottedPage(self.device.block_size))
+        frame = _Frame(self.codec.new_page())
         frame.dirty = True
         self._admit(block_no, frame)
         frame.pin_count += 1
@@ -187,7 +279,7 @@ class BufferPool:
         """Write back one dirty page (keeps it cached)."""
         frame = self._frames.get(block_no)
         if frame is not None and frame.dirty:
-            self.device.write_block(block_no, frame.page.to_bytes())
+            self.device.write_block(block_no, self.codec.encode(frame.page, block_no))
             self.stats.dirty_writebacks += 1
             frame.dirty = False
             if self.heatmap.enabled:
@@ -234,6 +326,11 @@ class BufferPool:
         """Blocks logically freed but not yet released to the device."""
         return len(self._pending_frees)
 
+    def pending_free_blocks(self) -> list:
+        """The deferred-free block numbers themselves (scrubber: their
+        device images are garbage-to-be and must not be verified)."""
+        return list(self._pending_frees)
+
     @property
     def num_cached(self) -> int:
         return len(self._frames)
@@ -249,7 +346,9 @@ class BufferPool:
         for victim_no, victim in self._frames.items():
             if victim.pin_count == 0:
                 if victim.dirty:
-                    self.device.write_block(victim_no, victim.page.to_bytes())
+                    self.device.write_block(
+                        victim_no, self.codec.encode(victim.page, victim_no)
+                    )
                     self.stats.dirty_writebacks += 1
                     if self.heatmap.enabled:
                         self.heatmap.record_write(victim_no)

@@ -27,6 +27,22 @@ seeded workload once per point, crashing at each.
 log: a crash during an append persists only a prefix of the record frame
 (a torn WAL tail), which the WAL's CRC framing must detect and discard.
 
+Beyond crash faults, the disk injects **media faults** — the silent-
+corruption half of the storage-failure taxonomy: ``bitrot`` (flip bits
+in a block after it reaches stable storage), ``lost_write`` (drop a
+synced write but acknowledge it) and ``misdirect`` (persist a synced
+write to the wrong block).  Media faults draw from a *separate* seeded
+stream (``seed ^ 0xB17B07``) and never tick the fault clock, so arming
+them leaves crash-point enumeration and the shuffle order bit-identical
+to a media-free run with the same seed.  Every injected fault lands in
+the :attr:`FaultyDisk.media_faults` ledger so the torture harness can
+assert that each one was detected, healed by a later overwrite, or
+provably unreachable.
+
+All fault classes live in the :data:`FAULT_CLASSES` registry — the
+single source for :meth:`FaultConfig.from_classes`, the CLI help text
+and the CI matrix values.
+
 Everything is deterministic given ``FaultConfig.seed``: the shuffle
 order, tear offsets and crash point are all drawn from one
 ``random.Random`` stream, so a failing (seed, crash point) pair is an
@@ -56,6 +72,66 @@ _log = get_logger("storage.faults")
 #: sectors of the in-flight block, never a partial sector.
 DEFAULT_SECTOR_SIZE = 512
 
+#: XOR'd into ``FaultConfig.seed`` for the media-fault stream, keeping it
+#: independent of the crash clock's stream ("BITROT" in hexspeak).
+_MEDIA_SEED_SALT = 0xB17B07
+
+
+@dataclass(frozen=True)
+class FaultClass:
+    """One entry of the shared fault-class registry."""
+
+    name: str
+    #: ``"crash"`` (volatile-cache / crash-point faults, on by default via
+    #: ``all``) or ``"media"`` (silent-corruption faults, opt-in by name).
+    kind: str
+    description: str
+
+
+#: The single source of truth for fault-class names: the
+#: :meth:`FaultConfig.from_classes` parser, the CLI ``torture
+#: --fault-classes`` help text and the CI matrix values are all derived
+#: from this tuple, so a new class cannot drift out of the help text.
+FAULT_CLASSES = (
+    FaultClass(
+        "torn-page", "crash",
+        "tear the block image in flight when the crash point fires mid-sync",
+    ),
+    FaultClass(
+        "torn-wal", "crash",
+        "tear the WAL frame being appended when the crash point fires there",
+    ),
+    FaultClass(
+        "reorder", "crash",
+        "flush each sync barrier's writes in seeded-random order",
+    ),
+    FaultClass(
+        "bitrot", "media",
+        "flip k seeded bits in a block after it reaches stable storage",
+    ),
+    FaultClass(
+        "lost_write", "media",
+        "silently drop a synced write but acknowledge it (stale block image)",
+    ),
+    FaultClass(
+        "misdirect", "media",
+        "persist a synced write to the wrong block (both blocks end up bad)",
+    ),
+)
+
+CRASH_CLASSES = tuple(c.name for c in FAULT_CLASSES if c.kind == "crash")
+MEDIA_CLASSES = tuple(c.name for c in FAULT_CLASSES if c.kind == "media")
+
+
+def fault_classes_help() -> str:
+    """One-line help text for ``--fault-classes``, registry-derived."""
+    crash = ", ".join(CRASH_CLASSES)
+    media = ", ".join(MEDIA_CLASSES)
+    return (
+        f"comma list of fault classes — crash: {crash}; media: {media}; "
+        f"or all (= every crash class; media classes are opt-in by name) / none"
+    )
+
 
 @dataclass
 class FaultConfig:
@@ -77,18 +153,45 @@ class FaultConfig:
     #: mid-sync crash persists an arbitrary subset of the barrier's writes
     reorder_sync: bool = True
     sector_size: int = DEFAULT_SECTOR_SIZE
+    #: media faults (silent corruption after the sync barrier): opt-in,
+    #: drawn from a separate seeded stream so they never perturb the
+    #: crash clock (see the module docstring)
+    bitrot: bool = False
+    lost_writes: bool = False
+    misdirected_writes: bool = False
+    #: per-flushed-block probability of injecting one media fault
+    media_fault_rate: float = 0.05
+    #: bits flipped per bitrot event
+    bitrot_bits: int = 3
+
+    @property
+    def media_faults_enabled(self) -> bool:
+        return self.bitrot or self.lost_writes or self.misdirected_writes
 
     @classmethod
     def from_classes(
-        cls, classes: str, seed: int = 0, crash_at: Optional[int] = None
+        cls,
+        classes: str,
+        seed: int = 0,
+        crash_at: Optional[int] = None,
+        media_fault_rate: Optional[float] = None,
     ) -> "FaultConfig":
-        """Build a config from a comma-separated fault-class list:
-        ``torn-page``, ``torn-wal``, ``reorder`` — or ``all`` / ``none``."""
+        """Build a config from a comma-separated fault-class list.
+
+        Class names come from :data:`FAULT_CLASSES` (crash:
+        ``torn-page``, ``torn-wal``, ``reorder``; media: ``bitrot``,
+        ``lost_write``, ``misdirect``).  ``all`` (or an empty string)
+        enables every *crash* class — media classes are opt-in by name,
+        alone or alongside crash classes; ``none`` disables everything.
+        """
+        overrides = {}
+        if media_fault_rate is not None:
+            overrides["media_fault_rate"] = media_fault_rate
         if classes in ("", "all"):
-            return cls(seed=seed, crash_at=crash_at)
+            return cls(seed=seed, crash_at=crash_at, **overrides)
         wanted = {token.strip() for token in classes.split(",") if token.strip()}
         wanted.discard("none")
-        known = {"torn-page", "torn-wal", "reorder"}
+        known = {c.name for c in FAULT_CLASSES}
         unknown = wanted - known
         if unknown:
             raise StorageError(
@@ -100,6 +203,10 @@ class FaultConfig:
             torn_page_writes="torn-page" in wanted,
             torn_wal_appends="torn-wal" in wanted,
             reorder_sync="reorder" in wanted,
+            bitrot="bitrot" in wanted,
+            lost_writes="lost_write" in wanted,
+            misdirected_writes="misdirect" in wanted,
+            **overrides,
         )
 
 
@@ -136,6 +243,37 @@ class FaultClock:
         raise SimulatedCrashError(
             f"simulated crash at I/O point {self.ticks - 1} ({label})"
         )
+
+
+@dataclass
+class MediaFault:
+    """One injected silent-corruption event, for ledger accounting.
+
+    ``pending_blocks`` holds the blocks whose stable image is still wrong
+    because of this fault; a later successful flush of a block removes it
+    (the damage was overwritten — *healed*).  The torture harness asserts
+    every unhealed fault is either detected or provably unreachable.
+    """
+
+    kind: str  # "bitrot" | "lost_write" | "misdirect"
+    block_no: int  # the write's intended block
+    target_block: Optional[int]  # where a misdirected write landed
+    sync_attempt: int  # FaultyDisk.sync_attempts when injected
+    pending_blocks: set = field(default_factory=set)
+
+    @property
+    def healed(self) -> bool:
+        return not self.pending_blocks
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "block_no": self.block_no,
+            "target_block": self.target_block,
+            "sync_attempt": self.sync_attempt,
+            "pending_blocks": sorted(self.pending_blocks),
+            "healed": self.healed,
+        }
 
 
 class FaultyDisk(BlockDevice):
@@ -175,6 +313,13 @@ class FaultyDisk(BlockDevice):
         self.sync_attempts = 0
         self.sync_completions = 0
         self.torn_blocks: List[int] = []
+        #: media-fault stream, independent of the crash clock's rng: the
+        #: same seed enumerates identical crash points with media faults
+        #: armed or not
+        self.media_rng = random.Random(self.config.seed ^ _MEDIA_SEED_SALT)
+        #: ledger of injected silent-corruption events
+        self.media_faults: List[MediaFault] = []
+        self._media_disabled = False
         #: structured event log (no-op unless a store attaches a live one)
         self.event_log = NOOP_EVENT_LOG
 
@@ -252,15 +397,106 @@ class FaultyDisk(BlockDevice):
                 if self.config.torn_page_writes:
                     self._tear_block(block_no, data)
                 self._die(f"sync:block={block_no}")
-            self.backend.write_block(block_no, data)
+            self._flush_block(block_no, data)
         self._volatile.clear()
         for block_no in self._volatile_frees:
             self.backend.free_block(block_no)
+            # a freed block's damage can no longer reach a reader
+            self._heal(block_no)
         self._volatile_frees.clear()
         self.backend.sync()
         self.sync_completions += 1
         if self.event_log.enabled:
             self.event_log.emit("fault", "sync", blocks=len(pending))
+
+    # -- media faults --------------------------------------------------------
+
+    def _flush_block(self, block_no: int, data: bytes) -> None:
+        """Move one volatile write to stable storage, possibly injecting
+        a media fault.  Never ticks the crash clock: media faults draw
+        only from :attr:`media_rng`."""
+        if (
+            self.config.media_faults_enabled
+            and not self._media_disabled
+            and self.media_rng.random() < self.config.media_fault_rate
+            and self._inject_media_fault(block_no, data)
+        ):
+            return
+        self.backend.write_block(block_no, data)
+        self._heal(block_no)
+
+    def disable_media_faults(self) -> None:
+        """Stop injecting from now on (the ledger is kept).
+
+        The media torture harness calls this after the workload so its
+        scrub/repair verification runs against a *frozen* damage set —
+        otherwise the repair's own flushes could rot, making the
+        post-repair checks nondeterministic.
+        """
+        self._media_disabled = True
+
+    def _inject_media_fault(self, block_no: int, data: bytes) -> bool:
+        """Inject one enabled media fault for this flush; False when no
+        fault could apply (the caller then flushes normally)."""
+        kinds = []
+        if self.config.bitrot:
+            kinds.append("bitrot")
+        if self.config.lost_writes:
+            kinds.append("lost_write")
+        if self.config.misdirected_writes:
+            kinds.append("misdirect")
+        kind = kinds[0] if len(kinds) == 1 else self.media_rng.choice(kinds)
+        if kind == "bitrot":
+            # the write lands, then the medium rots under it
+            self.backend.write_block(block_no, data)
+            self._heal(block_no)
+            corrupted = bytearray(data)
+            for _ in range(max(1, self.config.bitrot_bits)):
+                bit = self.media_rng.randrange(len(corrupted) * 8)
+                corrupted[bit // 8] ^= 1 << (bit % 8)
+            self.backend.write_block(block_no, bytes(corrupted))
+            fault = MediaFault(
+                "bitrot", block_no, None, self.sync_attempts, {block_no}
+            )
+        elif kind == "lost_write":
+            # acknowledged but never persisted: the stale image survives
+            fault = MediaFault(
+                "lost_write", block_no, None, self.sync_attempts, {block_no}
+            )
+        else:  # misdirect
+            candidates = [b for b in self.backend.block_numbers() if b != block_no]
+            if not candidates:
+                return False
+            target = self.media_rng.choice(sorted(candidates))
+            self.backend.write_block(target, data)
+            fault = MediaFault(
+                "misdirect", block_no, target, self.sync_attempts,
+                {block_no, target},
+            )
+        self.media_faults.append(fault)
+        _log.warning(
+            "media fault: %s block=%d target=%s", fault.kind, fault.block_no,
+            fault.target_block,
+        )
+        if self.event_log.enabled:
+            self.event_log.emit(
+                "fault", fault.kind, severity="warning",
+                block=fault.block_no, target=fault.target_block,
+                sync_attempt=fault.sync_attempt,
+            )
+        return True
+
+    def _heal(self, block_no: int) -> None:
+        """A fresh image reached stable storage at ``block_no``: any
+        earlier damage there is overwritten."""
+        if not self.media_faults:
+            return
+        for fault in self.media_faults:
+            fault.pending_blocks.discard(block_no)
+
+    def unhealed_media_faults(self) -> List[MediaFault]:
+        """Injected faults whose damage is still on stable storage."""
+        return [f for f in self.media_faults if not f.healed]
 
     def _tear_block(self, block_no: int, data: bytes) -> None:
         """Persist a seeded prefix of ``data``'s sectors (a torn write)."""

@@ -111,6 +111,18 @@ class ChainedFile:
 
     def remove_block(self, block_no: int) -> None:
         """Unlink ``block_no`` from the chain and free it."""
+        self.unlink_block(block_no)
+        self.pool.free_page(block_no)
+
+    def unlink_block(self, block_no: int) -> None:
+        """Re-chain around ``block_no`` without reading or freeing it.
+
+        The repair path (:mod:`repro.core.repair`) uses this to route the
+        chain around a *dead* (checksum-failing) block: the block's page
+        cannot be fetched and its device image must stay untouched until
+        repair decides what to do with it, so neither the
+        :meth:`remove_block` free nor any page access is acceptable.
+        """
         link = self._link(block_no)
         if link.prev is not None:
             before = self._links[link.prev]
@@ -123,7 +135,6 @@ class ChainedFile:
         else:
             self.tail = link.prev
         del self._links[block_no]
-        self.pool.free_page(block_no)
 
     def _first_block(self) -> int:
         with self.pool.new_page() as guard:

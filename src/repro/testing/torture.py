@@ -36,18 +36,42 @@ Every decision — workload, fault behavior, crash point — derives from
 ``run_crash_point(config, point)`` reproduces it exactly, and
 :func:`shrink_failing` minimizes the operation count while the failure
 still fires.
+
+**Media-fault mode** (:func:`run_media_torture`, dispatched from
+:func:`run_torture` whenever a media class — ``bitrot``, ``lost_write``,
+``misdirect`` — is enabled) asks the silent-corruption question instead:
+*can damage that the disk never reports reach a reader unnoticed?*  The
+workload runs to completion (no crash) while every flush may rot; each
+seeded round is then held to three verdicts:
+
+* **no silent failures** — any operation that fails must fail with a
+  :class:`~repro.errors.ChecksumError` (detection), never a wrong answer
+  or an unrelated crash;
+* **ledger accounting** — every injected fault still on stable storage
+  must be *detected* (scrub-flagged or quarantined), *healed* (a later
+  flush overwrote it), *masked* (a dirty or pending-free page makes the
+  device image non-authoritative) or *provably unreachable* (no live
+  structure references the block).  Stale-but-valid images — lost
+  writes, and the intended block of a misdirected write — are exempt by
+  design: a checksum cannot date a page, so those are caught by the
+  content checks instead;
+* **repairability** — the damaged store must come back: a full-log
+  rebuild always restores the oracle document, and (when the workload
+  completed) :func:`repro.core.repair.repair_store` on the live store
+  must either restore content equality or degrade *explicitly*, never
+  silently.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import IndexingPolicy, StoreConfig
 from repro.core.integrity import integrity_report
 from repro.core.store import XMLStore
-from repro.errors import ReproError, SimulatedCrashError, StoreError
+from repro.errors import ChecksumError, ReproError, SimulatedCrashError, StoreError
 from repro.log import get_logger
 from repro.storage.disk import MemoryBlockDevice
 from repro.storage.faults import FaultConfig, FaultHarness, build_fault_harness
@@ -96,6 +120,16 @@ class TortureConfig:
     torn_page_writes: bool = True
     torn_wal_appends: bool = True
     reorder_sync: bool = True
+    #: media (silent-corruption) fault classes — enabling any of them
+    #: routes :func:`run_torture` to :func:`run_media_torture`
+    bitrot: bool = False
+    lost_writes: bool = False
+    misdirected_writes: bool = False
+    #: per-flushed-block probability of injecting one media fault
+    media_fault_rate: float = 0.05
+    #: seeded media rounds per torture run (each re-runs the whole
+    #: workload with an independent injection stream)
+    media_rounds: int = 4
     #: test at most this many crash points (seeded sample); None = all
     crash_points: Optional[int] = None
     #: attach a live event log to every store (fault/recovery events)
@@ -113,13 +147,23 @@ class TortureConfig:
             events_enabled=self.events_enabled,
         )
 
-    def fault_config(self, crash_at: Optional[int]) -> FaultConfig:
+    @property
+    def media_faults_enabled(self) -> bool:
+        return self.bitrot or self.lost_writes or self.misdirected_writes
+
+    def fault_config(
+        self, crash_at: Optional[int], media_seed: Optional[int] = None
+    ) -> FaultConfig:
         return FaultConfig(
-            seed=self.seed,
+            seed=self.seed if media_seed is None else media_seed,
             crash_at=crash_at,
             torn_page_writes=self.torn_page_writes,
             torn_wal_appends=self.torn_wal_appends,
             reorder_sync=self.reorder_sync,
+            bitrot=self.bitrot,
+            lost_writes=self.lost_writes,
+            misdirected_writes=self.misdirected_writes,
+            media_fault_rate=self.media_fault_rate,
         )
 
 
@@ -246,11 +290,13 @@ class WorkloadTrace:
 
 
 def _build_faulty_store(
-    config: TortureConfig, crash_at: Optional[int]
+    config: TortureConfig,
+    crash_at: Optional[int],
+    media_seed: Optional[int] = None,
 ) -> Tuple[XMLStore, FaultHarness]:
     store_config = config.store_config()
     harness = build_fault_harness(
-        config.fault_config(crash_at),
+        config.fault_config(crash_at, media_seed=media_seed),
         MemoryBlockDevice(block_size=store_config.page_size),
         cost_model=store_config.cost_model,
     )
@@ -477,6 +523,9 @@ class TortureReport:
                 "torn_page_writes": self.config.torn_page_writes,
                 "torn_wal_appends": self.config.torn_wal_appends,
                 "reorder_sync": self.config.reorder_sync,
+                "bitrot": self.config.bitrot,
+                "lost_writes": self.config.lost_writes,
+                "misdirected_writes": self.config.misdirected_writes,
             },
             "total_points": self.total_points,
             "tested_points": self.tested_points,
@@ -511,6 +560,377 @@ class TortureReport:
         return "\n".join(lines)
 
 
+# ==================================================================== media mode ==
+
+
+@dataclass
+class MediaRoundResult:
+    """Verdict for one seeded media-fault round."""
+
+    round: int
+    media_seed: int
+    #: faults injected / still on stable storage at the end of the round
+    injected: int
+    unhealed: int
+    #: blocks the final scrub flagged
+    scrub_bad: int
+    #: ops fully applied before the workload finished or stopped
+    applied_ops: int
+    #: a ChecksumError stopped the workload early (detection, not failure)
+    stopped_early: bool
+    #: stale-but-valid images (lost writes, misdirected-write sources)
+    #: disturbed the live run or overlapped the data chain: undetectable
+    #: by checksum *by design*, so the in-place salvage leg is skipped
+    #: and recovery is held to the full-log rebuild only
+    stale_collateral: bool = False
+    #: :func:`repro.core.repair.repair_store` outcome ("clean"/"salvage"),
+    #: or None when the round stopped early and the salvage leg was skipped
+    repair_mode: Optional[str] = None
+    repair_degraded: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "round": self.round,
+            "media_seed": self.media_seed,
+            "ok": self.ok,
+            "injected": self.injected,
+            "unhealed": self.unhealed,
+            "scrub_bad": self.scrub_bad,
+            "applied_ops": self.applied_ops,
+            "stopped_early": self.stopped_early,
+            "stale_collateral": self.stale_collateral,
+            "repair_mode": self.repair_mode,
+            "repair_degraded": self.repair_degraded,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class MediaTortureReport:
+    """Outcome of a whole media-fault torture run."""
+
+    config: TortureConfig
+    rounds: List[MediaRoundResult] = field(default_factory=list)
+    passthrough_identical: bool = True
+
+    @property
+    def failures(self) -> List[MediaRoundResult]:
+        return [result for result in self.rounds if not result.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and self.passthrough_identical
+
+    @property
+    def tested_points(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(result.injected for result in self.rounds)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "mode": "media",
+            "seed": self.config.seed,
+            "workload": self.config.workload,
+            "ops": self.config.ops,
+            "fault_classes": {
+                "torn_page_writes": self.config.torn_page_writes,
+                "torn_wal_appends": self.config.torn_wal_appends,
+                "reorder_sync": self.config.reorder_sync,
+                "bitrot": self.config.bitrot,
+                "lost_writes": self.config.lost_writes,
+                "misdirected_writes": self.config.misdirected_writes,
+            },
+            "media_fault_rate": self.config.media_fault_rate,
+            "rounds": [result.to_dict() for result in self.rounds],
+            "total_injected": self.total_injected,
+            "passthrough_identical": self.passthrough_identical,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+    def render(self) -> str:
+        classes = [
+            name
+            for name, on in (
+                ("bitrot", self.config.bitrot),
+                ("lost_write", self.config.lost_writes),
+                ("misdirect", self.config.misdirected_writes),
+            )
+            if on
+        ]
+        lines = [
+            f"media torture seed={self.config.seed} "
+            f"workload={self.config.workload} ops={self.config.ops} "
+            f"classes={','.join(classes)} rate={self.config.media_fault_rate}",
+            f"rounds: {len(self.rounds)} run, "
+            f"{self.total_injected} fault(s) injected in total",
+        ]
+        for result in self.rounds:
+            verdict = "ok" if result.ok else "FAILED"
+            if result.stopped_early:
+                outcome = "stopped early " + (
+                    "(stale-write collateral)"
+                    if result.stale_collateral
+                    else "(detected)"
+                )
+            elif result.repair_mode is None and result.stale_collateral:
+                outcome = "salvage skipped (stale-write collateral)"
+            else:
+                outcome = f"repair={result.repair_mode}" + (
+                    " degraded" if result.repair_degraded else ""
+                )
+            lines.append(
+                f"  round {result.round} [media_seed={result.media_seed}] "
+                f"{verdict}: {result.injected} injected, "
+                f"{result.unhealed} unhealed, {result.scrub_bad} scrub-flagged, "
+                f"{outcome}"
+            )
+            if result.error is not None:
+                lines.append(f"    {result.error}")
+        lines.append(
+            "no silent corruption reached a reader"
+            if self.ok
+            else f"{len(self.failures)} FAILING media round(s)"
+        )
+        return "\n".join(lines)
+
+
+def _stale_write_injected(harness) -> bool:
+    """True once any fault of this round left a *stale but checksum-valid*
+    image: a lost write keeps the block's old image, and so does the
+    intended block of a misdirected write.  A CRC authenticates content,
+    not freshness, so such damage is undetectable by design — and once a
+    stale page may have been served (even if later healed), the live
+    store's divergence can outlast the fault.  The harness therefore
+    exempts the round's collateral from the silent-failure verdicts and
+    relies on the full-log rebuild (which never trusts the device)."""
+    return any(
+        fault.kind in ("lost_write", "misdirect")
+        for fault in harness.disk.media_faults
+    )
+
+
+def _account_media_faults(store, harness, scrub_report) -> Optional[str]:
+    """The ledger check: every unhealed fault must be detected, masked or
+    unreachable (see the module docstring); returns an error or None."""
+    from repro.core.repair import _reachable_index_blocks
+
+    owned = set(store.layout.chain.blocks())
+    owned.update(_reachable_index_blocks(store.range_index._tree))
+    if store.full_index is not None:
+        owned.update(_reachable_index_blocks(store.full_index._tree))
+    dirty = set(store.pool.dirty_blocks())
+    pending_free = set(store.pool.pending_free_blocks())
+    flagged = set(scrub_report.bad_blocks())
+    undetected: List[Tuple[str, int]] = []
+    for fault in harness.disk.unhealed_media_faults():
+        if fault.kind == "lost_write":
+            # a lost write leaves a stale-but-valid image: checksums
+            # cannot date a page, so detection is out of scope by design
+            # and the content checks below account for it instead
+            continue
+        must_detect = set(fault.pending_blocks)
+        if fault.kind == "misdirect":
+            # the intended block kept its old (valid) image — same
+            # stale-valid exemption as a lost write; only the block the
+            # write actually hit carries a checksum-visible wound
+            must_detect.discard(fault.block_no)
+        for block_no in sorted(must_detect):
+            if block_no not in owned:
+                continue  # unreachable: no live structure references it
+            if block_no in dirty or block_no in pending_free:
+                continue  # masked: the device image is not authoritative
+            if block_no in flagged or store.pool.is_quarantined(block_no):
+                continue  # detected
+            undetected.append((fault.kind, block_no))
+    if undetected:
+        detail = ", ".join(f"{kind}@{block}" for kind, block in undetected)
+        return f"undetected media damage on reachable block(s): {detail}"
+    return None
+
+
+def run_media_round(
+    config: TortureConfig, round_index: int, trace: WorkloadTrace
+) -> MediaRoundResult:
+    """One seeded media round: workload under injection, then verify."""
+    from repro.core.repair import repair_store
+    from repro.storage.scrub import scrub_store
+
+    media_seed = config.seed + 7919 * (round_index + 1)
+    store, harness = _build_faulty_store(config, None, media_seed=media_seed)
+    applied = 0
+    logged_extra = 0
+    stopped = False
+    result = MediaRoundResult(
+        round=round_index, media_seed=media_seed,
+        injected=0, unhealed=0, scrub_bad=0,
+        applied_ops=0, stopped_early=False,
+    )
+    for op in trace.ops:
+        appends_before = store.wal.appends
+        try:
+            apply_op(store, op)
+        except ChecksumError:
+            # detection: the corruption announced itself instead of
+            # serving a wrong answer.  A mutating op logs its WAL record
+            # before touching pages, so the record may be durable even
+            # though the op died half-way — the full-log rebuild then
+            # applies it completely (ops are generated valid in sequence).
+            stopped = True
+            if op[0] not in ("checkpoint", "compact"):
+                logged_extra = int(store.wal.appends > appends_before)
+            break
+        except ReproError as failure:
+            if _stale_write_injected(harness):
+                # a stale-but-valid page served old state; the live store
+                # diverged and the op tripped over it.  Not a *silent*
+                # failure (the op errored) and not checksum-detectable by
+                # design — stop here and hold recovery to the WAL rebuild.
+                stopped = True
+                result.stale_collateral = True
+                if op[0] not in ("checkpoint", "compact"):
+                    logged_extra = int(store.wal.appends > appends_before)
+                break
+            result.error = (
+                f"op {applied} ({op[0]}) failed without detection: "
+                f"{type(failure).__name__}: {failure}"
+            )
+            break
+        except Exception:  # pragma: no cover - defensive
+            # a stale page can derail internal invariants in arbitrary
+            # ways; anything else is a genuine bug and must propagate
+            if not _stale_write_injected(harness):
+                raise
+            stopped = True
+            result.stale_collateral = True
+            if op[0] not in ("checkpoint", "compact"):
+                logged_extra = int(store.wal.appends > appends_before)
+            break
+        applied += 1
+    result.applied_ops = applied
+    result.stopped_early = stopped
+    salvage_sound = result.error is None and not stopped
+    if salvage_sound:
+        # flush everything (the final barrier is fault-exposed too), so
+        # the device image is authoritative for the scrub and repair legs
+        try:
+            store.checkpoint()
+        except ChecksumError:
+            # detection during the flush path: treat like an early stop
+            result.stopped_early = stopped = True
+            salvage_sound = False
+        except ReproError as failure:
+            if _stale_write_injected(harness):
+                result.stale_collateral = True
+                salvage_sound = False
+            else:
+                result.error = (
+                    f"final checkpoint failed: "
+                    f"{type(failure).__name__}: {failure}"
+                )
+                salvage_sound = False
+    harness.disk.disable_media_faults()
+    # drain the volatile write cache (injection is frozen, so this is a
+    # clean writeback): damage already overwritten in the cache heals,
+    # and the backend becomes the authoritative image the scrub and
+    # accounting legs inspect
+    harness.disk.sync()
+    result.injected = len(harness.disk.media_faults)
+    result.unhealed = len(harness.disk.unhealed_media_faults())
+    # --- leg 1: full-log rebuild (always sound — trusts only the WAL)
+    expected = trace.snapshots[applied + logged_extra]
+    wal_bytes = store.wal.to_bytes()
+    if result.error is None:
+        try:
+            restored = XMLStore.recover(
+                WriteAheadLog.from_bytes(wal_bytes), config=config.store_config()
+            )
+            result.error = _verify_recovered(restored, expected, "wal-rebuild")
+        except ReproError as failure:
+            result.error = (
+                f"wal-rebuild: recovery raised {type(failure).__name__}: {failure}"
+            )
+    # --- leg 2: ledger accounting against a full scrub of the live store
+    if result.error is None:
+        scrub = scrub_store(store)
+        result.scrub_bad = len(scrub.bad_blocks())
+        result.error = _account_media_faults(store, harness, scrub)
+        # --- leg 3: in-place repair.  Only when the workload completed (a
+        # mid-op stop leaves in-memory state unfit to checkpoint from) AND
+        # no stale-valid image ever existed: a silently-served stale page
+        # can poison the in-memory metadata that salvage rebuilds from, so
+        # stale rounds are held to the full-log rebuild (leg 1) only.
+        stale = _stale_write_injected(harness)
+        result.stale_collateral = result.stale_collateral or stale
+        if result.error is None and salvage_sound and not stale:
+            try:
+                repair = repair_store(store, scrub_report=scrub)
+            except ReproError as failure:
+                result.error = (
+                    f"repair raised {type(failure).__name__}: {failure}"
+                )
+            else:
+                result.repair_mode = repair.mode
+                result.repair_degraded = repair.degraded
+                if not repair.integrity_ok:
+                    result.error = "repair left integrity checks failing"
+                elif not repair.degraded:
+                    # every surviving byte is authentic, so a clean repair
+                    # must restore the oracle document exactly — and stay
+                    # usable
+                    result.error = _verify_recovered(
+                        store, trace.snapshots[-1], "post-repair"
+                    )
+                else:
+                    # data was genuinely lost (and declared): the repaired
+                    # store must still be consistent and accept new writes
+                    # — degraded, never wrong
+                    store.load_document("<post-repair-probe/>")
+                    probe = integrity_report(store)
+                    if not probe.ok:
+                        failed = ", ".join(
+                            check.name for check in probe.failed()
+                        )
+                        result.error = (
+                            f"repaired store broke on first write "
+                            f"[{failed}]"
+                        )
+    return result
+
+
+def run_media_torture(config: Optional[TortureConfig] = None) -> MediaTortureReport:
+    """Seeded media-fault rounds over one workload (module doc, media mode)."""
+    config = config if config is not None else TortureConfig(bitrot=True)
+    if not config.media_faults_enabled:
+        raise StoreError(
+            "run_media_torture needs at least one media fault class enabled"
+        )
+    # the oracle/counting baseline runs media-free: its snapshots are the
+    # ground truth every damaged round is verified against
+    trace = run_baseline(
+        replace(config, bitrot=False, lost_writes=False, misdirected_writes=False)
+    )
+    report = MediaTortureReport(
+        config=config, passthrough_identical=trace.passthrough_identical
+    )
+    for round_index in range(config.media_rounds):
+        result = run_media_round(config, round_index, trace)
+        report.rounds.append(result)
+        if not result.ok:
+            _log.warning("media round %d FAILED: %s", round_index, result.error)
+    return report
+
+
 def select_points(total: int, cap: Optional[int], seed: int) -> List[int]:
     """Which crash points to test: all, or a seeded sample of ``cap``."""
     if cap is None or cap >= total:
@@ -519,9 +939,17 @@ def select_points(total: int, cap: Optional[int], seed: int) -> List[int]:
     return sorted(rng.sample(range(total), cap))
 
 
-def run_torture(config: Optional[TortureConfig] = None) -> TortureReport:
-    """Enumerate crash points for ``config`` and verify recovery at each."""
+def run_torture(config: Optional[TortureConfig] = None):
+    """Enumerate crash points for ``config`` and verify recovery at each.
+
+    When any media fault class is enabled the run is a silent-corruption
+    hunt instead: dispatches to :func:`run_media_torture` and returns its
+    :class:`MediaTortureReport` (same ``ok``/``failures``/``to_dict``/
+    ``render`` surface as :class:`TortureReport`).
+    """
     config = config if config is not None else TortureConfig()
+    if config.media_faults_enabled:
+        return run_media_torture(config)
     trace = run_baseline(config)
     points = select_points(trace.total_points, config.crash_points, config.seed)
     _log.info(

@@ -9,7 +9,14 @@ from repro.core.integrity import IntegrityCheck, IntegrityReport, integrity_repo
 from repro.core.store import XMLStore
 from repro.errors import StoreError
 
-CHECK_NAMES = ("layout", "range-index", "id-density", "partial-memo")
+CHECK_NAMES = (
+    "layout",
+    "range-index",
+    "id-density",
+    "partial-memo",
+    "block-checksum",
+    "quarantine",
+)
 
 
 def _store(max_range_tokens=32):

@@ -137,6 +137,7 @@ class TestCLI:
         assert payload["ok"] is True
         assert [c["name"] for c in payload["checks"]] == [
             "layout", "range-index", "id-density", "partial-memo",
+            "block-checksum", "quarantine",
         ]
 
     def test_error_surfaces_as_repro_error(self, store_dir):
@@ -420,3 +421,120 @@ class TestTortureCommand:
 
         with pytest.raises(ReproError):
             run([store_dir, "torture", "--fault-classes", "torn-floppy"])
+
+
+class TestScrubRepairCLI:
+    """The self-healing loop end to end, with the documented exit codes:
+    0 clean, 1 degraded-but-working, 2 corrupt."""
+
+    def _build_store(self, store_dir, orders=6):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        for index in range(orders):
+            run([store_dir, "insert-last", "1", f"<e n='{index}'>tok-{index}</e>"])
+        return run([store_dir, "read"])
+
+    def _corrupt_chain_block(self, store_dir):
+        import os
+
+        from repro.core.config import StoreConfig
+        from repro.core.filestore import CATALOG_FILE, DEVICE_FILE
+        from repro.core.store import XMLStore
+        from repro.storage.disk import FileBlockDevice
+
+        config = StoreConfig()
+        with open(os.path.join(store_dir, CATALOG_FILE), "rb") as handle:
+            catalog = handle.read()
+        device = FileBlockDevice(
+            os.path.join(store_dir, DEVICE_FILE), block_size=config.page_size
+        )
+        store = XMLStore.from_catalog(
+            device, catalog, config=config, repair_mode=True
+        )
+        victim = next(iter(store.layout.chain.blocks()))
+        image = bytearray(device.read_block(victim))
+        image[-1] ^= 0x33
+        device.write_block(victim, bytes(image))
+        device.close()
+        return victim
+
+    def test_scrub_clean_store_exits_zero(self, store_dir):
+        self._build_store(store_dir)
+        out = run([store_dir, "scrub"])
+        assert "scrub: OK" in out
+
+    def test_scrub_finds_corruption_and_exits_two(self, store_dir):
+        from repro.errors import StoreCorruptError
+
+        self._build_store(store_dir)
+        victim = self._corrupt_chain_block(store_dir)
+        with pytest.raises(StoreCorruptError) as excinfo:
+            run([store_dir, "scrub"])
+        assert excinfo.value.exit_code == 2
+        assert str(victim) in str(excinfo.value)
+
+    def test_scrub_json_report_is_delivered_before_the_failure(
+        self, store_dir, tmp_path
+    ):
+        import json
+
+        from repro.errors import StoreCorruptError
+
+        self._build_store(store_dir)
+        victim = self._corrupt_chain_block(store_dir)
+        target = tmp_path / "scrub.json"
+        with pytest.raises(StoreCorruptError):
+            run([store_dir, "scrub", "--json", "--output", str(target)])
+        payload = json.loads(target.read_text())
+        assert payload["ok"] is False
+        assert victim in [issue["block_no"] for issue in payload["issues"]]
+
+    def test_scrub_budget_flag(self, store_dir):
+        self._build_store(store_dir)
+        assert "scrub: OK" in run([store_dir, "scrub", "--budget", "1"])
+
+    def test_repair_after_corruption_restores_verify_clean(self, store_dir):
+        """The headline loop: corrupt, scrub refuses (2), repair
+        full-log-rebuilds (0), verify comes back clean (0)."""
+        from repro.errors import StoreCorruptError
+
+        expected = self._build_store(store_dir)
+        self._corrupt_chain_block(store_dir)
+        with pytest.raises(StoreCorruptError):
+            run([store_dir, "scrub"])
+        out = run([store_dir, "repair"])
+        assert "mode=wal-rebuild" in out
+        assert run([store_dir, "verify"]).splitlines()[-1] == "integrity ok"
+        assert run([store_dir, "read"]) == expected
+
+    def test_degraded_repair_exits_one_and_verify_reports_the_sidecar(
+        self, store_dir
+    ):
+        import os
+
+        from repro.errors import StoreDegradedError
+
+        self._build_store(store_dir, orders=10)
+        self._corrupt_chain_block(store_dir)
+        os.remove(os.path.join(store_dir, "store.wal"))  # salvage only
+        try:
+            run([store_dir, "repair"])
+        except StoreDegradedError as error:
+            # data really was lost: exit 1, and verify keeps saying so
+            assert error.exit_code == 1
+            assert os.path.exists(os.path.join(store_dir, "store.repair.json"))
+            with pytest.raises(StoreDegradedError) as excinfo:
+                run([store_dir, "verify"])
+            assert excinfo.value.exit_code == 1
+        else:
+            # the dead block held no unique records: full recovery
+            assert not os.path.exists(
+                os.path.join(store_dir, "store.repair.json")
+            )
+
+    def test_exit_codes_are_documented_in_help(self, store_dir, capsys):
+        for command in ("verify", "scrub", "repair"):
+            with pytest.raises(SystemExit):
+                run([store_dir, command, "--help"])
+            out = capsys.readouterr().out
+            assert "exit codes" in out, f"{command} --help lost its exit codes"
+            assert "2" in out

@@ -195,3 +195,125 @@ class TestValidation:
             pass
         pool.stats.reset()
         assert pool.stats.hits == 0 and pool.stats.misses == 0
+
+
+class TestChecksumQuarantine:
+    """Verification on fetch, bounded re-reads, fail-fast quarantine."""
+
+    def make_checked_pool(self, capacity=4, block_size=256, **pool_kwargs):
+        from repro.storage.pages import PageCodec
+
+        device = InstrumentedDevice(MemoryBlockDevice(block_size=block_size))
+        codec = PageCodec(block_size, checksums=True)
+        pool = BufferPool(device, capacity=capacity, codec=codec, **pool_kwargs)
+        return pool, device
+
+    def _persist_one(self, pool):
+        with pool.new_page() as guard:
+            guard.page.append(b"payload")
+            guard.mark_dirty()
+            block = guard.block_no
+        pool.flush_all()
+        pool.drop_all()  # force the next fetch to hit the device
+        return block
+
+    def _corrupt(self, device, block):
+        image = bytearray(device.read_block(block))
+        image[-1] ^= 0x40
+        device.write_block(block, bytes(image))
+
+    def test_clean_store_roundtrips_through_the_frame(self):
+        pool, _ = self.make_checked_pool()
+        block = self._persist_one(pool)
+        with pool.fetch(block) as guard:
+            assert guard.page.records() == [b"payload"]
+        assert pool.stats.checksum_errors == 0
+
+    def test_corrupt_block_raises_and_quarantines(self):
+        from repro.errors import ChecksumError
+
+        pool, device = self.make_checked_pool()
+        block = self._persist_one(pool)
+        self._corrupt(device, block)
+        with pytest.raises(ChecksumError) as excinfo:
+            pool.fetch(block)
+        assert excinfo.value.block_no == block
+        assert pool.is_quarantined(block)
+        assert pool.quarantined_blocks() == [block]
+        assert pool.stats.checksum_errors == 1
+
+    def test_retries_are_bounded(self):
+        from repro.errors import ChecksumError
+
+        pool, device = self.make_checked_pool(read_retries=2)
+        block = self._persist_one(pool)
+        self._corrupt(device, block)
+        reads_before = device.stats.reads
+        with pytest.raises(ChecksumError):
+            pool.fetch(block)
+        assert device.stats.reads == reads_before + 3  # 1 try + 2 retries
+
+    def test_quarantined_block_fails_fast_without_device_reads(self):
+        from repro.errors import ChecksumError
+
+        pool, device = self.make_checked_pool()
+        block = self._persist_one(pool)
+        self._corrupt(device, block)
+        with pytest.raises(ChecksumError):
+            pool.fetch(block)
+        reads_after_first = device.stats.reads
+        with pytest.raises(ChecksumError):
+            pool.fetch(block)
+        assert device.stats.reads == reads_after_first  # no retry storm
+        assert pool.stats.checksum_errors == 1  # counted once, not per fetch
+
+    def test_clear_quarantine_after_heal_readmits_the_block(self):
+        from repro.errors import ChecksumError
+        from repro.storage.pages import PageCodec, SlottedPage
+
+        pool, device = self.make_checked_pool()
+        block = self._persist_one(pool)
+        good_image = device.read_block(block)
+        self._corrupt(device, block)
+        with pytest.raises(ChecksumError):
+            pool.fetch(block)
+        device.write_block(block, good_image)  # the repair path rewrites it
+        with pytest.raises(ChecksumError):
+            pool.fetch(block)  # still quarantined: healing is explicit
+        pool.clear_quarantine(block)
+        with pool.fetch(block) as guard:
+            assert guard.page.records() == [b"payload"]
+
+    def test_quarantine_emits_a_structured_event(self):
+        from repro.errors import ChecksumError
+        from repro.obs.events import EventLog
+
+        pool, device = self.make_checked_pool()
+        pool.event_log = EventLog()
+        block = self._persist_one(pool)
+        self._corrupt(device, block)
+        with pytest.raises(ChecksumError):
+            pool.fetch(block)
+        kinds = [(e.source, e.kind) for e in pool.event_log.events()]
+        assert ("fault", "checksum_error") in kinds
+        [event] = [e for e in pool.event_log.events() if e.kind == "checksum_error"]
+        assert event.severity == "error"
+        assert event.fields["block"] == block
+
+    def test_checksum_errors_surface_on_the_metrics_registry(self):
+        from repro.errors import ChecksumError
+        from repro.obs.metrics import MetricsRegistry
+
+        pool, device = self.make_checked_pool()
+        block = self._persist_one(pool)
+        self._corrupt(device, block)
+        with pytest.raises(ChecksumError):
+            pool.fetch(block)
+        registry = MetricsRegistry()
+        pool.stats.register_metrics(registry)
+        snapshot = registry.snapshot()
+        [value] = [
+            v for k, v in snapshot.items()
+            if "repro_storage_checksum_errors_total" in k
+        ]
+        assert value == 1

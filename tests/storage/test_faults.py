@@ -218,3 +218,92 @@ class TestHarnessPlumbing:
         assert all_on.torn_page_writes and all_on.torn_wal_appends
         with pytest.raises(StorageError):
             FaultConfig.from_classes("torn-floppy")
+
+
+class TestFaultClassRegistry:
+    """FAULT_CLASSES is the single source of truth: the parser, the CLI
+    help text and the CI matrix must all stay derived from it."""
+
+    def test_registry_partitions_into_crash_and_media(self):
+        from repro.storage.faults import CRASH_CLASSES, FAULT_CLASSES, MEDIA_CLASSES
+
+        assert set(CRASH_CLASSES) == {"torn-page", "torn-wal", "reorder"}
+        assert set(MEDIA_CLASSES) == {"bitrot", "lost_write", "misdirect"}
+        assert len(FAULT_CLASSES) == len(CRASH_CLASSES) + len(MEDIA_CLASSES)
+        assert all(c.kind in ("crash", "media") for c in FAULT_CLASSES)
+        assert all(c.description for c in FAULT_CLASSES)
+
+    def test_every_registered_class_round_trips_through_the_parser(self):
+        from repro.storage.faults import FAULT_CLASSES
+
+        flag_for = {
+            "torn-page": "torn_page_writes",
+            "torn-wal": "torn_wal_appends",
+            "reorder": "reorder_sync",
+            "bitrot": "bitrot",
+            "lost_write": "lost_writes",
+            "misdirect": "misdirected_writes",
+        }
+        assert set(flag_for) == {c.name for c in FAULT_CLASSES}
+        for fault_class in FAULT_CLASSES:
+            config = FaultConfig.from_classes(fault_class.name)
+            for name, flag in flag_for.items():
+                assert getattr(config, flag) == (name == fault_class.name), (
+                    f"{fault_class.name} should enable exactly {flag}"
+                )
+
+    def test_all_means_every_crash_class_and_no_media_class(self):
+        config = FaultConfig.from_classes("all")
+        assert config.torn_page_writes and config.torn_wal_appends
+        assert config.reorder_sync
+        assert not config.media_faults_enabled
+
+    def test_media_classes_compose_with_crash_classes(self):
+        config = FaultConfig.from_classes("torn-page,bitrot,misdirect")
+        assert config.torn_page_writes and not config.torn_wal_appends
+        assert config.bitrot and config.misdirected_writes
+        assert not config.lost_writes
+        assert config.media_faults_enabled
+
+    def test_unknown_class_is_rejected_with_the_known_names(self):
+        with pytest.raises(StorageError) as excinfo:
+            FaultConfig.from_classes("bit-rot")
+        assert "bitrot" in str(excinfo.value)
+
+    def test_help_text_names_every_class(self):
+        from repro.storage.faults import FAULT_CLASSES, fault_classes_help
+
+        help_text = fault_classes_help()
+        for fault_class in FAULT_CLASSES:
+            assert fault_class.name in help_text
+
+    def test_ci_matrix_entries_parse_against_the_registry(self):
+        """Every --fault-classes value the CI workflow runs must be
+        accepted by the parser, so the matrix cannot drift from the
+        registry (and vice versa: renaming a class breaks this test
+        before it breaks CI)."""
+        import os
+        import re
+
+        workflow = os.path.join(
+            os.path.dirname(__file__), "..", "..", ".github", "workflows", "ci.yml"
+        )
+        with open(workflow) as handle:
+            text = handle.read()
+        match = re.search(r"fault-classes:\s*\[([^\]]+)\]", text)
+        assert match, "ci.yml lost its torture fault-classes matrix"
+        entries = [
+            entry.strip().strip("'\"")
+            for entry in match.group(1).split(",\n")
+            for entry in entry.split(", ")
+            if entry.strip()
+        ]
+        assert entries, "empty fault-classes matrix"
+        for entry in entries:
+            FaultConfig.from_classes(entry)  # must not raise
+        # the media classes are exercised by at least one matrix entry
+        media_covered = any(
+            FaultConfig.from_classes(entry).media_faults_enabled
+            for entry in entries
+        )
+        assert media_covered, "no CI matrix entry enables the media classes"

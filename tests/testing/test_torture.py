@@ -146,6 +146,7 @@ class TestReportShape:
         assert payload["failures"] == []
         assert set(payload["fault_classes"]) == {
             "torn_page_writes", "torn_wal_appends", "reorder_sync",
+            "bitrot", "lost_writes", "misdirected_writes",
         }
 
     def test_render_summarizes_the_run(self):
@@ -257,3 +258,88 @@ class TestZeroCostWhenDisabled:
             store.checkpoint()
         assert faulted.read() == plain.read()
         assert faulted.simulated_seconds == plain.simulated_seconds
+
+
+class TestMediaTorture:
+    """Silent-corruption mode: the three-verdict media rounds."""
+
+    def test_bitrot_rounds_pass_with_strict_content_equality(self):
+        config = TortureConfig(
+            seed=0, ops=8, bitrot=True, media_fault_rate=0.25, media_rounds=2
+        )
+        report = run_torture(config)
+        assert report.ok
+        assert report.failures == []
+        assert report.tested_points == 2
+        assert report.passthrough_identical
+
+    def test_all_three_media_classes_pass(self):
+        config = TortureConfig(
+            seed=1, ops=8,
+            bitrot=True, lost_writes=True, misdirected_writes=True,
+            media_fault_rate=0.2, media_rounds=2,
+        )
+        report = run_torture(config)
+        assert report.ok
+
+    def test_dispatch_is_keyed_on_the_media_toggles(self):
+        from repro.testing.torture import MediaTortureReport, TortureReport
+
+        media = run_torture(
+            TortureConfig(seed=0, ops=6, bitrot=True, media_rounds=1)
+        )
+        crash = run_torture(TortureConfig(seed=0, ops=6, crash_points=3))
+        assert isinstance(media, MediaTortureReport)
+        assert isinstance(crash, TortureReport)
+
+    def test_media_report_shape_is_json_ready(self):
+        config = TortureConfig(
+            seed=3, ops=6, bitrot=True, media_fault_rate=0.25, media_rounds=2
+        )
+        payload = json.loads(json.dumps(run_torture(config).to_dict()))
+        assert payload["mode"] == "media"
+        assert payload["ok"] is True
+        assert payload["failures"] == []
+        assert payload["rounds"] and len(payload["rounds"]) == 2
+        for round_payload in payload["rounds"]:
+            assert {"round", "media_seed", "injected", "ok"} <= set(round_payload)
+        assert payload["fault_classes"]["bitrot"] is True
+        assert payload["fault_classes"]["lost_writes"] is False
+
+    def test_media_render_names_the_verdict(self):
+        config = TortureConfig(
+            seed=3, ops=6, bitrot=True, media_fault_rate=0.25, media_rounds=1
+        )
+        text = run_torture(config).render()
+        assert "no silent corruption reached a reader" in text
+
+    def test_media_mode_requires_a_media_class(self):
+        from repro.errors import StoreError
+        from repro.testing.torture import run_media_torture
+
+        with pytest.raises(StoreError):
+            run_media_torture(TortureConfig(seed=0, ops=6))
+
+    def test_rounds_are_reproducible(self):
+        from repro.testing.torture import run_media_round
+
+        config = TortureConfig(
+            seed=5, ops=6, bitrot=True, media_fault_rate=0.25, media_rounds=1
+        )
+        from repro.testing.torture import run_baseline
+        from dataclasses import replace
+
+        trace = run_baseline(
+            replace(config, bitrot=False, lost_writes=False,
+                    misdirected_writes=False)
+        )
+        first = run_media_round(config, 0, trace)
+        second = run_media_round(config, 0, trace)
+        assert first.to_dict() == second.to_dict()
+
+    def test_media_seed_flows_into_the_fault_config(self):
+        config = TortureConfig(seed=2, ops=6, bitrot=True)
+        assert config.fault_config(None).seed == 2
+        assert config.fault_config(None, media_seed=77).seed == 77
+        assert config.fault_config(None).bitrot
+        assert not config.fault_config(None).lost_writes
