@@ -97,11 +97,15 @@ def phase_dict(result) -> dict:
 
 def table5_to_json(rows) -> str:
     """Table-5 rows as a JSON document (one object per approach, each
-    phase carrying its metrics snapshot)."""
+    phase carrying its metrics snapshot).  Every row is stamped with the
+    artifact schema version; ``tools/bench_compare.py`` asserts it."""
     import json
+
+    from repro.obs.schema import SCHEMA_VERSION
 
     payload = [
         {
+            "schema_version": SCHEMA_VERSION,
             "approach": row.approach,
             "insert": phase_dict(row.insert),
             "seq_scan": phase_dict(row.seq_scan),

@@ -81,6 +81,11 @@ class Table5Config:
     #: :class:`~repro.storage.faults.FaultyDisk` and pin the numbers
     #: byte-identical (the fault layer's zero-cost contract).
     backend_factory: Optional[object] = None
+    #: record workload-history snapshots (one per phase, plus the
+    #: periodic interval captures; see :mod:`repro.obs.history`).  Off by
+    #: default under the usual contract: history on or off, the simulated
+    #: numbers are byte-identical (tests/bench/test_history_zero_cost.py).
+    history: bool = False
     #: write checksum-framed pages (see :mod:`repro.storage.pages`).  Off
     #: here — unlike the store default — so the benchmark numbers stay
     #: comparable with the committed pre-checksum baseline; the robustness
@@ -145,6 +150,7 @@ def build_store(
         telemetry_enabled=config.events_enabled,
         events_enabled=config.events_enabled,
         profiling_enabled=config.profile,
+        history_enabled=config.history,
         checksums_enabled=config.checksums,
     )
     device = (

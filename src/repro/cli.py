@@ -40,10 +40,19 @@ Commands:
                                crash point of a seeded workload, crash at
                                each, recover and verify (in-memory; the
                                store directory is left untouched)
+    monitor [--window N] [--json]
+                               show the workload-history timeline:
+                               snapshots, the current fingerprint and the
+                               rolling drift series
+    advise [--window N] [--json]
+                               run the tuning advisor over the workload
+                               history; every recommendation carries its
+                               evidence and a what-if cost estimate
 
-``trace``, ``explain``, ``profile``, ``heatmap``, ``verify``, ``scrub``
-and ``repair`` accept ``--output FILE`` to write the report to a file
-instead of stdout; an unwritable path exits non-zero.  The global
+``trace``, ``explain``, ``profile``, ``heatmap``, ``verify``, ``scrub``,
+``repair``, ``monitor`` and ``advise`` accept ``--output FILE`` to write
+the report to a file instead of stdout; an unwritable path exits
+non-zero.  The global
 ``--verbose`` flag turns on the ``repro.*`` log hierarchy on stderr.
 
 Exit codes distinguish *how bad* things are (mirroring
@@ -56,9 +65,11 @@ store).
 
 Every invocation opens the store, applies the command, checkpoints and
 closes — so the directory is always consistent afterwards.  The CLI
-opens stores with telemetry, the event log and the heatmap enabled, so
-``stats``/``trace``/``explain``/``heatmap`` always have data for the
-work the invocation itself performed.
+opens stores with telemetry, the event log, the heatmap and workload
+history enabled, so ``stats``/``trace``/``explain``/``heatmap``/
+``monitor``/``advise`` always have data for the work the invocation
+itself performed — and, because the history persists to
+``store.history.jsonl``, for every earlier invocation too.
 """
 
 from __future__ import annotations
@@ -367,6 +378,54 @@ def build_parser() -> argparse.ArgumentParser:
     torture.add_argument(
         "--output", default=None, help="write to FILE instead of stdout"
     )
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="show the workload-history timeline and drift",
+        description=(
+            "Reads the store's workload history (periodic counter-delta "
+            "snapshots persisted in store.history.jsonl) and shows the "
+            "timeline, the current workload fingerprint and the rolling "
+            "drift series (0 = steady workload, 1 = completely changed)."
+        ),
+    )
+    monitor.add_argument(
+        "--window",
+        type=_positive_int,
+        default=4,
+        help="snapshots per drift window (default 4)",
+    )
+    monitor.add_argument(
+        "--json", action="store_true", help="report as JSON"
+    )
+    monitor.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
+
+    advise = commands.add_parser(
+        "advise",
+        help="run the tuning advisor over the workload history",
+        description=(
+            "Runs the rule-based tuning advisor: recommendations to "
+            "split/merge range granularity, resize the partial index, "
+            "grow the buffer pool or compact, each backed by the history "
+            "counters that triggered it and a what-if simulated-cost "
+            "estimate from the store's own cost model.  Vacuous (zero "
+            "recommendations, reason stated) without enough evidence."
+        ),
+    )
+    advise.add_argument(
+        "--window",
+        type=_positive_int,
+        default=4,
+        help="snapshots per drift window (default 4)",
+    )
+    advise.add_argument(
+        "--json", action="store_true", help="report as JSON"
+    )
+    advise.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
     return parser
 
 
@@ -396,6 +455,7 @@ def run(argv: Optional[List[str]] = None, stdin=None) -> str:
             events_enabled=True,
             heatmap_enabled=True,
             profiling_enabled=True,
+            history_enabled=True,
         ),
     )
     try:
@@ -675,6 +735,52 @@ def _dispatch(store, arguments, stdin) -> str:
                 "(store.repair.json present)"
             )
         return delivered
+    if command == "monitor":
+        from repro.obs.fingerprint import drift_series, fingerprint_window
+        from repro.obs.schema import stamp
+
+        snapshots = store.history.snapshots()
+        finger = fingerprint_window(snapshots)
+        drift = drift_series(snapshots, window=arguments.window)
+        if arguments.json:
+            payload = stamp(
+                {
+                    "snapshots": [snap.to_dict() for snap in snapshots],
+                    "fingerprint": finger.to_dict() if finger else None,
+                    "drift": drift,
+                }
+            )
+            text = json.dumps(payload, indent=2, sort_keys=True)
+        else:
+            lines = [f"workload history: {len(snapshots)} snapshot(s)"]
+            for snap in snapshots:
+                lines.append(
+                    f"  #{snap.seq:<4} {snap.label:<12} "
+                    f"ops={snap.operations:<8} "
+                    f"simulated={snap.simulated_seconds:.4f}s"
+                    + (f"  (x{snap.merged} merged)" if snap.merged > 1 else "")
+                )
+            if finger is not None:
+                lines.append("fingerprint")
+                for key, value in finger.to_dict().items():
+                    lines.append(f"  {key:<20} {value:.4f}")
+            if drift:
+                lines.append("drift (rolling windows)")
+                for point in drift:
+                    lines.append(
+                        f"  up to #{point['seq']:<4} drift={point['drift']:.3f}"
+                    )
+            text = "\n".join(lines)
+        return _deliver(text, arguments.output)
+    if command == "advise":
+        from repro.obs.advisor import advise as run_advisor
+
+        report = run_advisor(store, window=arguments.window)
+        if arguments.json:
+            text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        else:
+            text = report.render()
+        return _deliver(text, arguments.output)
     raise AssertionError(f"unhandled command {command}")  # pragma: no cover
 
 

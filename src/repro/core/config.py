@@ -148,6 +148,24 @@ class StoreConfig:
     #: statistical and never touches the simulated clock.
     sampler_interval: float = 0.005
 
+    #: Record workload-history snapshots (see :mod:`repro.obs.history`):
+    #: the longitudinal telemetry the drift detector and tuning advisor
+    #: read.  Off by default under the same zero-cost contract as the
+    #: rest of :mod:`repro.obs`.
+    history_enabled: bool = False
+
+    #: Capture one history snapshot every this many Table-1 operations.
+    history_interval: int = 64
+
+    #: History snapshots retained before the oldest rows merge (see
+    #: :class:`repro.obs.history.WorkloadHistory`).
+    history_capacity: int = 256
+
+    #: JSONL file the history persists to (``None`` = in-memory only;
+    #: :func:`repro.core.filestore.open_directory` points it next to the
+    #: store's device file).
+    history_path: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
@@ -165,3 +183,7 @@ class StoreConfig:
             raise ValueError("events_capacity must be at least 1")
         if self.sampler_interval <= 0:
             raise ValueError("sampler_interval must be positive")
+        if self.history_interval < 1:
+            raise ValueError("history_interval must be at least 1")
+        if self.history_capacity < 2:
+            raise ValueError("history_capacity must be at least 2")

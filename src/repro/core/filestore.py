@@ -31,6 +31,7 @@ from repro.storage.wal import WriteAheadLog
 DEVICE_FILE = "store.db"
 WAL_FILE = "store.wal"
 CATALOG_FILE = "store.catalog"
+HISTORY_FILE = "store.history.jsonl"
 
 _log = get_logger("core.filestore")
 
@@ -42,6 +43,12 @@ def open_directory(path: str, config: Optional[StoreConfig] = None) -> XMLStore:
     crash between checkpoints loses nothing that reached the log.
     """
     config = config if config is not None else StoreConfig()
+    if config.history_enabled and config.history_path is None:
+        # persist the workload history next to the device file, so the
+        # timeline survives close/reopen like the rest of the store
+        from dataclasses import replace
+
+        config = replace(config, history_path=os.path.join(path, HISTORY_FILE))
     os.makedirs(path, exist_ok=True)
     device_path = os.path.join(path, DEVICE_FILE)
     catalog_path = os.path.join(path, CATALOG_FILE)

@@ -78,7 +78,10 @@ class IntegrityReport:
         return [check for check in self.checks if not check.ok]
 
     def to_dict(self) -> Dict[str, object]:
+        from repro.obs.schema import SCHEMA_VERSION
+
         return {
+            "schema_version": SCHEMA_VERSION,
             "ok": self.ok,
             "checks": [check.to_dict() for check in self.checks],
         }

@@ -119,7 +119,10 @@ class RepairReport:
         )
 
     def to_dict(self) -> dict:
+        from repro.obs.schema import SCHEMA_VERSION
+
         return {
+            "schema_version": SCHEMA_VERSION,
             "mode": self.mode,
             "degraded": self.degraded,
             "integrity_ok": self.integrity_ok,

@@ -50,6 +50,7 @@ from repro.core.stats import OperationCounts, StoreStatistics
 from repro.ids.sequential import SequentialIdScheme
 from repro.obs.events import create_event_log
 from repro.obs.heatmap import create_heatmap
+from repro.obs.history import create_history
 from repro.obs.telemetry import create_telemetry
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import BlockDevice, InstrumentedDevice, MemoryBlockDevice
@@ -224,6 +225,12 @@ class XMLStore:
             tracer=self.telemetry.tracer,
         )
         self.heatmap = create_heatmap(self.config.heatmap_enabled)
+        self.history = create_history(
+            self.config.history_enabled,
+            path=self.config.history_path,
+            capacity=self.config.history_capacity,
+            interval=self.config.history_interval,
+        )
         self.pool.event_log = self.event_log
         self.pool.heatmap = self.heatmap
         self.locator.event_log = self.event_log
@@ -548,6 +555,8 @@ class XMLStore:
         with self.telemetry.span("checkpoint"):
             self.pool.flush_all()
             self.wal.checkpoint()
+            if self.history.enabled:
+                self.history.capture(self, "checkpoint", skip_if_idle=True)
             return self.to_catalog()
 
     def to_catalog(self) -> bytes:
@@ -752,6 +761,8 @@ class XMLStore:
     def _observe(self, is_read: bool) -> None:
         if self.adaptive is not None:
             self.adaptive.observe(is_read)
+        if self.history.enabled:
+            self.history.observe(self, is_read)
 
     def _log(self, record_type: int, node_id: int, xml_text: str) -> None:
         self.wal.append(

@@ -18,10 +18,26 @@ See DESIGN.md ("Observability") for the architecture.  Quick tour:
   hot-block / hot-range / partial-index-efficacy reports;
 * :mod:`repro.obs.explain` — per-operation EXPLAIN reports assembled
   from the event log, spans and component counters;
+* :mod:`repro.obs.history` — the workload-history timeline: periodic
+  counter-delta snapshots, bounded retention, JSONL persistence;
+* :mod:`repro.obs.fingerprint` — workload fingerprints over history
+  windows and the deterministic drift score between them;
+* :mod:`repro.obs.advisor` — the rule-based tuning advisor: evidence-
+  backed recommendations with what-if simulated-cost estimates;
+* :mod:`repro.obs.schema` — the ``schema_version`` stamp every exported
+  JSON artifact carries, and its reader-side check;
 * :mod:`repro.obs.clock` — the only legal wall-clock source
   (enforced by :func:`~repro.obs.clock.check_clock_discipline`).
 """
 
+from repro.obs.advisor import (
+    AdvisorReport,
+    Evidence,
+    Recommendation,
+    WhatIf,
+    advise,
+    apply_recommendations,
+)
 from repro.obs.bridge import (
     MetricsSnapshot,
     metrics_snapshot,
@@ -53,6 +69,12 @@ from repro.obs.exporters import (
     render_classic_summary,
     render_top,
 )
+from repro.obs.fingerprint import (
+    WorkloadFingerprint,
+    drift_score,
+    drift_series,
+    fingerprint_window,
+)
 from repro.obs.heatmap import (
     BlockHeat,
     BlockHeatmap,
@@ -62,6 +84,15 @@ from repro.obs.heatmap import (
     heatmap_json,
     heatmap_report,
     render_heatmap,
+)
+from repro.obs.history import (
+    HistorySnapshot,
+    NOOP_HISTORY,
+    NoopHistory,
+    WorkloadHistory,
+    create_history,
+    load_snapshots,
+    read_history,
 )
 from repro.obs.metrics import (
     Counter,
@@ -79,6 +110,7 @@ from repro.obs.metrics import (
     format_value,
     sample_key,
 )
+from repro.obs.schema import SCHEMA_VERSION, check_schema_version, stamp
 from repro.obs.telemetry import (
     NOOP_TELEMETRY,
     NoopTelemetry,
@@ -96,6 +128,7 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "AdvisorReport",
     "BlockHeat",
     "BlockHeatmap",
     "Counter",
@@ -104,16 +137,19 @@ __all__ = [
     "EXPLAINABLE_OPS",
     "Event",
     "EventLog",
+    "Evidence",
     "ExplainRecorder",
     "ExplainReport",
     "Gauge",
     "Histogram",
+    "HistorySnapshot",
     "LATENCY_BUCKETS",
     "MetricFamily",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NOOP_EVENT_LOG",
     "NOOP_HEATMAP",
+    "NOOP_HISTORY",
     "NOOP_METRIC",
     "NOOP_REGISTRY",
     "NOOP_SPAN",
@@ -121,9 +157,12 @@ __all__ = [
     "NOOP_TRACER",
     "NoopEventLog",
     "NoopHeatmap",
+    "NoopHistory",
     "NoopRegistry",
     "NoopTelemetry",
     "NoopTracer",
+    "Recommendation",
+    "SCHEMA_VERSION",
     "SIMULATED_COST_BUCKETS",
     "Sample",
     "Span",
@@ -131,25 +170,38 @@ __all__ = [
     "TOKEN_COUNT_BUCKETS",
     "Telemetry",
     "Tracer",
+    "WhatIf",
+    "WorkloadFingerprint",
+    "WorkloadHistory",
+    "advise",
+    "apply_recommendations",
     "check_clock_discipline",
+    "check_schema_version",
     "create_event_log",
     "create_heatmap",
+    "create_history",
     "create_telemetry",
+    "drift_score",
+    "drift_series",
     "events_jsonl",
     "events_log_jsonl",
     "explain_operation",
+    "fingerprint_window",
     "format_value",
     "heatmap_json",
     "heatmap_report",
+    "load_snapshots",
     "metrics_snapshot",
     "perf_seconds",
     "prometheus_text",
+    "read_history",
     "render_classic_summary",
     "render_heatmap",
     "render_top",
     "run_operation",
     "sample_key",
     "snapshot_families",
+    "stamp",
     "stats_registry",
     "store_families",
     "store_registry",

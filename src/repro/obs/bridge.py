@@ -66,6 +66,19 @@ def store_registry(store) -> MetricsRegistry:
         registry.gauge(
             "repro_partial_index_size", "Entries currently memoized."
         ).set(len(store.partial_index))
+    if store.history.enabled:
+        registry.counter(
+            "repro_history_captures_total",
+            "Workload-history snapshots captured.",
+        ).inc(store.history.captures)
+        registry.counter(
+            "repro_history_compactions_total",
+            "Workload-history retention merges (two oldest rows into one).",
+        ).inc(store.history.compactions)
+        registry.gauge(
+            "repro_history_snapshots",
+            "Workload-history snapshots currently retained.",
+        ).set(len(store.history))
     return registry
 
 

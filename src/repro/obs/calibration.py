@@ -155,8 +155,11 @@ def calibration_report(
 ) -> Dict[str, object]:
     """JSON-ready report: every cell, the median ratio, violations, and
     (when profiled) the per-component joins."""
+    from repro.obs.schema import SCHEMA_VERSION
+
     cells = calibration_cells(payload)
     return {
+        "schema_version": SCHEMA_VERSION,
         "median_ratio": _median([cell.ratio for cell in cells]),
         "spread_limit": limit,
         "cells": [cell.to_dict() for cell in cells],

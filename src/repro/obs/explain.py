@@ -96,7 +96,10 @@ class ExplainReport:
     def to_dict(self, include_events: bool = True) -> Dict[str, object]:
         """JSON-ready dict.  ``include_events=False`` replaces the event
         list with its length (for compact attachments, e.g. bench rows)."""
+        from repro.obs.schema import SCHEMA_VERSION
+
         out: Dict[str, object] = {
+            "schema_version": SCHEMA_VERSION,
             "operation": self.operation,
             "argv": self.argv,
             "op_id": self.op_id,

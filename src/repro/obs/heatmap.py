@@ -109,10 +109,13 @@ def create_heatmap(enabled: bool):
 
 def heatmap_report(store, top: int = 10) -> Dict[str, object]:
     """The full heatmap report for ``store`` as a JSON-ready dict."""
+    from repro.obs.schema import SCHEMA_VERSION
+
     counts = store.heatmap.counts()
     blocks = _block_rows(store, counts, top)
     ranges = _range_rows(store, counts, top)
     return {
+        "schema_version": SCHEMA_VERSION,
         "blocks_touched": len(counts),
         "blocks": blocks,
         "ranges": ranges,

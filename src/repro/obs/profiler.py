@@ -196,7 +196,10 @@ class CostProfile:
         return None
 
     def to_dict(self, include_tree: bool = True) -> Dict[str, object]:
+        from repro.obs.schema import SCHEMA_VERSION
+
         out: Dict[str, object] = {
+            "schema_version": SCHEMA_VERSION,
             "operation": self.operation,
             "wall_seconds": self.wall_seconds,
             "simulated_seconds": self.simulated_seconds,

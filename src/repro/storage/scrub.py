@@ -83,7 +83,10 @@ class ScrubReport:
         return sorted({issue.block_no for issue in self.issues})
 
     def to_dict(self) -> dict:
+        from repro.obs.schema import SCHEMA_VERSION
+
         return {
+            "schema_version": SCHEMA_VERSION,
             "ok": self.ok,
             "legacy": self.legacy,
             "complete": self.complete,

@@ -514,7 +514,10 @@ class TortureReport:
         return sum(1 for result in self.results if result.catalog_checked)
 
     def to_dict(self) -> Dict[str, object]:
+        from repro.obs.schema import SCHEMA_VERSION
+
         return {
+            "schema_version": SCHEMA_VERSION,
             "ok": self.ok,
             "seed": self.config.seed,
             "workload": self.config.workload,
@@ -637,7 +640,10 @@ class MediaTortureReport:
         return sum(result.injected for result in self.rounds)
 
     def to_dict(self) -> Dict[str, object]:
+        from repro.obs.schema import SCHEMA_VERSION
+
         return {
+            "schema_version": SCHEMA_VERSION,
             "ok": self.ok,
             "mode": "media",
             "seed": self.config.seed,

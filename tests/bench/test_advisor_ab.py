@@ -1,0 +1,82 @@
+"""Advisor A/B acceptance: recommended config beats the default.
+
+The tuning advisor's claim is auditable end-to-end: run a skewed,
+read-heavy workload on the default (coarse) configuration with history
+on, ask for advice, apply it with :func:`apply_recommendations`, rerun
+the *same* workload — the simulated cost must drop.  This is the
+acceptance bench of the observability subsystem: the advisor only saw
+history snapshots, and the saving it predicted with the cost model is
+realized by the store that follows it.
+"""
+
+from repro.core.config import IndexingPolicy, StoreConfig
+from repro.core.store import XMLStore
+from repro.obs.advisor import advise, apply_recommendations
+from repro.workloads.generator import purchase_orders_document
+from repro.workloads.operations import hot_cold_choices
+
+SEED = 11
+#: the advisor must beat the default by at least this margin on the
+#: measured read phase (observed ≈68%; the margin leaves generator slack)
+MIN_IMPROVEMENT = 0.20
+
+
+def _base_config() -> StoreConfig:
+    """The paper's lazy default: coarse ranges plus the partial index."""
+    return StoreConfig(
+        policy=IndexingPolicy.RANGE_PLUS_PARTIAL,
+        history_enabled=True,
+        history_interval=32,
+    )
+
+
+def _run_workload(config: StoreConfig):
+    """Bulk load, then a skewed point-read stream from a cold cache;
+    returns (store, read-phase simulated seconds)."""
+    store = XMLStore.open(config)
+    store.load_document(purchase_orders_document(60, 4, seed=SEED))
+    item_ids = [
+        node.node_id
+        for node in store.xpath("/purchase-orders/purchase-order/item")
+    ]
+    stream = hot_cold_choices(
+        item_ids, 300, hot_fraction=0.1, hot_probability=0.7, seed=SEED
+    )
+    store.pool.flush_all()
+    store.pool.drop_all()
+    loaded = store.simulated_seconds
+    for node_id in stream:
+        store.read(node_id)
+    return store, store.simulated_seconds - loaded
+
+
+def test_advisor_recommendation_beats_the_default():
+    store, default_cost = _run_workload(_base_config())
+    report = advise(store)
+    assert not report.vacuous
+    assert report.recommendations, "skewed scans must trigger a rule"
+    # the headline rule for a coarse store under point reads
+    split = next(
+        rec for rec in report.recommendations if rec.rule == "split-ranges"
+    )
+    assert split.what_if.saving_simulated_seconds > 0
+
+    tuned_config = apply_recommendations(_base_config(), report)
+    assert tuned_config.max_range_tokens == split.recommended
+
+    _, tuned_cost = _run_workload(tuned_config)
+    assert tuned_cost < default_cost
+    improvement = (default_cost - tuned_cost) / default_cost
+    assert improvement >= MIN_IMPROVEMENT, (
+        f"advisor config improved the read phase by only {improvement:.1%}"
+    )
+
+
+def test_advice_is_deterministic_across_identical_runs():
+    # the CI gate diffs two advisor reports from two identical runs;
+    # pin the same property here at test scale
+    first_store, _ = _run_workload(_base_config())
+    second_store, _ = _run_workload(_base_config())
+    assert (
+        advise(first_store).to_dict() == advise(second_store).to_dict()
+    )

@@ -16,19 +16,23 @@ import bench_compare  # noqa: E402
 def _rows():
     """A synthetic Table-5 result with the paper's shape."""
     return [
-        {"approach": "Full Index (max. granularity)",
+        {"schema_version": 1,
+         "approach": "Full Index (max. granularity)",
          "insert": {"kb_per_second": 30.0},
          "seq_scan": {"kb_per_second": 1100.0},
          "random_reads": {"kb_per_second": 650.0}},
-        {"approach": "Range Index (many, granular entries)",
+        {"schema_version": 1,
+         "approach": "Range Index (many, granular entries)",
          "insert": {"kb_per_second": 95.0},
          "seq_scan": {"kb_per_second": 1500.0},
          "random_reads": {"kb_per_second": 140.0}},
-        {"approach": "Range Index (few, coarse, large entries)",
+        {"schema_version": 1,
+         "approach": "Range Index (few, coarse, large entries)",
          "insert": {"kb_per_second": 90.0},
          "seq_scan": {"kb_per_second": 1500.0},
          "random_reads": {"kb_per_second": 33.0}},
-        {"approach": "Range Index (coarse) + Partial Index (memory)",
+        {"schema_version": 1,
+         "approach": "Range Index (coarse) + Partial Index (memory)",
          "insert": {"kb_per_second": 180.0},
          "seq_scan": {"kb_per_second": 1500.0},
          "random_reads": {"kb_per_second": 990.0}},
@@ -126,6 +130,20 @@ class TestMain:
                 if r["approach"] != bench_compare.REFERENCE_APPROACH]
         path = _write(tmp_path / "a.json", rows)
         assert bench_compare.main([path, path]) == 2
+
+    def test_missing_schema_version_exit_two(self, tmp_path, capsys):
+        rows = _rows()
+        del rows[1]["schema_version"]
+        path = _write(tmp_path / "a.json", rows)
+        assert bench_compare.main([path, path]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_newer_schema_version_exit_two(self, tmp_path, capsys):
+        rows = _rows()
+        rows[0]["schema_version"] = 999
+        path = _write(tmp_path / "a.json", rows)
+        assert bench_compare.main([path, path]) == 2
+        assert "999" in capsys.readouterr().err
 
     def test_tolerance_documented_in_help(self, capsys):
         with pytest.raises(SystemExit):

@@ -1,0 +1,73 @@
+"""Workload history must be free when off — and invisible when on.
+
+Two contracts, both pinned here:
+
+* history **off** (the default) adds literally nothing to the Table 5
+  path: the other zero-cost suites cover telemetry/events/profiling, and
+  ``Table5Config.history`` defaults to False, so the committed numbers
+  never depend on this subsystem;
+* history **on** only *reads* counters — captures never advance the
+  simulated clock — so the Table 5 output is byte-identical either way.
+"""
+
+from repro.bench.harness import insert_phase, random_read_phase
+from repro.bench.reporting import format_table5
+from repro.bench.table5 import Table5Config, run_table5
+from repro.core.config import StoreConfig
+from repro.core.store import XMLStore
+from repro.obs.history import NOOP_HISTORY
+
+#: Same micro preset as tests/bench/test_events_zero_cost.py: big enough
+#: that all four approaches take distinct access paths, small enough to
+#: run the table twice in a test.
+MICRO = dict(
+    base_orders=16,
+    items_per_order=3,
+    insert_orders=4,
+    random_reads=40,
+    hot_fraction=0.1,
+    pool_capacity=8,
+    granular_tokens=64,
+)
+
+
+def test_simulated_table_is_byte_identical_with_history_on():
+    plain = run_table5(Table5Config(**MICRO))
+    tracked = run_table5(Table5Config(history=True, **MICRO))
+    # the simulated-clock table (the paper's numbers) must not move at all
+    assert format_table5(plain) == format_table5(tracked)
+    # and not merely after rounding: the raw simulated seconds are exact
+    for plain_row, tracked_row in zip(plain, tracked):
+        for phase in ("insert", "seq_scan", "random_reads"):
+            assert (
+                getattr(plain_row, phase).simulated_seconds
+                == getattr(tracked_row, phase).simulated_seconds
+            ), f"{plain_row.approach} / {phase} simulated cost drifted"
+
+
+def test_default_table5_run_uses_the_noop_twin():
+    assert Table5Config(**MICRO).history is False
+    from repro.bench.table5 import APPROACHES, build_store
+
+    approach, policy, granularity = APPROACHES[0]
+    store, _ = build_store(policy, granularity, Table5Config(**MICRO))
+    assert store.history is NOOP_HISTORY
+
+
+def test_harness_phases_capture_labeled_snapshots():
+    store = XMLStore.open(StoreConfig(history_enabled=True))
+    root = store.load_document("<r><a>x</a></r>")
+    insert_phase(store, root, ["<b>y</b>", "<c>z</c>"])
+    random_read_phase(store, [root + 1])
+    labels = [snap.label for snap in store.history.snapshots()]
+    assert "insert" in labels
+    assert "random-reads" in labels
+
+
+def test_capture_reads_but_never_advances_the_clock():
+    store = XMLStore.open(StoreConfig(history_enabled=True))
+    root = store.load_document("<r><a>x</a></r>")
+    store.read(root + 1)
+    before = store.simulated_seconds
+    store.history.capture(store, "manual")
+    assert store.simulated_seconds == before

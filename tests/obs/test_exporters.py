@@ -114,6 +114,50 @@ class TestClassicSummary:
         assert "partial index:" in rendered
 
 
+class TestHistoryCounterExposition:
+    """The workload-history series must carry HELP/TYPE metadata."""
+
+    FAMILIES = (
+        ("repro_history_captures_total", "counter"),
+        ("repro_history_compactions_total", "counter"),
+        ("repro_history_snapshots", "gauge"),
+    )
+
+    def _history_store(self, enabled=True):
+        from repro.core.config import StoreConfig
+        from repro.core.store import XMLStore
+
+        store = XMLStore.open(
+            StoreConfig(history_enabled=enabled, history_interval=2)
+        )
+        root = store.load_document("<r><a>x</a><b>y</b></r>")
+        for _ in range(4):
+            store.read(root + 1)
+        return store
+
+    def test_help_and_type_lines_present(self):
+        from repro.obs.bridge import store_registry
+
+        store = self._history_store()
+        assert store.history.captures >= 1
+        text = prometheus_text(store_registry(store).collect())
+        for name, metric_type in self.FAMILIES:
+            assert f"# HELP {name} " in text, name
+            assert f"# TYPE {name} {metric_type}\n" in text, name
+        assert (
+            f"repro_history_captures_total {store.history.captures}" in text
+        )
+        assert f"repro_history_snapshots {len(store.history)}" in text
+
+    def test_absent_when_history_disabled(self):
+        from repro.obs.bridge import store_registry
+
+        store = self._history_store(enabled=False)
+        text = prometheus_text(store_registry(store).collect())
+        for name, _ in self.FAMILIES:
+            assert name not in text
+
+
 class TestPrometheusEdgeCases:
     def test_backslash_escaped_before_quotes_and_newlines(self):
         registry = MetricsRegistry()

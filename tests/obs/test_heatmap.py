@@ -118,6 +118,63 @@ class TestReports:
         assert len(report["blocks"]) <= 1
         assert len(report["ranges"]) <= 1
 
+    def test_data_blocks_join_back_to_live_ranges(self):
+        store = _store()
+        store.read()
+        report = heatmap_report(store, top=1000)
+        live = {meta.range_id for meta in store.ranges.in_order()}
+        data_rows = [r for r in report["blocks"] if r["kind"] == "data"]
+        assert data_rows
+        for row in data_rows:
+            assert row["ranges"]
+            assert set(row["ranges"]) <= live
+
+    def test_range_rows_equal_the_block_join(self):
+        # a range row must be exactly the sum of its blocks' heat
+        store = _store()
+        store.read(5)
+        store.read()
+        counts = store.heatmap.counts()
+        report = heatmap_report(store, top=1000)
+        assert report["ranges"]
+        for row in report["ranges"]:
+            blocks = store.ranges.blocks_of(row["range_id"])
+            assert row["blocks"] == len(blocks)
+            for field in ("fetches", "misses", "writes"):
+                joined = sum(
+                    getattr(counts[b], field) for b in blocks if b in counts
+                )
+                assert row[field] == joined, (row["range_id"], field)
+
+    def test_join_survives_range_splits(self):
+        # granular cap so the bulk load splits ranges many times; the
+        # join must still resolve every block to a live range
+        store = XMLStore.open(
+            StoreConfig(
+                policy=IndexingPolicy.RANGE,
+                max_range_tokens=32,
+                heatmap_enabled=True,
+            )
+        )
+        store.load_document(
+            "<doc>"
+            + "".join(f"<item n='{i}'>t{i}</item>" for i in range(60))
+            + "</doc>"
+        )
+        assert len(store.ranges) > 1  # splits actually happened
+        store.read()
+        report = heatmap_report(store, top=1000)
+        live = {meta.range_id for meta in store.ranges.in_order()}
+        assert {row["range_id"] for row in report["ranges"]} <= live
+        touched_ranges = {
+            range_id
+            for row in report["blocks"]
+            for range_id in row["ranges"]
+        }
+        assert touched_ranges <= live
+        # the scan touched every range of the document
+        assert {row["range_id"] for row in report["ranges"]} == live
+
     def test_render_and_json(self):
         store = _store()
         store.read(5)
@@ -125,4 +182,11 @@ class TestReports:
         assert "hottest blocks (top 3)" in text
         assert "partial-index efficacy" in text
         payload = json.loads(heatmap_json(store))
-        assert set(payload) == {"blocks", "blocks_touched", "partial_index", "ranges"}
+        assert set(payload) == {
+            "blocks",
+            "blocks_touched",
+            "partial_index",
+            "ranges",
+            "schema_version",
+        }
+        assert payload["schema_version"] == 1

@@ -50,6 +50,25 @@ class CompareError(Exception):
     """Malformed or incomparable benchmark files."""
 
 
+def _check_row_schema(entry: Dict, path: str) -> None:
+    """Assert one approach row's ``schema_version`` stamp.
+
+    Benchmark artifacts (and the history snapshots layered on top of
+    them) evolve; the stamp is what lets them do so safely.  A row from
+    a newer writer — or one with no stamp at all — is refused instead of
+    being silently misread (see :mod:`repro.obs.schema`).
+    """
+    from repro.errors import ObservabilityError
+    from repro.obs.schema import check_schema_version
+
+    try:
+        check_schema_version(
+            entry, f"{path} row {entry.get('approach', '?')!r}"
+        )
+    except ObservabilityError as error:
+        raise CompareError(str(error)) from error
+
+
 def load_rows(path: str) -> Dict[str, Dict[str, float]]:
     """Parse one BENCH_table5.json into {approach: {phase: kb_per_second}}."""
     try:
@@ -61,6 +80,7 @@ def load_rows(path: str) -> Dict[str, Dict[str, float]]:
         raise CompareError(f"{path}: expected a list of approach rows")
     rows: Dict[str, Dict[str, float]] = {}
     for entry in payload:
+        _check_row_schema(entry, path)
         try:
             rows[entry["approach"]] = {
                 phase: float(entry[phase]["kb_per_second"]) for phase in PHASES
