@@ -86,6 +86,11 @@ class Table5Config:
     #: default under the usual contract: history on or off, the simulated
     #: numbers are byte-identical (tests/bench/test_history_zero_cost.py).
     history: bool = False
+    #: evaluate alert rules and SLO budgets (see :mod:`repro.obs.alerts`
+    #: / :mod:`repro.obs.slo`) during the run.  Off by default under the
+    #: same contract: alerts on or off, the simulated numbers are
+    #: byte-identical (tests/bench/test_alerts_zero_cost.py).
+    alerts: bool = False
     #: write checksum-framed pages (see :mod:`repro.storage.pages`).  Off
     #: here — unlike the store default — so the benchmark numbers stay
     #: comparable with the committed pre-checksum baseline; the robustness
@@ -151,6 +156,7 @@ def build_store(
         events_enabled=config.events_enabled,
         profiling_enabled=config.profile,
         history_enabled=config.history,
+        alerts_enabled=config.alerts,
         checksums_enabled=config.checksums,
     )
     device = (

@@ -48,11 +48,22 @@ Commands:
                                run the tuning advisor over the workload
                                history; every recommendation carries its
                                evidence and a what-if cost estimate
+    alerts [--json]            evaluate the deterministic alert rules
+                               and list the currently-firing alerts
+                               (critical exits 2, warning exits 1)
+    health [--json]            composite health verdict (integrity,
+                               quarantine, checksums, repair sidecar,
+                               scrub recency, WAL growth, drift, SLOs)
+                               with verify's 0/1/2 exit-code scheme
+    watch [--interval F] [--iterations N] [--top N]
+                               live top-style view: tails the history
+                               and alert files without opening the
+                               store, so it can run next to a workload
 
 ``trace``, ``explain``, ``profile``, ``heatmap``, ``verify``, ``scrub``,
-``repair``, ``monitor`` and ``advise`` accept ``--output FILE`` to write
-the report to a file instead of stdout; an unwritable path exits
-non-zero.  The global
+``repair``, ``monitor``, ``advise``, ``alerts`` and ``health`` accept
+``--output FILE`` to write the report to a file instead of stdout; an
+unwritable path exits non-zero.  The global
 ``--verbose`` flag turns on the ``repro.*`` log hierarchy on stderr.
 
 Exit codes distinguish *how bad* things are (mirroring
@@ -65,11 +76,12 @@ store).
 
 Every invocation opens the store, applies the command, checkpoints and
 closes — so the directory is always consistent afterwards.  The CLI
-opens stores with telemetry, the event log, the heatmap and workload
-history enabled, so ``stats``/``trace``/``explain``/``heatmap``/
-``monitor``/``advise`` always have data for the work the invocation
-itself performed — and, because the history persists to
-``store.history.jsonl``, for every earlier invocation too.
+opens stores with telemetry, the event log, the heatmap, workload
+history and the alert engine enabled, so ``stats``/``trace``/
+``explain``/``heatmap``/``monitor``/``advise``/``alerts``/``health``
+always have data for the work the invocation itself performed — and,
+because the history and alert logs persist to ``store.history.jsonl``
+and ``store.alerts.jsonl``, for every earlier invocation too.
 """
 
 from __future__ import annotations
@@ -131,7 +143,10 @@ def build_parser() -> argparse.ArgumentParser:
     replace.add_argument("node_id", type=int)
     replace.add_argument("xml")
 
-    commands.add_parser("ranges", help="show the Range Index snapshot")
+    ranges = commands.add_parser("ranges", help="show the Range Index snapshot")
+    ranges.add_argument(
+        "--json", action="store_true", help="snapshot as stamped JSON"
+    )
 
     stats = commands.add_parser("stats", help="show store statistics")
     stats_format = stats.add_mutually_exclusive_group()
@@ -426,6 +441,80 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument(
         "--output", default=None, help="write to FILE instead of stdout"
     )
+
+    alerts = commands.add_parser(
+        "alerts",
+        help="evaluate the alert rules and list firing alerts",
+        description=(
+            "Evaluates the deterministic alert rule set (threshold / "
+            "ratio / delta-over-window / absence rules over the metric "
+            "registry, history snapshots and SLO budgets) and lists the "
+            "currently-firing alerts plus the persisted transition log "
+            "(store.alerts.jsonl)."
+        ),
+        epilog=(
+            "exit codes: 0 = nothing firing above info; 1 = warning "
+            "alert(s) firing; 2 = critical alert(s) firing"
+        ),
+    )
+    alerts.add_argument(
+        "--json", action="store_true", help="report as JSON"
+    )
+    alerts.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
+
+    health = commands.add_parser(
+        "health",
+        help="composite health verdict with verify's exit codes",
+        description=(
+            "Folds every liveness signal — integrity checks, block "
+            "quarantine, checksum errors, the degraded-repair sidecar, "
+            "scrub recency, WAL growth, workload drift and the "
+            "simulated-axis SLO statuses — into one healthy / degraded "
+            "/ unhealthy verdict a supervisor can poll."
+        ),
+        epilog="exit codes: 0 = healthy; 1 = degraded; 2 = unhealthy",
+    )
+    health.add_argument(
+        "--json", action="store_true", help="report as JSON"
+    )
+    health.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
+
+    watch = commands.add_parser(
+        "watch",
+        help="live top-style view over the history and alert files",
+        description=(
+            "Tails store.history.jsonl and store.alerts.jsonl (plus the "
+            "store file sizes) and renders a refreshing top-style frame "
+            "with cumulative counters, firing alerts and recent "
+            "transitions.  Read-only and lock-free: the store is never "
+            "opened, so it can run beside a live workload."
+        ),
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval (default 2.0)",
+    )
+    watch.add_argument(
+        "--iterations",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
+    watch.add_argument(
+        "--top",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="counters shown in the hot-counter section (default 8)",
+    )
     return parser
 
 
@@ -448,21 +537,76 @@ def run(argv: Optional[List[str]] = None, stdin=None) -> str:
         # repair manages the directory's files itself (and must open in
         # repair mode: a normal open would choke on the corruption)
         return _run_repair(arguments)
-    store = open_directory(
-        arguments.store,
-        config=StoreConfig(
-            telemetry_enabled=True,
-            events_enabled=True,
-            heatmap_enabled=True,
-            profiling_enabled=True,
-            history_enabled=True,
-        ),
-    )
+    if arguments.command == "watch":
+        # watch only tails the JSONL files and file sizes: never open
+        # the store, so it can run beside a live workload
+        return _run_watch(arguments)
+    if arguments.command == "health":
+        # health must not crash on the stores it exists to diagnose: a
+        # normal open walks every chain block and dies on the first
+        # corrupt one, so fall back to a repair-mode open and report
+        return _run_health(arguments, stdin)
+    store = open_directory(arguments.store, config=_cli_store_config())
     try:
         output = _dispatch(store, arguments, stdin)
     finally:
         close_directory(arguments.store, store)
     return output
+
+
+def _cli_store_config() -> StoreConfig:
+    return StoreConfig(
+        telemetry_enabled=True,
+        events_enabled=True,
+        heatmap_enabled=True,
+        profiling_enabled=True,
+        history_enabled=True,
+        alerts_enabled=True,
+    )
+
+
+def _run_health(arguments, stdin) -> str:
+    import os
+
+    from repro.core.filestore import CATALOG_FILE, DEVICE_FILE
+    from repro.core.store import XMLStore
+    from repro.errors import ChecksumError, StoreError
+    from repro.obs.health import health_report
+    from repro.storage.disk import FileBlockDevice, InstrumentedDevice
+
+    try:
+        store = open_directory(arguments.store, config=_cli_store_config())
+    except (ChecksumError, StoreError):
+        pass
+    else:
+        try:
+            return _dispatch(store, arguments, stdin)
+        finally:
+            close_directory(arguments.store, store)
+    # the normal open choked on corruption: diagnose what can still be
+    # seen through a read-only repair-mode open (no WAL replay, no
+    # residency walk — the same stance scrub takes)
+    config = StoreConfig()
+    catalog_path = os.path.join(arguments.store, CATALOG_FILE)
+    device_path = os.path.join(arguments.store, DEVICE_FILE)
+    if not (os.path.exists(catalog_path) and os.path.exists(device_path)):
+        raise ReproError(
+            f"{arguments.store}: not a store directory (no catalog/device)"
+        )
+    with open(catalog_path, "rb") as handle:
+        catalog = handle.read()
+    device = InstrumentedDevice(
+        FileBlockDevice(device_path, block_size=config.page_size),
+        cost_model=config.cost_model,
+    )
+    try:
+        store = XMLStore.from_catalog(
+            device, catalog, config=config, repair_mode=True
+        )
+        report = health_report(store, store_path=arguments.store)
+    finally:
+        device.close()
+    return _deliver_health(report, arguments)
 
 
 def _deliver(text: str, output_path: Optional[str]) -> str:
@@ -576,6 +720,97 @@ def _run_repair(arguments) -> str:
     return delivered
 
 
+def _watch_frame(arguments, engine, tick: int) -> str:
+    """One rendered frame of the live view (pure function of the files)."""
+    import os
+
+    from repro.core.filestore import (
+        ALERTS_FILE,
+        DEVICE_FILE,
+        HISTORY_FILE,
+        WAL_FILE,
+    )
+    from repro.obs.alerts import history_view, load_events
+    from repro.obs.history import load_snapshots
+
+    history_path = os.path.join(arguments.store, HISTORY_FILE)
+    alerts_path = os.path.join(arguments.store, ALERTS_FILE)
+    snapshots = (
+        load_snapshots(history_path) if os.path.exists(history_path) else []
+    )
+    persisted = (
+        load_events(alerts_path) if os.path.exists(alerts_path) else []
+    )
+    lines = [f"watch {arguments.store}  frame {tick}"]
+    sizes = []
+    for name in (DEVICE_FILE, WAL_FILE):
+        file_path = os.path.join(arguments.store, name)
+        if os.path.exists(file_path):
+            sizes.append(f"{name} {os.path.getsize(file_path)}B")
+    lines.append(
+        "files: " + (" | ".join(sizes) if sizes else "no store files yet")
+    )
+    if not snapshots:
+        lines.append("history: no snapshots yet (store.history.jsonl absent)")
+    else:
+        last = snapshots[-1]
+        lines.append(
+            f"history: {len(snapshots)} snapshot(s), "
+            f"ops={last.operations}, "
+            f"simulated={last.simulated_seconds:.4f}s"
+        )
+        view = history_view(snapshots)
+        transitions = engine.evaluate(view, f"watch-{tick}")
+        del transitions  # the active set below is what the frame shows
+        active = engine.active()
+        if active:
+            lines.append(f"alerts firing: {len(active)}")
+            for event in active:
+                lines.append(f"  {event.render()}")
+        else:
+            lines.append("alerts firing: none")
+        counters = sorted(
+            view.values.items(), key=lambda item: (-item[1], item[0])
+        )
+        lines.append("top counters (cumulative from history deltas):")
+        for key, value in counters[: arguments.top]:
+            lines.append(f"  {key:<56} {value:g}")
+    if persisted:
+        lines.append(f"alert log: {len(persisted)} transition(s)")
+        for event in persisted[-5:]:
+            lines.append(f"  #{event.seq} {event.render()}")
+    else:
+        lines.append("alert log: empty (store.alerts.jsonl absent)")
+    return "\n".join(lines)
+
+
+def _run_watch(arguments) -> str:
+    from repro.obs.alerts import AlertEngine
+    from repro.obs.clock import sleep
+
+    # in-memory engine: watch observes, it never writes the store's log
+    engine = AlertEngine()
+    tick = 0
+    frame = ""
+    try:
+        while True:
+            tick += 1
+            frame = _watch_frame(arguments, engine, tick)
+            if (
+                arguments.iterations is not None
+                and tick >= arguments.iterations
+            ):
+                return frame
+            if sys.stdout.isatty():
+                # clear between frames only on a real terminal
+                print("\x1b[2J\x1b[H", end="")
+            print(frame)
+            print(flush=True)
+            sleep(arguments.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return frame
+
+
 def _dispatch(store, arguments, stdin) -> str:
     command = arguments.command
     if command == "load":
@@ -612,6 +847,24 @@ def _dispatch(store, arguments, stdin) -> str:
         first_id = store.replace_node(arguments.node_id, arguments.xml)
         return f"replaced; new node id = {first_id}"
     if command == "ranges":
+        if arguments.json:
+            from repro.obs.schema import stamp
+
+            payload = stamp(
+                {
+                    "ranges": [
+                        {
+                            "range_id": range_id,
+                            "block_id": block_id,
+                            "start_id": start_id,
+                            "end_id": end_id,
+                        }
+                        for range_id, block_id, start_id, end_id
+                        in store.range_snapshot()
+                    ]
+                }
+            )
+            return json.dumps(payload, indent=2, sort_keys=True)
         lines = ["RangeId  BlockId  StartId  EndId"]
         for range_id, block_id, start_id, end_id in store.range_snapshot():
             lines.append(
@@ -621,12 +874,22 @@ def _dispatch(store, arguments, stdin) -> str:
     if command == "stats":
         from repro.obs.bridge import snapshot_families, store_families
         from repro.obs.exporters import prometheus_text, render_top
+        from repro.obs.schema import stamp
 
         if arguments.json:
             snapshot = snapshot_families(store_families(store))
-            return json.dumps(snapshot.values, indent=2, sort_keys=True)
+            return json.dumps(
+                stamp(dict(snapshot.values)), indent=2, sort_keys=True
+            )
         if arguments.prometheus:
-            return prometheus_text(store_families(store)).rstrip("\n")
+            families = store_families(store)
+            if store.slo.enabled:
+                # SLO budgets ride along in the exposition (both axes:
+                # the scrape is already wall-clock territory)
+                families = families + store.slo.families(
+                    store, axes=("simulated", "wall")
+                )
+            return prometheus_text(families).rstrip("\n")
         if arguments.top:
             return render_top(store_families(store)).rstrip("\n")
         return store.stats.summary()
@@ -781,7 +1044,76 @@ def _dispatch(store, arguments, stdin) -> str:
         else:
             text = report.render()
         return _deliver(text, arguments.output)
+    if command == "alerts":
+        from repro.obs.schema import stamp
+
+        engine = store.alerts
+        if engine.enabled:
+            engine.evaluate_store(store, "cli")
+        active = engine.active()
+        if arguments.json:
+            payload = stamp(
+                {
+                    "active": [event.to_dict() for event in active],
+                    "log": [event.to_dict() for event in engine.events()],
+                    "rules": [rule.name for rule in engine.rules],
+                    "evaluations": engine.evaluations,
+                }
+            )
+            text = json.dumps(payload, indent=2, sort_keys=True)
+        else:
+            lines = [
+                f"alerts: {len(active)} firing "
+                f"({len(engine.rules)} rule(s) evaluated)"
+            ]
+            for event in active:
+                lines.append(f"  {event.render()}")
+            recent = engine.events()[-5:]
+            if recent:
+                lines.append("recent transitions:")
+                for event in recent:
+                    lines.append(f"  #{event.seq} {event.render()}")
+            text = "\n".join(lines)
+        delivered = _deliver(text, arguments.output)
+        worst = engine.worst_active_severity()
+        if worst == "critical":
+            # the report was delivered (file written) before failing
+            raise StoreCorruptError(
+                "critical alert(s) firing: "
+                + ", ".join(e.rule for e in active if e.severity == "critical")
+            )
+        if worst == "warning":
+            raise StoreDegradedError(
+                "warning alert(s) firing: "
+                + ", ".join(e.rule for e in active if e.severity == "warning")
+            )
+        return delivered
+    if command == "health":
+        from repro.obs.health import health_report
+
+        report = health_report(store, store_path=arguments.store)
+        return _deliver_health(report, arguments)
     raise AssertionError(f"unhandled command {command}")  # pragma: no cover
+
+
+def _deliver_health(report, arguments) -> str:
+    if arguments.json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = report.render().rstrip("\n")
+    delivered = _deliver(text, arguments.output)
+    if report.verdict == "unhealthy":
+        # the report was delivered (file written) before failing
+        raise StoreCorruptError(
+            "store is unhealthy: "
+            + ", ".join(c.name for c in report.failed())
+        )
+    if report.verdict == "degraded":
+        raise StoreDegradedError(
+            "store is degraded: "
+            + ", ".join(c.name for c in report.failed())
+        )
+    return delivered
 
 
 def main() -> int:  # pragma: no cover - thin wrapper

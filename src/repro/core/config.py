@@ -166,6 +166,22 @@ class StoreConfig:
     #: store's device file).
     history_path: Optional[str] = None
 
+    #: Evaluate deterministic alert rules (see :mod:`repro.obs.alerts`)
+    #: and track SLO budgets (:mod:`repro.obs.slo`).  Off by default
+    #: under the same zero-cost contract as the rest of
+    #: :mod:`repro.obs`: evaluation only reads counters, and the
+    #: disabled twin keeps the hot path at one attribute check.
+    alerts_enabled: bool = False
+
+    #: Evaluate the alert rules every this many Table-1 operations
+    #: (plus once at every checkpoint).
+    alerts_interval: int = 64
+
+    #: JSONL file alert transitions append to (``None`` = in-memory
+    #: only; :func:`repro.core.filestore.open_directory` points it next
+    #: to the store's device file).
+    alerts_path: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
@@ -187,3 +203,5 @@ class StoreConfig:
             raise ValueError("history_interval must be at least 1")
         if self.history_capacity < 2:
             raise ValueError("history_capacity must be at least 2")
+        if self.alerts_interval < 1:
+            raise ValueError("alerts_interval must be at least 1")

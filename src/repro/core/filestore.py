@@ -32,6 +32,7 @@ DEVICE_FILE = "store.db"
 WAL_FILE = "store.wal"
 CATALOG_FILE = "store.catalog"
 HISTORY_FILE = "store.history.jsonl"
+ALERTS_FILE = "store.alerts.jsonl"
 
 _log = get_logger("core.filestore")
 
@@ -49,6 +50,12 @@ def open_directory(path: str, config: Optional[StoreConfig] = None) -> XMLStore:
         from dataclasses import replace
 
         config = replace(config, history_path=os.path.join(path, HISTORY_FILE))
+    if config.alerts_enabled and config.alerts_path is None:
+        # alert transitions persist the same way: the active set and the
+        # sequence number survive close/reopen
+        from dataclasses import replace
+
+        config = replace(config, alerts_path=os.path.join(path, ALERTS_FILE))
     os.makedirs(path, exist_ok=True)
     device_path = os.path.join(path, DEVICE_FILE)
     catalog_path = os.path.join(path, CATALOG_FILE)

@@ -48,9 +48,11 @@ from repro.core.range_index import RangeIndex
 from repro.core.ranges import RangeMeta, RangeTable
 from repro.core.stats import OperationCounts, StoreStatistics
 from repro.ids.sequential import SequentialIdScheme
+from repro.obs.alerts import create_alerts
 from repro.obs.events import create_event_log
 from repro.obs.heatmap import create_heatmap
 from repro.obs.history import create_history
+from repro.obs.slo import create_slo
 from repro.obs.telemetry import create_telemetry
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import BlockDevice, InstrumentedDevice, MemoryBlockDevice
@@ -231,6 +233,17 @@ class XMLStore:
             capacity=self.config.history_capacity,
             interval=self.config.history_interval,
         )
+        self.slo = create_slo(self.config.alerts_enabled)
+        self.alerts = create_alerts(
+            self.config.alerts_enabled,
+            path=self.config.alerts_path,
+            interval=self.config.alerts_interval,
+        )
+        #: scrub recency (bridge-exported, health-checked): completed
+        #: passes on this store instance and the Table-1 operation count
+        #: at the most recent one (None = never scrubbed)
+        self.scrub_completions = 0
+        self.operations_at_last_scrub: Optional[int] = None
         self.pool.event_log = self.event_log
         self.pool.heatmap = self.heatmap
         self.locator.event_log = self.event_log
@@ -557,6 +570,9 @@ class XMLStore:
             self.wal.checkpoint()
             if self.history.enabled:
                 self.history.capture(self, "checkpoint", skip_if_idle=True)
+            if self.alerts.enabled:
+                # after the history capture, so delta rules see this window
+                self.alerts.evaluate_store(self, "checkpoint", skip_if_idle=True)
             return self.to_catalog()
 
     def to_catalog(self) -> bytes:
@@ -763,6 +779,8 @@ class XMLStore:
             self.adaptive.observe(is_read)
         if self.history.enabled:
             self.history.observe(self, is_read)
+        if self.alerts.enabled:
+            self.alerts.observe(self)
 
     def _log(self, record_type: int, node_id: int, xml_text: str) -> None:
         self.wal.append(

@@ -62,6 +62,26 @@ def store_registry(store) -> MetricsRegistry:
     registry.gauge(
         "repro_buffer_cached_pages", "Pages currently resident in the buffer pool."
     ).set(store.pool.cached_pages)
+    registry.gauge(
+        "repro_wal_size_bytes", "Bytes currently in the write-ahead log stream."
+    ).set(float(store.wal.size_bytes))
+    registry.gauge(
+        "repro_storage_quarantined_blocks",
+        "Blocks currently quarantined after failed checksum verification.",
+    ).set(float(len(store.pool.quarantined_blocks())))
+    registry.counter(
+        "repro_storage_scrub_completions_total",
+        "Scrub passes completed over this store instance.",
+    ).inc(store.scrub_completions)
+    last_scrub = store.operations_at_last_scrub
+    operations = store.operations.read_ops + store.operations.updates
+    registry.gauge(
+        "repro_storage_scrub_age_operations",
+        "Table-1 operations since the last completed scrub pass "
+        "(-1 = never scrubbed).",
+    ).set(
+        float(operations - last_scrub) if last_scrub is not None else -1.0
+    )
     if store.partial_index is not None:
         registry.gauge(
             "repro_partial_index_size", "Entries currently memoized."

@@ -302,6 +302,9 @@ class NoopHistory:
     enabled = False
     captures = 0
     compactions = 0
+    capacity = DEFAULT_CAPACITY
+    interval = DEFAULT_INTERVAL
+    path = None
 
     def observe(self, store, is_read: bool) -> None:
         pass

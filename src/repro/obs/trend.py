@@ -1,0 +1,189 @@
+"""Bench trajectory: run-over-run performance trend detection.
+
+``bench_compare`` answers "does this run still have the paper's shape
+against the committed baseline".  What it cannot answer is "has a phase
+been getting slowly worse across the last N runs" — the classic boiled
+frog.  This module keeps the long view: an append-only JSONL trajectory
+(``bench_results/BENCH_trajectory.jsonl``) with one record per bench
+run, each carrying the per-``approach/phase`` simulated cost and
+throughput from ``BENCH_table5.json``, and a detector that compares the
+newest record against the *rolling median* of the preceding window.
+
+Medians, not means: a single outlier run in the history barely moves
+the reference, so the detector flags genuine level shifts instead of
+noise.  Simulated seconds, not wall seconds: the trajectory is
+comparable across machines and CI runners, which is the whole point of
+the repo's simulated cost model.
+
+``tools/bench_trend.py`` is the CLI wrapper that appends the current
+``BENCH_table5.json`` and exits non-zero on a flagged regression,
+gating CI next to ``bench_compare``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from statistics import median
+from typing import Dict, List, Sequence
+
+from repro.errors import ObservabilityError
+
+TRAJECTORY_FILE = "BENCH_trajectory.jsonl"
+
+#: Latest-vs-rolling-median ratio above which a phase is flagged.
+DEFAULT_THRESHOLD = 1.5
+#: Prior records required before the detector speaks at all.
+DEFAULT_MIN_HISTORY = 3
+#: Rolling window of prior records the median is taken over.
+DEFAULT_WINDOW = 8
+
+PHASES = ("insert", "seq_scan", "random_reads")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One flagged ``approach/phase`` cell."""
+
+    key: str
+    simulated_seconds: float
+    rolling_median: float
+    ratio: float
+
+    def render(self) -> str:
+        return (
+            f"{self.key}: {self.simulated_seconds:.4f} simulated seconds vs "
+            f"rolling median {self.rolling_median:.4f} "
+            f"(x{self.ratio:.2f})"
+        )
+
+
+def trajectory_record(
+    rows: Sequence[Dict[str, object]], label: str
+) -> Dict[str, object]:
+    """One trajectory record from parsed ``BENCH_table5.json`` rows."""
+    from repro.obs.schema import check_schema_version, stamp
+
+    phases: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        check_schema_version(row, f"bench row {row.get('approach', '?')}")
+        approach = str(row["approach"])
+        for phase in PHASES:
+            cell = row.get(phase)
+            if not isinstance(cell, dict):
+                raise ObservabilityError(
+                    f"bench row {approach!r} is missing phase {phase!r}"
+                )
+            phases[f"{approach}/{phase}"] = {
+                "simulated_seconds": float(cell["simulated_seconds"]),
+                "kb_per_second": float(cell["kb_per_second"]),
+            }
+    return stamp({"label": label, "phases": phases})
+
+
+def append_record(path: str, record: Dict[str, object]) -> None:
+    """Append one stamped record as a JSONL line (sorted keys, so the
+    file is a deterministic function of its records)."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_trajectory(path: str) -> List[Dict[str, object]]:
+    """All records of one trajectory file (missing file → empty list);
+    every line's ``schema_version`` stamp is checked."""
+    from repro.obs.schema import check_schema_version
+
+    if not os.path.exists(path):
+        return []
+    records: List[Dict[str, object]] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError as error:
+                    raise ObservabilityError(
+                        f"{path}:{number}: malformed trajectory line ({error})"
+                    ) from error
+                check_schema_version(payload, f"{path}:{number}")
+                records.append(payload)
+    except OSError as error:
+        raise ObservabilityError(f"cannot read {path}: {error}") from error
+    return records
+
+
+def detect_regressions(
+    records: Sequence[Dict[str, object]],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_history: int = DEFAULT_MIN_HISTORY,
+    window: int = DEFAULT_WINDOW,
+) -> List[Regression]:
+    """Compare the newest record's simulated cost per phase against the
+    rolling median of the preceding ``window`` records.  Silent until
+    ``min_history`` prior records exist (a young trajectory cannot
+    distinguish a regression from a baseline)."""
+    if len(records) < 2:
+        return []
+    latest = records[-1]
+    prior = records[:-1][-window:]
+    if len(prior) < min_history:
+        return []
+    flagged: List[Regression] = []
+    latest_phases = latest.get("phases")
+    if not isinstance(latest_phases, dict):
+        raise ObservabilityError("trajectory record has no phases mapping")
+    for key in sorted(latest_phases):
+        history = [
+            float(record["phases"][key]["simulated_seconds"])
+            for record in prior
+            if isinstance(record.get("phases"), dict)
+            and key in record["phases"]
+        ]
+        if len(history) < min_history:
+            continue
+        reference = median(history)
+        current = float(latest_phases[key]["simulated_seconds"])
+        if reference > 0 and current > threshold * reference:
+            flagged.append(
+                Regression(
+                    key=key,
+                    simulated_seconds=current,
+                    rolling_median=reference,
+                    ratio=current / reference,
+                )
+            )
+    return flagged
+
+
+def next_label(records: Sequence[Dict[str, object]]) -> str:
+    """Deterministic default label for the next appended record."""
+    return f"run-{len(records) + 1}"
+
+
+def trend_summary(
+    records: Sequence[Dict[str, object]],
+    regressions: Sequence[Regression],
+) -> Dict[str, object]:
+    """The stamped JSON payload ``tools/bench_trend.py --json`` emits."""
+    from repro.obs.schema import stamp
+
+    return stamp(
+        {
+            "records": len(records),
+            "latest_label": records[-1].get("label") if records else None,
+            "regressions": [
+                {
+                    "key": regression.key,
+                    "simulated_seconds": regression.simulated_seconds,
+                    "rolling_median": regression.rolling_median,
+                    "ratio": regression.ratio,
+                }
+                for regression in regressions
+            ],
+            "ok": not regressions,
+        }
+    )

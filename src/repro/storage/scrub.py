@@ -136,6 +136,7 @@ class Scrubber:
         self._blocks = self._collect_blocks()
         self.report.blocks_total = len(self._blocks)
         self._cursor = 0
+        self._completion_recorded = False
 
     def _collect_blocks(self) -> List[Tuple[int, str]]:
         out: List[Tuple[int, str]] = []
@@ -232,6 +233,14 @@ class Scrubber:
                     )
                 )
         self.report.complete = self._cursor >= len(self._blocks)
+        if self.report.complete and not self._completion_recorded:
+            # scrub recency: the health report and the
+            # repro_storage_scrub_* series read these store-side marks
+            self._completion_recorded = True
+            self.store.scrub_completions += 1
+            self.store.operations_at_last_scrub = (
+                self.store.operations.read_ops + self.store.operations.updates
+            )
         if self.report.complete and self.store.event_log.enabled:
             self.store.event_log.emit(
                 "fault" if self.report.issues else "recovery",

@@ -155,6 +155,18 @@ class WriteAheadLog:
         self._stream.seek(position)
         return data
 
+    @property
+    def size_bytes(self) -> int:
+        """Bytes currently in the log stream (exported as the
+        ``repro_wal_size_bytes`` gauge; 0 once the stream is closed)."""
+        if self._stream.closed:
+            return 0
+        position = self._stream.tell()
+        self._stream.seek(0, os.SEEK_END)
+        end = self._stream.tell()
+        self._stream.seek(position)
+        return end
+
     @classmethod
     def from_bytes(cls, data: bytes) -> "WriteAheadLog":
         """An in-memory log over a captured image (crash-recovery input)."""

@@ -1,0 +1,241 @@
+"""The bench-trajectory sentry (repro.obs.trend + tools/bench_trend.py)."""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.trend import (
+    append_record,
+    detect_regressions,
+    load_trajectory,
+    next_label,
+    trajectory_record,
+    trend_summary,
+)
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+)
+import bench_trend  # noqa: E402
+
+
+def _bench_rows(scale=1.0):
+    """Synthetic BENCH_table5.json rows with both clocks per phase."""
+    rows = []
+    costs = {"insert": 0.5, "seq_scan": 0.1, "random_reads": 0.25}
+    for index, approach in enumerate(
+        ("Full Index", "Granular Ranges", "Coarse Ranges", "Coarse+Partial")
+    ):
+        row = {"schema_version": 1, "approach": approach}
+        for phase, base in costs.items():
+            simulated = base * (1 + 0.1 * index) * scale
+            row[phase] = {
+                "simulated_seconds": simulated,
+                "kb_per_second": 100.0 / simulated,
+            }
+        rows.append(row)
+    return rows
+
+
+def _record(label, scale=1.0):
+    return trajectory_record(_bench_rows(scale), label)
+
+
+class TestTrajectoryRecord:
+    def test_folds_every_approach_phase_cell(self):
+        record = _record("run-1")
+        assert record["schema_version"] == 1
+        assert record["label"] == "run-1"
+        assert len(record["phases"]) == 12  # 4 approaches x 3 phases
+        cell = record["phases"]["Full Index/insert"]
+        assert cell["simulated_seconds"] == 0.5
+        assert cell["kb_per_second"] == pytest.approx(200.0)
+
+    def test_missing_phase_rejected(self):
+        rows = _bench_rows()
+        del rows[0]["seq_scan"]
+        with pytest.raises(ObservabilityError, match="seq_scan"):
+            trajectory_record(rows, "r")
+
+    def test_unstamped_row_rejected(self):
+        rows = _bench_rows()
+        del rows[0]["schema_version"]
+        with pytest.raises(ObservabilityError, match="schema_version"):
+            trajectory_record(rows, "r")
+
+
+class TestPersistence:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "trajectory.jsonl")
+        append_record(path, _record("run-1"))
+        append_record(path, _record("run-2"))
+        records = load_trajectory(path)
+        assert [r["label"] for r in records] == ["run-1", "run-2"]
+
+    def test_missing_file_is_an_empty_trajectory(self, tmp_path):
+        assert load_trajectory(str(tmp_path / "absent.jsonl")) == []
+
+    def test_lines_are_sorted_key_json(self, tmp_path):
+        path = tmp_path / "trajectory.jsonl"
+        append_record(str(path), _record("run-1"))
+        line = path.read_text().splitlines()[0]
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "trajectory.jsonl"
+        path.write_text("{nope\n")
+        with pytest.raises(ObservabilityError, match="malformed"):
+            load_trajectory(str(path))
+
+    def test_next_label_counts_records(self):
+        assert next_label([]) == "run-1"
+        assert next_label([_record("a"), _record("b")]) == "run-3"
+
+
+class TestDetector:
+    def test_stable_history_is_quiet(self):
+        records = [_record(f"run-{i}") for i in range(5)]
+        assert detect_regressions(records) == []
+
+    def test_silent_until_min_history(self):
+        records = [_record("run-1"), _record("run-2", scale=10.0)]
+        assert detect_regressions(records, min_history=3) == []
+
+    def test_doubled_cost_is_flagged(self):
+        records = [_record(f"run-{i}") for i in range(4)]
+        records.append(_record("run-5", scale=2.0))
+        flagged = detect_regressions(records)
+        assert len(flagged) == 12  # every cell doubled
+        assert all(r.ratio == pytest.approx(2.0) for r in flagged)
+        assert "simulated seconds" in flagged[0].render()
+
+    def test_median_shrugs_off_a_single_outlier(self):
+        # one historic spike must not drag the reference up
+        records = [
+            _record("run-1"), _record("run-2", scale=50.0),
+            _record("run-3"), _record("run-4"),
+            _record("run-5", scale=2.0),
+        ]
+        flagged = detect_regressions(records)
+        assert len(flagged) == 12
+
+    def test_threshold_is_respected(self):
+        records = [_record(f"run-{i}") for i in range(4)]
+        records.append(_record("run-5", scale=1.4))
+        assert detect_regressions(records, threshold=1.5) == []
+        assert detect_regressions(records, threshold=1.3)
+
+    def test_window_bounds_the_reference(self):
+        # old cheap runs must age out of a window of 2
+        records = [
+            _record("run-1", scale=0.1), _record("run-2", scale=0.1),
+            _record("run-3"), _record("run-4"),
+            _record("run-5", scale=1.2),
+        ]
+        assert detect_regressions(records, window=2, min_history=2) == []
+
+    def test_summary_payload_is_stamped(self):
+        records = [_record(f"run-{i}") for i in range(4)]
+        records.append(_record("run-5", scale=2.0))
+        flagged = detect_regressions(records)
+        payload = trend_summary(records, flagged)
+        assert payload["schema_version"] == 1
+        assert payload["ok"] is False
+        assert payload["records"] == 5
+        assert payload["latest_label"] == "run-5"
+        assert len(payload["regressions"]) == 12
+
+
+class TestMain:
+    def _current(self, tmp_path, scale=1.0, name="current.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(_bench_rows(scale)))
+        return str(path)
+
+    def _seed(self, tmp_path, runs=3):
+        trajectory = str(tmp_path / "trajectory.jsonl")
+        for index in range(runs):
+            append_record(trajectory, _record(f"run-{index + 1}"))
+        return trajectory
+
+    def test_young_trajectory_appends_and_exits_zero(self, tmp_path, capsys):
+        current = self._current(tmp_path)
+        trajectory = str(tmp_path / "trajectory.jsonl")
+        assert bench_trend.main([current, "--trajectory", trajectory]) == 0
+        assert "need 3 prior runs" in capsys.readouterr().out
+        assert [r["label"] for r in load_trajectory(trajectory)] == ["run-1"]
+
+    def test_stable_run_exits_zero(self, tmp_path, capsys):
+        current = self._current(tmp_path)
+        trajectory = self._seed(tmp_path)
+        assert bench_trend.main([current, "--trajectory", trajectory]) == 0
+        assert "stable" in capsys.readouterr().out
+        assert len(load_trajectory(trajectory)) == 4
+
+    def test_injected_regression_exits_one(self, tmp_path, capsys):
+        current = self._current(tmp_path, scale=2.0)
+        trajectory = self._seed(tmp_path)
+        assert bench_trend.main([current, "--trajectory", trajectory]) == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out
+        assert "x2.00" in out
+
+    def test_no_append_only_checks(self, tmp_path):
+        current = self._current(tmp_path)
+        trajectory = self._seed(tmp_path)
+        assert bench_trend.main(
+            [current, "--trajectory", trajectory, "--no-append"]
+        ) == 0
+        assert len(load_trajectory(trajectory)) == 3
+
+    def test_json_summary(self, tmp_path, capsys):
+        current = self._current(tmp_path, scale=2.0)
+        trajectory = self._seed(tmp_path)
+        assert bench_trend.main(
+            [current, "--trajectory", trajectory, "--json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["ok"] is False
+
+    def test_custom_label(self, tmp_path):
+        current = self._current(tmp_path)
+        trajectory = str(tmp_path / "trajectory.jsonl")
+        bench_trend.main(
+            [current, "--trajectory", trajectory, "--label", "nightly"]
+        )
+        assert load_trajectory(trajectory)[0]["label"] == "nightly"
+
+    def test_malformed_current_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        trajectory = str(tmp_path / "trajectory.jsonl")
+        assert bench_trend.main([str(bad), "--trajectory", trajectory]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unstamped_current_exits_two(self, tmp_path):
+        rows = _bench_rows()
+        del rows[0]["schema_version"]
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(rows))
+        trajectory = str(tmp_path / "trajectory.jsonl")
+        assert bench_trend.main([str(bad), "--trajectory", trajectory]) == 2
+
+    def test_bad_threshold_rejected(self, tmp_path):
+        current = self._current(tmp_path)
+        with pytest.raises(SystemExit):
+            bench_trend.main([current, "--threshold", "1.0"])
+
+    def test_committed_baseline_appends_clean(self, tmp_path):
+        baseline = os.path.join(
+            os.path.dirname(__file__), "..", "..",
+            "bench_results", "BENCH_table5.json",
+        )
+        trajectory = str(tmp_path / "trajectory.jsonl")
+        assert bench_trend.main(
+            [baseline, "--trajectory", trajectory, "--label", "baseline"]
+        ) == 0
+        assert len(load_trajectory(trajectory)) == 1

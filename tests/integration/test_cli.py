@@ -538,3 +538,134 @@ class TestScrubRepairCLI:
             out = capsys.readouterr().out
             assert "exit codes" in out, f"{command} --help lost its exit codes"
             assert "2" in out
+
+
+class TestJSONSchemaStamp:
+    """Every machine-readable payload the CLI emits carries the stamp —
+    the contract downstream parsers (and CI's byte-diffs) key on."""
+
+    CASES = {
+        "stats": ["stats", "--json"],
+        "ranges": ["ranges", "--json"],
+        "verify": ["verify", "--json"],
+        "explain": ["explain", "read", "--json"],
+        "heatmap": ["heatmap", "--json"],
+        "profile": ["profile", "read", "--format", "json"],
+        "monitor": ["monitor", "--json"],
+        "advise": ["advise", "--json"],
+        "alerts": ["alerts", "--json"],
+        "health": ["health", "--json"],
+        "scrub": ["scrub", "--json"],
+        "torture": ["torture", "--ops", "4", "--json", "--crash-points", "2"],
+    }
+
+    @pytest.mark.parametrize("command", sorted(CASES), ids=sorted(CASES))
+    def test_json_output_is_stamped(self, store_dir, command):
+        import json
+
+        from repro.obs.schema import SCHEMA_VERSION
+
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a>x</a></r>"))
+        payload = json.loads(run([store_dir] + self.CASES[command]))
+        assert payload["schema_version"] == SCHEMA_VERSION, command
+
+
+class TestAlertsCommand:
+    def test_clean_store_reports_nothing_firing(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a>x</a></r>"))
+        out = run([store_dir, "alerts"])
+        assert out.startswith("alerts: 0 firing")
+
+    def test_json_payload_shape(self, store_dir):
+        import json
+
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a>x</a></r>"))
+        payload = json.loads(run([store_dir, "alerts", "--json"]))
+        assert payload["active"] == []
+        assert payload["log"] == []
+        assert "quarantined-blocks" in payload["rules"]
+        assert payload["evaluations"] >= 1
+
+    def test_restored_critical_alert_exits_two(self, store_dir):
+        import os
+
+        from repro.core.filestore import ALERTS_FILE
+        from repro.errors import StoreCorruptError
+        from repro.obs.alerts import AlertEngine, AlertRule
+
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        # a previous session recorded a critical transition; the engine
+        # restores the active set from the log on reopen
+        rule = AlertRule(
+            "quarantined-blocks", "critical", "threshold", "seeded",
+            metric="repro_storage_quarantined_blocks", op=">", bound=0,
+            clear_after=3,
+        )
+        engine = AlertEngine(
+            rules=(rule,), path=os.path.join(store_dir, ALERTS_FILE)
+        )
+        from repro.obs.alerts import AlertView
+
+        engine.evaluate(AlertView(
+            values={"repro_storage_quarantined_blocks": 1.0}
+        ), label="seed")
+        with pytest.raises(StoreCorruptError) as excinfo:
+            run([store_dir, "alerts"])
+        assert excinfo.value.exit_code == 2
+        assert "quarantined-blocks" in str(excinfo.value)
+
+    def test_identical_runs_emit_identical_json(self, tmp_path):
+        def invocation(name):
+            store_dir = str(tmp_path / name)
+            run([store_dir, "load", "-"],
+                stdin=io.StringIO("<r><a>x</a><b>y</b></r>"))
+            run([store_dir, "xpath", "/r/a"])
+            return run([store_dir, "alerts", "--json"])
+
+        assert invocation("a") == invocation("b")
+
+    def test_exit_codes_documented_in_help(self, store_dir, capsys):
+        with pytest.raises(SystemExit):
+            run([store_dir, "alerts", "--help"])
+        out = capsys.readouterr().out
+        assert "1 = warning" in out
+        assert "critical alert(s) firing" in out
+
+
+class TestWatchCommand:
+    def test_one_frame_from_the_store_files(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a>x</a></r>"))
+        out = run([store_dir, "watch", "--iterations", "1", "--interval", "0"])
+        assert out.startswith(f"watch {store_dir}  frame 1")
+        assert "files: store.db" in out
+        assert "history:" in out
+        assert "alerts firing: none" in out
+        assert "top counters" in out
+
+    def test_watch_never_opens_the_store(self, store_dir):
+        import os
+
+        from repro.core.filestore import CATALOG_FILE
+
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r/>"))
+        before = os.path.getmtime(os.path.join(store_dir, CATALOG_FILE))
+        run([store_dir, "watch", "--iterations", "1", "--interval", "0"])
+        after = os.path.getmtime(os.path.join(store_dir, CATALOG_FILE))
+        assert before == after  # no checkpoint, no catalog rewrite
+
+    def test_watch_on_an_empty_directory(self, store_dir):
+        import os
+
+        os.makedirs(store_dir)
+        out = run([store_dir, "watch", "--iterations", "2", "--interval", "0"])
+        assert "frame 2" in out
+        assert "no store files yet" in out
+        assert "no snapshots yet" in out
+
+    def test_top_bounds_the_counter_section(self, store_dir):
+        run([store_dir, "load", "-"], stdin=io.StringIO("<r><a>x</a></r>"))
+        out = run([store_dir, "watch", "--iterations", "1",
+                   "--interval", "0", "--top", "2"])
+        counters = [line for line in out.splitlines()
+                    if line.startswith("  repro_")]
+        assert len(counters) == 2

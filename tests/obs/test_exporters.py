@@ -158,6 +158,69 @@ class TestHistoryCounterExposition:
             assert name not in text
 
 
+class TestStorageGaugeExposition:
+    """WAL size, quarantine, and scrub recency must export with
+    HELP/TYPE metadata unconditionally (they feed the alert rules)."""
+
+    FAMILIES = (
+        ("repro_wal_size_bytes", "gauge"),
+        ("repro_storage_quarantined_blocks", "gauge"),
+        ("repro_storage_scrub_completions_total", "counter"),
+        ("repro_storage_scrub_age_operations", "gauge"),
+    )
+
+    def _store(self):
+        from repro.core.config import StoreConfig
+        from repro.core.store import XMLStore
+
+        store = XMLStore.open(StoreConfig())
+        root = store.load_document("<r><a>x</a><b>y</b></r>")
+        store.read(root + 1)
+        return store
+
+    def test_help_and_type_lines_present_on_a_plain_store(self):
+        from repro.obs.bridge import store_registry
+
+        text = prometheus_text(store_registry(self._store()).collect())
+        for name, metric_type in self.FAMILIES:
+            assert f"# HELP {name} " in text, name
+            assert f"# TYPE {name} {metric_type}\n" in text, name
+
+    def test_never_scrubbed_age_reads_minus_one(self):
+        from repro.obs.bridge import store_registry
+
+        text = prometheus_text(store_registry(self._store()).collect())
+        assert "repro_storage_quarantined_blocks 0\n" in text
+        assert "repro_storage_scrub_completions_total 0\n" in text
+        assert "repro_storage_scrub_age_operations -1\n" in text
+
+    def test_quarantine_and_scrub_move_the_gauges(self):
+        from repro.errors import ChecksumError
+        from repro.obs.bridge import store_registry
+        from repro.storage.scrub import scrub_store
+
+        store = self._store()
+        scrub_store(store)
+        store.pool.quarantine(0, ChecksumError("bad", block_no=0))
+        text = prometheus_text(store_registry(store).collect())
+        assert "repro_storage_quarantined_blocks 1\n" in text
+        assert "repro_storage_scrub_completions_total 1\n" in text
+        assert "repro_storage_scrub_age_operations 0\n" in text
+
+    def test_wal_size_tracks_appended_records(self):
+        from repro.obs.bridge import store_registry
+        from repro.obs.metrics import sample_key
+
+        store = self._store()
+        values = {
+            sample_key(sample): sample.value
+            for family in store_registry(store).collect()
+            for sample in family.samples
+        }
+        assert values["repro_wal_size_bytes"] > 0
+        assert values["repro_wal_size_bytes"] == float(store.wal.size_bytes)
+
+
 class TestPrometheusEdgeCases:
     def test_backslash_escaped_before_quotes_and_newlines(self):
         registry = MetricsRegistry()

@@ -1,0 +1,83 @@
+"""Every zero-cost twin must mirror its live object's public surface.
+
+The hot path only checks ``.enabled`` — it never type-checks — so a
+live-object method missing from the twin is a latent AttributeError
+that only fires with the subsystem disabled (the configuration the
+benchmarks run in).  This suite pins the parity for the alert and SLO
+twins introduced with the operational-observability layer, plus the
+older history twin they follow.
+"""
+
+import pytest
+
+from repro.core.config import StoreConfig
+from repro.core.store import XMLStore
+from repro.obs.alerts import NOOP_ALERTS, AlertEngine, AlertView
+from repro.obs.history import NOOP_HISTORY, WorkloadHistory
+from repro.obs.slo import NOOP_SLO, SLOTracker
+
+
+def _public_surface(obj):
+    return {name for name in dir(obj) if not name.startswith("_")}
+
+
+PAIRS = [
+    pytest.param(AlertEngine(), NOOP_ALERTS, id="alerts"),
+    pytest.param(SLOTracker(), NOOP_SLO, id="slo"),
+    pytest.param(WorkloadHistory(), NOOP_HISTORY, id="history"),
+]
+
+
+class TestSurfaceParity:
+    @pytest.mark.parametrize("live, noop", PAIRS)
+    def test_noop_exposes_every_public_member(self, live, noop):
+        missing = _public_surface(live) - _public_surface(noop)
+        assert not missing, f"noop twin lacks {sorted(missing)}"
+
+    @pytest.mark.parametrize("live, noop", PAIRS)
+    def test_noop_has_no_extra_members(self, live, noop):
+        extra = _public_surface(noop) - _public_surface(live)
+        assert not extra, f"noop twin grew {sorted(extra)}"
+
+    @pytest.mark.parametrize("live, noop", PAIRS)
+    def test_enabled_flags(self, live, noop):
+        assert live.enabled is True
+        assert noop.enabled is False
+
+    @pytest.mark.parametrize("live, noop", PAIRS)
+    def test_noop_is_slotted(self, live, noop):
+        # the twins are shared singletons: no per-instance dict to mutate
+        assert not hasattr(noop, "__dict__")
+
+
+class TestNoopBehaviour:
+    """The twins' reads are empty and their writes are no-ops."""
+
+    def _store(self):
+        store = XMLStore.open(StoreConfig())
+        store.load_document("<r><a>x</a></r>")
+        return store
+
+    def test_alert_twin_never_records(self):
+        store = self._store()
+        NOOP_ALERTS.observe(store)
+        assert NOOP_ALERTS.evaluate_store(store, "test") == []
+        assert NOOP_ALERTS.evaluate(AlertView(values={"m": 1.0})) == []
+        assert NOOP_ALERTS.active() == []
+        assert NOOP_ALERTS.events() == []
+        assert NOOP_ALERTS.worst_active_severity() is None
+        assert len(NOOP_ALERTS) == 0
+        assert NOOP_ALERTS.evaluations == 0
+        assert NOOP_ALERTS.rules == ()
+
+    def test_slo_twin_never_evaluates(self):
+        store = self._store()
+        assert NOOP_SLO.evaluate(store).statuses == []
+        assert NOOP_SLO.budget_floor(store) == 1.0
+        assert NOOP_SLO.families(store) == []
+        assert NOOP_SLO.targets == ()
+
+    def test_default_store_wires_the_twins(self):
+        store = self._store()
+        assert store.alerts is NOOP_ALERTS
+        assert store.slo is NOOP_SLO

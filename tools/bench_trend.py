@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Benchmark trajectory sentry: append a run, flag sustained regressions.
+
+``bench_compare`` gates the current run against the one committed
+baseline; this tool keeps the longer view.  It folds the per-phase
+simulated costs of a fresh ``BENCH_table5.json`` into one record,
+appends it to the append-only trajectory
+(``bench_results/BENCH_trajectory.jsonl``), and then asks
+:mod:`repro.obs.trend` whether the newest record's cost in any
+``approach/phase`` cell exceeds the rolling median of the preceding
+window by more than the threshold.  Medians make the reference robust
+to a single outlier run; simulated seconds make it comparable across
+machines.
+
+The detector stays silent until the trajectory holds ``--min-history``
+prior records — a young trajectory cannot distinguish a regression
+from a baseline, and the tool says so instead of green-lighting
+vacuously.
+
+Exit status: 0 when no phase is flagged (or history is still too
+short), 1 on a flagged regression (each offending cell is listed), 2 on
+malformed input.
+
+Usage::
+
+    python tools/bench_trend.py bench_results/BENCH_table5.json \
+        [--trajectory PATH] [--label NAME] [--threshold X] \
+        [--window N] [--min-history N] [--no-append] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=(
+            "A cell is flagged when its simulated cost exceeds the "
+            "rolling median of the prior window by more than the "
+            "threshold factor.  The trajectory file is append-only; "
+            "use --no-append to re-check the existing history without "
+            "recording a new run."
+        ),
+    )
+    parser.add_argument("current", help="freshly generated BENCH_table5.json")
+    parser.add_argument(
+        "--trajectory",
+        default=None,
+        help=(
+            "trajectory JSONL file (default: BENCH_trajectory.jsonl "
+            "next to the current file)"
+        ),
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="record label (default: run-<N>, N = records + 1)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=(
+            "flag a phase when latest/median exceeds this factor "
+            "(default: repro.obs.trend.DEFAULT_THRESHOLD)"
+        ),
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="rolling-median window of prior records (default: 8)",
+    )
+    parser.add_argument(
+        "--min-history",
+        type=int,
+        default=None,
+        help="prior records required before flagging (default: 3)",
+    )
+    parser.add_argument(
+        "--no-append",
+        action="store_true",
+        help="only check the latest existing record; do not append",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stamped summary payload instead of prose",
+    )
+    arguments = parser.parse_args(argv)
+
+    from repro.errors import ObservabilityError
+    from repro.obs.trend import (
+        DEFAULT_MIN_HISTORY,
+        DEFAULT_THRESHOLD,
+        DEFAULT_WINDOW,
+        TRAJECTORY_FILE,
+        append_record,
+        detect_regressions,
+        load_trajectory,
+        next_label,
+        trajectory_record,
+        trend_summary,
+    )
+
+    threshold = (
+        arguments.threshold
+        if arguments.threshold is not None
+        else DEFAULT_THRESHOLD
+    )
+    window = arguments.window if arguments.window is not None else DEFAULT_WINDOW
+    min_history = (
+        arguments.min_history
+        if arguments.min_history is not None
+        else DEFAULT_MIN_HISTORY
+    )
+    if threshold <= 1.0:
+        parser.error("--threshold must be greater than 1")
+    if window < 1 or min_history < 1:
+        parser.error("--window and --min-history must be >= 1")
+    trajectory_path = arguments.trajectory or os.path.join(
+        os.path.dirname(arguments.current) or ".", TRAJECTORY_FILE
+    )
+    try:
+        records = load_trajectory(trajectory_path)
+        if not arguments.no_append:
+            try:
+                with open(arguments.current) as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError) as error:
+                raise ObservabilityError(
+                    f"cannot read {arguments.current}: {error}"
+                ) from error
+            if not isinstance(payload, list):
+                raise ObservabilityError(
+                    f"{arguments.current}: expected a list of approach rows"
+                )
+            label = arguments.label or next_label(records)
+            record = trajectory_record(payload, label)
+            append_record(trajectory_path, record)
+            records.append(record)
+        regressions = detect_regressions(
+            records,
+            threshold=threshold,
+            min_history=min_history,
+            window=window,
+        )
+    except ObservabilityError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if arguments.json:
+        print(
+            json.dumps(
+                trend_summary(records, regressions), indent=2, sort_keys=True
+            )
+        )
+    elif regressions:
+        print(f"bench trajectory: {len(regressions)} phase(s) regressed")
+        for regression in regressions:
+            print(f"  {regression.render()}")
+    elif len(records) - 1 < min_history:
+        print(
+            f"bench trajectory: {len(records)} record(s) in "
+            f"{trajectory_path}; need {min_history} prior runs before the "
+            "regression check is meaningful"
+        )
+    else:
+        print(
+            f"bench trajectory stable: latest of {len(records)} records "
+            f"within {threshold:g}x of the rolling median"
+        )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
