@@ -91,6 +91,11 @@ class Table5Config:
     #: same contract: alerts on or off, the simulated numbers are
     #: byte-identical (tests/bench/test_alerts_zero_cost.py).
     alerts: bool = False
+    #: keep the black-box flight recorder (see :mod:`repro.obs.recorder`)
+    #: during the run.  Off by default under the same contract: recorder
+    #: on or off, the simulated numbers are byte-identical
+    #: (tests/bench/test_recorder_zero_cost.py).
+    recorder: bool = False
     #: write checksum-framed pages (see :mod:`repro.storage.pages`).  Off
     #: here — unlike the store default — so the benchmark numbers stay
     #: comparable with the committed pre-checksum baseline; the robustness
@@ -157,6 +162,7 @@ def build_store(
         profiling_enabled=config.profile,
         history_enabled=config.history,
         alerts_enabled=config.alerts,
+        recorder_enabled=config.recorder,
         checksums_enabled=config.checksums,
     )
     device = (

@@ -59,29 +59,40 @@ Commands:
                                live top-style view: tails the history
                                and alert files without opening the
                                store, so it can run next to a workload
+    diagnose [--incident NAME] [--json]
+                               post-mortem timeline + root cause from
+                               persisted artifacts alone (alert log,
+                               history, repair sidecar, incident
+                               bundles); never opens the store
+    bundle [--json] [--output FILE.tar]
+                               pack every observability artifact plus a
+                               fresh diagnosis into one portable,
+                               deterministic support tarball
 
 ``trace``, ``explain``, ``profile``, ``heatmap``, ``verify``, ``scrub``,
-``repair``, ``monitor``, ``advise``, ``alerts`` and ``health`` accept
-``--output FILE`` to write the report to a file instead of stdout; an
-unwritable path exits non-zero.  The global
+``repair``, ``monitor``, ``advise``, ``alerts``, ``health`` and
+``diagnose`` accept ``--output FILE`` to write the report to a file
+instead of stdout; an unwritable path exits non-zero.  The global
 ``--verbose`` flag turns on the ``repro.*`` log hierarchy on stderr.
 
 Exit codes distinguish *how bad* things are (mirroring
-``tools/bench_compare.py``): **0** clean, **1** degraded — the store
-works but something was lost or needs attention (``repair`` that could
-not save every record, ``verify`` on a store carrying a degraded-repair
-sidecar), **2** corrupt — verification failed outright (``scrub``
-finding bad blocks, ``verify`` with failing checks, an unrepairable
-store).
+``tools/bench_compare.py``; the canonical table lives in README.md):
+**0** clean, **1** degraded — the store works but something was lost or
+needs attention (``repair`` that could not save every record,
+``verify`` on a store carrying a degraded-repair sidecar, ``diagnose``
+over incidents a clean repair resolved), **2** corrupt — verification
+failed outright (``scrub`` finding bad blocks, ``verify`` with failing
+checks, an unrepairable store, ``diagnose`` over unresolved incidents).
 
 Every invocation opens the store, applies the command, checkpoints and
 closes — so the directory is always consistent afterwards.  The CLI
 opens stores with telemetry, the event log, the heatmap, workload
-history and the alert engine enabled, so ``stats``/``trace``/
-``explain``/``heatmap``/``monitor``/``advise``/``alerts``/``health``
-always have data for the work the invocation itself performed — and,
-because the history and alert logs persist to ``store.history.jsonl``
-and ``store.alerts.jsonl``, for every earlier invocation too.
+history, the alert engine and the flight recorder enabled, so
+``stats``/``trace``/``explain``/``heatmap``/``monitor``/``advise``/
+``alerts``/``health`` always have data for the work the invocation
+itself performed — and, because the history and alert logs persist to
+``store.history.jsonl`` and ``store.alerts.jsonl`` and incident
+bundles to ``store.incidents/``, for every earlier invocation too.
 """
 
 from __future__ import annotations
@@ -268,7 +279,8 @@ def build_parser() -> argparse.ArgumentParser:
             "exit codes: 0 = every check passed and no degraded-repair "
             "sidecar; 1 = checks pass but the store carries a "
             "store.repair.json sidecar (an earlier repair lost data); "
-            "2 = one or more checks failed (corrupt)"
+            "2 = one or more checks failed (corrupt).  See the canonical "
+            "exit-code table in README.md."
         ),
     )
     verify.add_argument(
@@ -289,7 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
             "quarantined by a running store).  Vacuous on legacy "
             "no-checksum stores."
         ),
-        epilog="exit codes: 0 = all blocks verify; 2 = bad block(s) found",
+        epilog=(
+            "exit codes: 0 = all blocks verify; 2 = bad block(s) found.  "
+            "See the canonical exit-code table in README.md."
+        ),
     )
     scrub.add_argument(
         "--budget",
@@ -320,7 +335,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "exit codes: 0 = fully recovered; 1 = repaired but degraded "
-            "(data provably lost); 2 = repair could not restore integrity"
+            "(data provably lost); 2 = repair could not restore "
+            "integrity.  See the canonical exit-code table in README.md."
         ),
     )
     repair.add_argument(
@@ -454,7 +470,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "exit codes: 0 = nothing firing above info; 1 = warning "
-            "alert(s) firing; 2 = critical alert(s) firing"
+            "alert(s) firing; 2 = critical alert(s) firing.  See the "
+            "canonical exit-code table in README.md."
         ),
     )
     alerts.add_argument(
@@ -474,7 +491,10 @@ def build_parser() -> argparse.ArgumentParser:
             "simulated-axis SLO statuses — into one healthy / degraded "
             "/ unhealthy verdict a supervisor can poll."
         ),
-        epilog="exit codes: 0 = healthy; 1 = degraded; 2 = unhealthy",
+        epilog=(
+            "exit codes: 0 = healthy; 1 = degraded; 2 = unhealthy.  See "
+            "the canonical exit-code table in README.md."
+        ),
     )
     health.add_argument(
         "--json", action="store_true", help="report as JSON"
@@ -515,6 +535,64 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="counters shown in the hot-counter section (default 8)",
     )
+
+    diagnose = commands.add_parser(
+        "diagnose",
+        help="post-mortem timeline + root cause from persisted artifacts",
+        description=(
+            "Merges every persisted observability artifact — the alert "
+            "log, workload-history snapshots, the degraded-repair "
+            "sidecar and incident bundles (store.incidents/, including "
+            "their flight-recorder dumps) — into one causally-ordered "
+            "post-mortem timeline with a root-cause summary.  Purely "
+            "file-based: the store is never opened, so it works on a "
+            "store too corrupt to open and beside a live workload."
+        ),
+        epilog=(
+            "exit codes: 0 = clean (no incidents); 1 = incidents "
+            "resolved by a clean repair; 2 = unresolved incident(s).  "
+            "See the canonical exit-code table in README.md."
+        ),
+    )
+    diagnose.add_argument(
+        "--incident",
+        default=None,
+        metavar="NAME",
+        help="focus the timeline on one bundle (e.g. incident-0)",
+    )
+    diagnose.add_argument(
+        "--json", action="store_true", help="report as JSON"
+    )
+    diagnose.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
+
+    bundle = commands.add_parser(
+        "bundle",
+        help="pack observability artifacts into a support tarball",
+        description=(
+            "Packs every observability artifact the store directory "
+            "carries (alert log, history, repair sidecar, incident "
+            "bundles) plus a fresh diagnosis into one portable tarball "
+            "for hand-off.  The tar is deterministic (uncompressed, "
+            "zeroed member metadata): identical seeded runs produce "
+            "byte-identical bundles.  Read-only: the store is never "
+            "opened."
+        ),
+        epilog=(
+            "exit codes: 0 = bundle written; 1 = cannot write.  See the "
+            "canonical exit-code table in README.md."
+        ),
+    )
+    bundle.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE.tar",
+        help="tarball path (default: <store>/support-bundle.tar)",
+    )
+    bundle.add_argument(
+        "--json", action="store_true", help="print the manifest as JSON"
+    )
     return parser
 
 
@@ -541,6 +619,13 @@ def run(argv: Optional[List[str]] = None, stdin=None) -> str:
         # watch only tails the JSONL files and file sizes: never open
         # the store, so it can run beside a live workload
         return _run_watch(arguments)
+    if arguments.command == "diagnose":
+        # diagnose reads persisted artifacts only: it must work on a
+        # store too corrupt to open (that is its whole point)
+        return _run_diagnose(arguments)
+    if arguments.command == "bundle":
+        # same stance: the support bundle is built from files alone
+        return _run_bundle(arguments)
     if arguments.command == "health":
         # health must not crash on the stores it exists to diagnose: a
         # normal open walks every chain block and dies on the first
@@ -562,6 +647,7 @@ def _cli_store_config() -> StoreConfig:
         profiling_enabled=True,
         history_enabled=True,
         alerts_enabled=True,
+        recorder_enabled=True,
     )
 
 
@@ -585,8 +671,15 @@ def _run_health(arguments, stdin) -> str:
             close_directory(arguments.store, store)
     # the normal open choked on corruption: diagnose what can still be
     # seen through a read-only repair-mode open (no WAL replay, no
-    # residency walk — the same stance scrub takes)
-    config = StoreConfig()
+    # residency walk — the same stance scrub takes); recorder +
+    # incidents stay on so quarantines found here dump bundles too
+    from repro.obs.incident import INCIDENTS_DIR
+
+    config = StoreConfig(
+        events_enabled=True,
+        recorder_enabled=True,
+        recorder_incidents_dir=os.path.join(arguments.store, INCIDENTS_DIR),
+    )
     catalog_path = os.path.join(arguments.store, CATALOG_FILE)
     device_path = os.path.join(arguments.store, DEVICE_FILE)
     if not (os.path.exists(catalog_path) and os.path.exists(device_path)):
@@ -661,10 +754,17 @@ def _run_scrub(arguments) -> str:
 
     from repro.core.filestore import CATALOG_FILE, DEVICE_FILE
     from repro.core.store import XMLStore
+    from repro.obs.incident import INCIDENTS_DIR
     from repro.storage.disk import FileBlockDevice, InstrumentedDevice
     from repro.storage.scrub import scrub_store
 
-    config = StoreConfig()
+    # recorder + incidents on: a scrub that quarantines a block should
+    # leave an incident bundle behind, exactly like a running store
+    config = StoreConfig(
+        events_enabled=True,
+        recorder_enabled=True,
+        recorder_incidents_dir=os.path.join(arguments.store, INCIDENTS_DIR),
+    )
     catalog_path = os.path.join(arguments.store, CATALOG_FILE)
     device_path = os.path.join(arguments.store, DEVICE_FILE)
     if not (os.path.exists(catalog_path) and os.path.exists(device_path)):
@@ -809,6 +909,46 @@ def _run_watch(arguments) -> str:
             sleep(arguments.interval)
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         return frame
+
+
+def _run_diagnose(arguments) -> str:
+    from repro.obs.timeline import diagnose
+
+    report = diagnose(arguments.store, incident=arguments.incident)
+    if arguments.json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = report.render().rstrip("\n")
+    delivered = _deliver(text, arguments.output)
+    if report.verdict == "unresolved":
+        # the report was delivered (file written) before failing
+        raise StoreCorruptError(
+            f"{len(report.incidents)} incident(s) with no clean repair "
+            "after them (see the timeline)"
+        )
+    if report.verdict == "resolved":
+        raise StoreDegradedError(
+            f"{len(report.incidents)} incident(s) occurred; a later "
+            "repair came back clean"
+        )
+    return delivered
+
+
+def _run_bundle(arguments) -> str:
+    import os
+
+    from repro.obs.timeline import write_support_bundle
+
+    output = arguments.output
+    if output is None:
+        output = os.path.join(arguments.store, "support-bundle.tar")
+    manifest = write_support_bundle(arguments.store, output)
+    if arguments.json:
+        return json.dumps(manifest, indent=2, sort_keys=True)
+    return (
+        f"wrote {output}: {len(manifest['members'])} artifact member(s), "
+        f"verdict {manifest['verdict']}"
+    )
 
 
 def _dispatch(store, arguments, stdin) -> str:

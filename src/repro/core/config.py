@@ -182,6 +182,29 @@ class StoreConfig:
     #: to the store's device file).
     alerts_path: Optional[str] = None
 
+    #: Keep a black-box flight recorder (see :mod:`repro.obs.recorder`):
+    #: a bounded ring of recent events, alert transitions and metric
+    #: counter-delta frames that incident bundles dump on failure.  Off
+    #: by default under the zero-cost contract (the disabled twin keeps
+    #: the hot path at one attribute check).
+    recorder_enabled: bool = False
+
+    #: Ring capacity: recorder entries retained before the oldest drop.
+    recorder_capacity: int = 512
+
+    #: Capture a metric counter-delta frame every this many Table-1
+    #: operations.
+    recorder_interval: int = 32
+
+    #: Directory incident bundles dump into (``None`` = in-memory
+    #: incident records only; :func:`repro.core.filestore.open_directory`
+    #: points it at ``store.incidents`` next to the device file).
+    recorder_incidents_dir: Optional[str] = None
+
+    #: Incidents recorded per store instance before further triggers
+    #: are suppressed (a rotting device must not dump bundles forever).
+    recorder_incident_limit: int = 16
+
     def __post_init__(self) -> None:
         if self.page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
@@ -205,3 +228,9 @@ class StoreConfig:
             raise ValueError("history_capacity must be at least 2")
         if self.alerts_interval < 1:
             raise ValueError("alerts_interval must be at least 1")
+        if self.recorder_capacity < 1:
+            raise ValueError("recorder_capacity must be at least 1")
+        if self.recorder_interval < 1:
+            raise ValueError("recorder_interval must be at least 1")
+        if self.recorder_incident_limit < 1:
+            raise ValueError("recorder_incident_limit must be at least 1")

@@ -56,6 +56,17 @@ def open_directory(path: str, config: Optional[StoreConfig] = None) -> XMLStore:
         from dataclasses import replace
 
         config = replace(config, alerts_path=os.path.join(path, ALERTS_FILE))
+    if config.recorder_enabled and config.recorder_incidents_dir is None:
+        # incident bundles dump next to the device file too — strictly
+        # outside the store's pages and WAL
+        from dataclasses import replace
+
+        from repro.obs.incident import INCIDENTS_DIR
+
+        config = replace(
+            config,
+            recorder_incidents_dir=os.path.join(path, INCIDENTS_DIR),
+        )
     os.makedirs(path, exist_ok=True)
     device_path = os.path.join(path, DEVICE_FILE)
     catalog_path = os.path.join(path, CATALOG_FILE)

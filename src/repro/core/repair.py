@@ -66,6 +66,7 @@ from repro.core.locator import Locator
 from repro.core.range_index import RangeIndex
 from repro.core.ranges import RangeMeta, RangeTable
 from repro.log import get_logger
+from repro.obs.incident import record_directory_incident
 from repro.storage.heap import ChainedFile
 from repro.storage.scrub import ScrubReport, scrub_store
 from repro.storage.wal import LogRecord, WriteAheadLog
@@ -720,6 +721,9 @@ def repair_directory(path: str, config: Optional[StoreConfig] = None) -> RepairR
         else:
             if os.path.exists(sidecar_path):
                 os.remove(sidecar_path)
+            record_directory_incident(
+                path, "repair", {"report": report.to_dict()}, config=config
+            )
             return report
 
     # -- strategy 2: structural salvage ------------------------------------
@@ -752,6 +756,9 @@ def repair_directory(path: str, config: Optional[StoreConfig] = None) -> RepairR
             json.dump(report.to_dict(), handle, indent=2)
     elif os.path.exists(sidecar_path):
         os.remove(sidecar_path)
+    record_directory_incident(
+        path, "repair", {"report": report.to_dict()}, config=config
+    )
     return report
 
 

@@ -49,6 +49,8 @@ from repro.core.ranges import RangeMeta, RangeTable
 from repro.core.stats import OperationCounts, StoreStatistics
 from repro.ids.sequential import SequentialIdScheme
 from repro.obs.alerts import create_alerts
+from repro.obs.incident import create_incidents
+from repro.obs.recorder import create_recorder
 from repro.obs.events import create_event_log
 from repro.obs.heatmap import create_heatmap
 from repro.obs.history import create_history
@@ -239,6 +241,17 @@ class XMLStore:
             path=self.config.alerts_path,
             interval=self.config.alerts_interval,
         )
+        self.recorder = create_recorder(
+            self.config.recorder_enabled,
+            capacity=self.config.recorder_capacity,
+            interval=self.config.recorder_interval,
+        )
+        self.incidents = create_incidents(
+            self.config.recorder_enabled,
+            directory=self.config.recorder_incidents_dir,
+            limit=self.config.recorder_incident_limit,
+        )
+        self.incidents.attach(self)
         #: scrub recency (bridge-exported, health-checked): completed
         #: passes on this store instance and the Table-1 operation count
         #: at the most recent one (None = never scrubbed)
@@ -246,6 +259,14 @@ class XMLStore:
         self.operations_at_last_scrub: Optional[int] = None
         self.pool.event_log = self.event_log
         self.pool.heatmap = self.heatmap
+        self.pool.incidents = self.incidents
+        # the tee/trigger attachments assign attributes, which the
+        # slotted no-op twins refuse by design: guard on .enabled
+        if self.event_log.enabled:
+            self.event_log.recorder = self.recorder
+        if self.alerts.enabled:
+            self.alerts.recorder = self.recorder
+            self.alerts.incidents = self.incidents
         self.locator.event_log = self.event_log
         self.range_index.event_log = self.event_log
         if self.partial_index is not None:
@@ -781,6 +802,8 @@ class XMLStore:
             self.history.observe(self, is_read)
         if self.alerts.enabled:
             self.alerts.observe(self)
+        if self.recorder.enabled:
+            self.recorder.observe(self)
 
     def _log(self, record_type: int, node_id: int, xml_text: str) -> None:
         self.wal.append(

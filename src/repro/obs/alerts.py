@@ -47,6 +47,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ObservabilityError
 from repro.obs.history import HistorySnapshot, _is_deterministic_key
+from repro.obs.incident import NOOP_INCIDENTS
+from repro.obs.recorder import NOOP_RECORDER
 
 DEFAULT_INTERVAL = 64
 DEFAULT_CLEAR_AFTER = 2
@@ -397,6 +399,10 @@ class AlertEngine:
         self._ok_streak: Dict[str, int] = {}
         #: events emitted (or restored) through this engine instance
         self._events: List[AlertEvent] = []
+        #: flight recorder transitions tee into / incident manager that
+        #: critical firings trigger (the owning store attaches live ones)
+        self.recorder = NOOP_RECORDER
+        self.incidents = NOOP_INCIDENTS
         if path is not None and os.path.exists(path):
             for payload in read_alert_log(path):
                 event = AlertEvent.from_dict(payload)
@@ -479,6 +485,28 @@ class AlertEngine:
                 handle.write(
                     json.dumps(event.to_dict(), sort_keys=True) + "\n"
                 )
+        if self.recorder.enabled:
+            self.recorder.record_alert(event)
+        # incident triggers come AFTER the transition is persisted, so
+        # the bundle's own artifacts already include this firing
+        if state == "fired" and self.incidents.enabled:
+            if rule.severity == "critical":
+                self.incidents.trigger(
+                    "critical-alert",
+                    key=rule.name,
+                    rule=rule.name,
+                    value=value,
+                    bound=rule.bound,
+                    summary=rule.summary,
+                )
+            elif rule.name == "slo-budget-exhausted":
+                self.incidents.trigger(
+                    "slo-budget-exhausted",
+                    key=rule.name,
+                    value=value,
+                    bound=rule.bound,
+                    summary=rule.summary,
+                )
         return event
 
     # ---------------------------------------------------------------- reading --
@@ -513,6 +541,8 @@ class NoopAlerts:
     evaluations = 0
     path = None
     interval = DEFAULT_INTERVAL
+    recorder = NOOP_RECORDER
+    incidents = NOOP_INCIDENTS
 
     def observe(self, store) -> None:
         pass

@@ -99,6 +99,20 @@ def store_registry(store) -> MetricsRegistry:
             "repro_history_snapshots",
             "Workload-history snapshots currently retained.",
         ).set(len(store.history))
+    if store.recorder.enabled:
+        registry.counter(
+            "repro_recorder_dropped_total",
+            "Flight-recorder entries evicted from the bounded ring.",
+        ).inc(store.recorder.dropped)
+    if store.incidents.enabled:
+        incidents_total = registry.counter(
+            "repro_incidents_total",
+            "Incidents recorded (bundles dumped on directory stores), "
+            "by trigger kind.",
+            labelnames=("kind",),
+        )
+        for kind, count in sorted(store.incidents.counts.items()):
+            incidents_total.labels(kind=kind).inc(count)
     return registry
 
 

@@ -45,6 +45,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ObservabilityError
 from repro.obs.clock import perf_seconds
+from repro.obs.recorder import NOOP_RECORDER
 
 DEFAULT_EVENT_CAPACITY = 4096
 
@@ -119,6 +120,9 @@ class EventLog:
         #: enclosing one (nested ops: an xpath EXPLAIN wrapping node reads)
         self._op_stack: List[Tuple[int, str]] = []
         self._next_op_id = 0
+        #: flight recorder every emitted event is teed into (the owning
+        #: store attaches a live one; see :mod:`repro.obs.recorder`)
+        self.recorder = NOOP_RECORDER
 
     # -- operation windows --------------------------------------------------
 
@@ -167,6 +171,10 @@ class EventLog:
             if len(self._events) == self.capacity:
                 self.dropped += 1
             self._events.append(event)
+        # the tee runs outside the lock: the recorder has its own, and
+        # ring order there is its own sequence, not this one's
+        if self.recorder.enabled:
+            self.recorder.record_event(event)
         return event
 
     # -- inspection ---------------------------------------------------------
@@ -207,6 +215,7 @@ class NoopEventLog:
     next_seq = 0
     simulated_clock = None
     tracer = None
+    recorder = NOOP_RECORDER
 
     def begin_op(self, name: str) -> int:
         return 0

@@ -32,6 +32,7 @@ from repro.errors import BufferPoolExhaustedError, ChecksumError, StorageError
 from repro.log import get_logger
 from repro.obs.events import NOOP_EVENT_LOG
 from repro.obs.heatmap import NOOP_HEATMAP
+from repro.obs.incident import NOOP_INCIDENTS
 from repro.storage.disk import BlockDevice
 from repro.storage.pages import PageCodec, SlottedPage
 
@@ -163,6 +164,7 @@ class BufferPool:
         #: store attaches live ones).
         self.event_log = NOOP_EVENT_LOG
         self.heatmap = NOOP_HEATMAP
+        self.incidents = NOOP_INCIDENTS
         # OrderedDict in LRU order: least-recently-used first.
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
         # Blocks logically freed but not yet released to the device.
@@ -222,10 +224,18 @@ class BufferPool:
         raise error
 
     def quarantine(
-        self, block_no: int, error: ChecksumError, retries: int = 0
+        self,
+        block_no: int,
+        error: ChecksumError,
+        retries: int = 0,
+        source: str = "fetch",
+        owner=None,
     ) -> None:
         """Mark ``block_no`` bad: every further fetch fails fast with
-        ``error`` until :meth:`clear_quarantine`."""
+        ``error`` until :meth:`clear_quarantine`.  ``source``/``owner``
+        say who detected the fault ("fetch" on the read path, "scrub"
+        with the owning component from the scrubber) — they enrich the
+        incident bundle, not the event."""
         self._quarantined[block_no] = error
         _log.error("quarantined block %d: %s", block_no, error)
         if self.event_log.enabled:
@@ -237,6 +247,20 @@ class BufferPool:
                 expected_crc=error.expected_crc,
                 actual_crc=error.actual_crc,
                 retries=retries,
+            )
+        # trigger after the quarantine map and event are in place, so
+        # the bundle's quarantine.json and recorder ring include this
+        # very block
+        if self.incidents.enabled:
+            self.incidents.trigger(
+                "checksum-quarantine",
+                key=str(block_no),
+                block=block_no,
+                expected_crc=error.expected_crc,
+                actual_crc=error.actual_crc,
+                retries=retries,
+                source=source,
+                owner=owner,
             )
 
     def is_quarantined(self, block_no: int) -> bool:

@@ -116,6 +116,20 @@ def replay(store: ReplayableStore, wal: WriteAheadLog) -> List[LogRecord]:
     for record in pending:
         replay_record(store, record)
     _emit_recovery_event(store, "replay_done", pending)
+    # pending records mean the previous incarnation did not close
+    # cleanly (a clean close checkpoints, leaving zero) — that is an
+    # incident worth a bundle; the getattr guard keeps bare replayable
+    # stores (tests, repair scaffolding) working
+    if pending:
+        incidents = getattr(store, "incidents", None)
+        if incidents is not None and incidents.enabled:
+            incidents.trigger(
+                "crash-recovery",
+                key="replay",
+                records=len(pending),
+                first_lsn=pending[0].lsn,
+                last_lsn=pending[-1].lsn,
+            )
     return pending
 
 

@@ -190,6 +190,8 @@ class Scrubber:
                     expected_crc=issue.expected_crc,
                     actual_crc=issue.actual_crc,
                 ),
+                source="scrub",
+                owner=issue.owner,
             )
         if self.store.event_log.enabled:
             self.store.event_log.emit(

@@ -532,12 +532,14 @@ class TestScrubRepairCLI:
             )
 
     def test_exit_codes_are_documented_in_help(self, store_dir, capsys):
-        for command in ("verify", "scrub", "repair"):
+        for command in ("verify", "scrub", "repair", "diagnose", "bundle"):
             with pytest.raises(SystemExit):
                 run([store_dir, command, "--help"])
             out = capsys.readouterr().out
             assert "exit codes" in out, f"{command} --help lost its exit codes"
-            assert "2" in out
+            assert "README.md" in out, (
+                f"{command} --help lost the canonical-table reference"
+            )
 
 
 class TestJSONSchemaStamp:
@@ -557,6 +559,8 @@ class TestJSONSchemaStamp:
         "health": ["health", "--json"],
         "scrub": ["scrub", "--json"],
         "torture": ["torture", "--ops", "4", "--json", "--crash-points", "2"],
+        "diagnose": ["diagnose", "--json"],
+        "bundle": ["bundle", "--json"],
     }
 
     @pytest.mark.parametrize("command", sorted(CASES), ids=sorted(CASES))
@@ -568,6 +572,114 @@ class TestJSONSchemaStamp:
         run([store_dir, "load", "-"], stdin=io.StringIO("<r><a>x</a></r>"))
         payload = json.loads(run([store_dir] + self.CASES[command]))
         assert payload["schema_version"] == SCHEMA_VERSION, command
+
+
+class TestDiagnoseBundleCLI:
+    """Post-mortem loop end to end: a quarantined scrub auto-dumps an
+    incident bundle, ``diagnose`` reconstructs the story from the
+    persisted artifacts alone (exit 2 unresolved / 1 resolved / 0
+    clean), and ``bundle`` packs it all into a portable tarball."""
+
+    # same store-building and fault-injection helpers as the scrub tests
+    _build_store = TestScrubRepairCLI._build_store
+    _corrupt_chain_block = TestScrubRepairCLI._corrupt_chain_block
+
+    def test_clean_store_diagnoses_clean(self, store_dir):
+        self._build_store(store_dir)
+        out = run([store_dir, "diagnose"])
+        assert "verdict: clean" in out
+
+    def test_scrub_dumps_a_bundle_and_diagnose_reads_it_back(
+        self, store_dir
+    ):
+        import os
+
+        from repro.errors import StoreCorruptError
+
+        self._build_store(store_dir)
+        victim = self._corrupt_chain_block(store_dir)
+        with pytest.raises(StoreCorruptError):
+            run([store_dir, "scrub"])
+        # the scrub auto-dumped an incident bundle...
+        bundle = os.path.join(store_dir, "store.incidents", "incident-0")
+        assert os.path.isdir(bundle)
+        # ...and diagnose reconstructs the fault without opening the store
+        with pytest.raises(StoreCorruptError) as excinfo:
+            run([store_dir, "diagnose"])
+        assert excinfo.value.exit_code == 2
+        del victim
+
+    def test_diagnose_json_is_delivered_before_the_failure(
+        self, store_dir, tmp_path
+    ):
+        import json
+
+        from repro.errors import StoreCorruptError
+
+        self._build_store(store_dir)
+        self._corrupt_chain_block(store_dir)
+        with pytest.raises(StoreCorruptError):
+            run([store_dir, "scrub"])
+        target = tmp_path / "diagnosis.json"
+        with pytest.raises(StoreCorruptError):
+            run([store_dir, "diagnose", "--json", "--output", str(target)])
+        payload = json.loads(target.read_text())
+        assert payload["verdict"] == "unresolved"
+        assert payload["root_cause"]["origin"] == "recorder"
+
+    def test_repair_moves_the_verdict_to_resolved(self, store_dir):
+        from repro.errors import StoreCorruptError, StoreDegradedError
+
+        self._build_store(store_dir)
+        self._corrupt_chain_block(store_dir)
+        with pytest.raises(StoreCorruptError):
+            run([store_dir, "scrub"])
+        out = run([store_dir, "repair"])
+        assert "mode=wal-rebuild" in out
+        assert run([store_dir, "verify"]).splitlines()[-1] == "integrity ok"
+        # incidents happened but the repair was clean: exit 1, not 2
+        with pytest.raises(StoreDegradedError) as excinfo:
+            run([store_dir, "diagnose"])
+        assert excinfo.value.exit_code == 1
+
+    def test_bundle_writes_a_deterministic_tarball(self, store_dir, tmp_path):
+        import json
+        import tarfile
+
+        from repro.errors import StoreCorruptError
+
+        self._build_store(store_dir)
+        self._corrupt_chain_block(store_dir)
+        with pytest.raises(StoreCorruptError):
+            run([store_dir, "scrub"])
+        first = tmp_path / "a.tar"
+        second = tmp_path / "b.tar"
+        manifest = json.loads(
+            run([store_dir, "bundle", "--json", "--output", str(first)])
+        )
+        run([store_dir, "bundle", "--output", str(second)])
+        assert manifest["verdict"] == "unresolved"
+        assert first.read_bytes() == second.read_bytes()
+        with tarfile.open(first) as archive:
+            names = archive.getnames()
+        assert "MANIFEST.json" in names
+        assert "diagnosis.json" in names
+        assert any(n.startswith("store.incidents/") for n in names)
+
+    def test_bundle_default_output_lands_in_the_store_dir(self, store_dir):
+        import os
+
+        self._build_store(store_dir)
+        out = run([store_dir, "bundle"])
+        assert "support-bundle.tar" in out
+        assert os.path.exists(os.path.join(store_dir, "support-bundle.tar"))
+
+    def test_diagnose_unknown_incident_fails(self, store_dir):
+        from repro.errors import ObservabilityError
+
+        self._build_store(store_dir)
+        with pytest.raises(ObservabilityError):
+            run([store_dir, "diagnose", "--incident", "incident-99"])
 
 
 class TestAlertsCommand:

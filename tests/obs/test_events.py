@@ -147,6 +147,59 @@ class TestEventLog:
         assert events_log_jsonl([]) == ""
 
 
+class TestRetentionUnderNestedWindows:
+    """The PR 3 nested-window fix and the bounded ring interact: ring
+    eviction must never disturb the op-window stack, and clearing the
+    ring mid-window must leave the open windows stamping correctly."""
+
+    def test_eviction_keeps_window_stamps_correct(self):
+        log = EventLog(capacity=2)
+        outer = log.begin_op("outer")
+        log.emit("a", "e0")
+        inner = log.begin_op("inner")
+        log.emit("a", "e1")
+        log.emit("a", "e2")  # evicts e0 (the only outer-stamped event)
+        log.end_op()
+        survivor = log.emit("a", "e3")  # evicts e1
+        log.end_op()
+        assert log.dropped == 2
+        # the evictions took every inner event but one — and the
+        # survivor of the outer window is stamped with the *outer* op,
+        # proving eviction never popped the stack
+        assert survivor.op_id == outer
+        assert [e.kind for e in log.events()] == ["e2", "e3"]
+        assert log.events(op_id=inner) == [log.events()[0]]
+
+    def test_clear_inside_nested_windows_preserves_the_stack(self):
+        log = EventLog(capacity=2)
+        outer = log.begin_op("outer")
+        inner = log.begin_op("inner")
+        log.emit("a", "e0")
+        log.emit("a", "e1")
+        log.emit("a", "e2")
+        log.clear()
+        assert log.events() == []
+        assert log.dropped == 0
+        # windows survive the clear: new events still stamp inner, then
+        # outer after the inner window closes
+        inside = log.emit("a", "e3")
+        log.end_op()
+        after = log.emit("a", "e4")
+        log.end_op()
+        assert inside.op_id == inner
+        assert after.op_id == outer
+
+    def test_clear_does_not_rewind_seq_or_op_ids(self):
+        log = EventLog(capacity=4)
+        log.begin_op("w")
+        log.emit("a", "b")
+        log.end_op()
+        seq_before = log.next_seq
+        log.clear()
+        assert log.next_seq == seq_before
+        assert log.begin_op("w2") == 1  # op ids keep counting too
+
+
 class TestNoopEventLog:
     def test_shared_singleton_and_shape(self):
         assert create_event_log(False) is NOOP_EVENT_LOG

@@ -158,6 +158,49 @@ class TestHistoryCounterExposition:
             assert name not in text
 
 
+class TestRecorderIncidentExposition:
+    """The flight-recorder and incident counters must carry HELP/TYPE
+    metadata, with incidents labelled by trigger kind."""
+
+    FAMILIES = (
+        ("repro_recorder_dropped_total", "counter"),
+        ("repro_incidents_total", "counter"),
+    )
+
+    def _recorder_store(self, enabled=True):
+        from repro.core.config import StoreConfig
+        from repro.core.store import XMLStore
+
+        store = XMLStore.open(
+            StoreConfig(events_enabled=True, recorder_enabled=enabled)
+        )
+        store.load_document("<r><a>x</a><b>y</b></r>")
+        return store
+
+    def test_help_and_type_lines_present(self):
+        from repro.errors import ChecksumError
+        from repro.obs.bridge import store_registry
+
+        store = self._recorder_store()
+        store.pool.quarantine(99, ChecksumError("boom", block_no=99))
+        text = prometheus_text(store_registry(store).collect())
+        for name, metric_type in self.FAMILIES:
+            assert f"# HELP {name} " in text, name
+            assert f"# TYPE {name} {metric_type}\n" in text, name
+        assert (
+            'repro_incidents_total{kind="checksum-quarantine"} 1' in text
+        )
+        assert f"repro_recorder_dropped_total {store.recorder.dropped}" in text
+
+    def test_absent_when_recorder_disabled(self):
+        from repro.obs.bridge import store_registry
+
+        store = self._recorder_store(enabled=False)
+        text = prometheus_text(store_registry(store).collect())
+        for name, _ in self.FAMILIES:
+            assert name not in text
+
+
 class TestStorageGaugeExposition:
     """WAL size, quarantine, and scrub recency must export with
     HELP/TYPE metadata unconditionally (they feed the alert rules)."""

@@ -14,6 +14,8 @@ from repro.core.config import StoreConfig
 from repro.core.store import XMLStore
 from repro.obs.alerts import NOOP_ALERTS, AlertEngine, AlertView
 from repro.obs.history import NOOP_HISTORY, WorkloadHistory
+from repro.obs.incident import NOOP_INCIDENTS, IncidentManager
+from repro.obs.recorder import NOOP_RECORDER, FlightRecorder
 from repro.obs.slo import NOOP_SLO, SLOTracker
 
 
@@ -25,6 +27,8 @@ PAIRS = [
     pytest.param(AlertEngine(), NOOP_ALERTS, id="alerts"),
     pytest.param(SLOTracker(), NOOP_SLO, id="slo"),
     pytest.param(WorkloadHistory(), NOOP_HISTORY, id="history"),
+    pytest.param(FlightRecorder(), NOOP_RECORDER, id="recorder"),
+    pytest.param(IncidentManager(), NOOP_INCIDENTS, id="incidents"),
 ]
 
 
@@ -77,7 +81,29 @@ class TestNoopBehaviour:
         assert NOOP_SLO.families(store) == []
         assert NOOP_SLO.targets == ()
 
+    def test_recorder_twin_never_records(self):
+        store = self._store()
+        NOOP_RECORDER.observe(store)
+        NOOP_RECORDER.record("event", "test", "test", 0.0, {})
+        NOOP_RECORDER.frame(store, "test")
+        assert NOOP_RECORDER.entries() == []
+        assert len(NOOP_RECORDER) == 0
+        assert NOOP_RECORDER.dropped == 0
+        assert NOOP_RECORDER.to_dict()["entries"] == []
+
+    def test_incident_twin_never_triggers(self, tmp_path):
+        NOOP_INCIDENTS.attach(self._store())
+        assert (
+            NOOP_INCIDENTS.trigger("checksum-quarantine", key="7") is None
+        )
+        assert NOOP_INCIDENTS.incidents() == []
+        assert len(NOOP_INCIDENTS) == 0
+        assert NOOP_INCIDENTS.counts == {}
+        assert NOOP_INCIDENTS.suppressed == 0
+
     def test_default_store_wires_the_twins(self):
         store = self._store()
         assert store.alerts is NOOP_ALERTS
         assert store.slo is NOOP_SLO
+        assert store.recorder is NOOP_RECORDER
+        assert store.incidents is NOOP_INCIDENTS
