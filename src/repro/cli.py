@@ -593,6 +593,80 @@ def build_parser() -> argparse.ArgumentParser:
     bundle.add_argument(
         "--json", action="store_true", help="print the manifest as JSON"
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve the store to concurrent clients over a TCP socket",
+        description=(
+            "Opens the store and serves newline-delimited JSON sessions "
+            "over TCP.  Requests arriving together are multiplexed "
+            "through one deterministic scheduler run, so concurrent "
+            "writers share group-commit sync barriers and read-only "
+            "sessions are served from lock-free snapshots.  Runs until "
+            "a client sends {\"cmd\": \"shutdown\"}."
+        ),
+        epilog=(
+            "exit codes: 0 = served and shut down cleanly; 1 = failed to "
+            "bind or serve.  See the canonical exit-code table in "
+            "README.md."
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = pick a free port, printed on startup)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="scheduler seed (default 0)"
+    )
+
+    client = commands.add_parser(
+        "client",
+        help="send one session (or control request) to a running server",
+        description=(
+            "Connects to a `repro serve` instance and submits one "
+            "session program: a JSON list of ops such as "
+            "'[{\"op\": \"read\", \"node_id\": 1}]'.  Control requests "
+            "(--ping, --stats, --shutdown) skip the session machinery."
+        ),
+        epilog=(
+            "exit codes: 0 = session committed (or control request ok); "
+            "1 = session aborted, shed, or the server refused.  See the "
+            "canonical exit-code table in README.md."
+        ),
+    )
+    client.add_argument(
+        "--host", default="127.0.0.1", help="server address (default 127.0.0.1)"
+    )
+    client.add_argument(
+        "--port", type=int, required=True, help="server TCP port"
+    )
+    client.add_argument(
+        "--read-only",
+        action="store_true",
+        help="run the program in a snapshot (lock-free) session",
+    )
+    client.add_argument(
+        "--ping", action="store_true", help="liveness check instead of a session"
+    )
+    client.add_argument(
+        "--stats",
+        action="store_true",
+        help="fetch server + group-commit counters instead of a session",
+    )
+    client.add_argument(
+        "--shutdown", action="store_true", help="ask the server to stop"
+    )
+    client.add_argument(
+        "program",
+        nargs="?",
+        default=None,
+        help="session program: JSON list of {op, node_id, xml} objects",
+    )
     return parser
 
 
@@ -626,6 +700,12 @@ def run(argv: Optional[List[str]] = None, stdin=None) -> str:
     if arguments.command == "bundle":
         # same stance: the support bundle is built from files alone
         return _run_bundle(arguments)
+    if arguments.command == "serve":
+        # serve owns the open/close lifecycle (long-running loop)
+        return _run_serve(arguments)
+    if arguments.command == "client":
+        # client talks to a running server: never touches the store files
+        return _run_client(arguments)
     if arguments.command == "health":
         # health must not crash on the stores it exists to diagnose: a
         # normal open walks every chain block and dies on the first
@@ -649,6 +729,90 @@ def _cli_store_config() -> StoreConfig:
         alerts_enabled=True,
         recorder_enabled=True,
     )
+
+
+def _run_serve(arguments) -> str:
+    import asyncio
+
+    from repro.server.netadapter import AsyncXMLServer
+    from repro.server.sessions import XMLServer
+
+    store = open_directory(arguments.store, config=_cli_store_config())
+    try:
+        server = XMLServer(store)
+        adapter = AsyncXMLServer(
+            server, host=arguments.host, port=arguments.port, seed=arguments.seed
+        )
+
+        async def _serve() -> None:
+            await adapter.start()
+            print(
+                f"serving {arguments.store} on {arguments.host}:{adapter.port} "
+                f"(seed {adapter.seed})",
+                flush=True,
+            )
+            await adapter.serve_until_shutdown()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        stats = server.stats
+        return (
+            f"served {adapter.requests_served} request(s) in "
+            f"{adapter.batches_driven} batch(es): "
+            f"{stats.sessions_committed} committed, "
+            f"{stats.sessions_aborted} aborted, "
+            f"{stats.sessions_shed} shed; "
+            f"{store.wal.group_commits} group commit(s)"
+        )
+    finally:
+        close_directory(arguments.store, store)
+
+
+def _run_client(arguments) -> str:
+    from repro.server.netadapter import client_request
+
+    if arguments.ping:
+        payload = {"cmd": "ping"}
+    elif arguments.stats:
+        payload = {"cmd": "stats"}
+    elif arguments.shutdown:
+        payload = {"cmd": "shutdown"}
+    else:
+        if arguments.program is None:
+            raise ReproError(
+                "client needs a session program (JSON list of ops) or one "
+                "of --ping/--stats/--shutdown"
+            )
+        try:
+            ops = json.loads(arguments.program)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"bad session program: {exc}")
+        if not isinstance(ops, list):
+            raise ReproError("session program must be a JSON list of ops")
+        payload = {
+            "cmd": "session",
+            "read_only": arguments.read_only,
+            "ops": ops,
+        }
+    try:
+        response = client_request(arguments.host, arguments.port, payload)
+    except (ConnectionError, OSError) as exc:
+        raise ReproError(
+            f"cannot reach server at {arguments.host}:{arguments.port}: {exc}"
+        )
+    text = json.dumps(response, indent=2, sort_keys=True)
+    if not response.get("ok", False):
+        # session aborted/shed or server refused: print the response and
+        # exit degraded (code 1), mirroring the canonical table
+        error = ReproError(
+            f"request failed "
+            f"(outcome={response.get('outcome', 'unknown')}): {text}"
+        )
+        error.exit_code = 1
+        raise error
+    return text
 
 
 def _run_health(arguments, stdin) -> str:

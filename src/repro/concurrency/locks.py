@@ -148,6 +148,23 @@ class LockManager:
                 f"txn {txn_id} cannot lock {resource} in {target.value} without waiting"
             )
         queue = self._waiting.setdefault(resource, [])
+        # re-requesting while already queued (a suspended session retrying
+        # its operation) must not enqueue a duplicate: keep the original
+        # FIFO position, widening the queued mode if the retry asks for more
+        for request in queue:
+            if request.txn_id == txn_id:
+                widened = supremum(request.mode, target)
+                if widened == request.mode:
+                    return False
+                previous = request.mode
+                request.mode = widened
+                if self._has_deadlock(txn_id):
+                    request.mode = previous
+                    raise DeadlockError(
+                        f"widening {resource} wait to {widened.value} for "
+                        f"txn {txn_id} would deadlock"
+                    )
+                return False
         queue.append(_Request(txn_id, target))
         if self._has_deadlock(txn_id):
             queue.pop()
@@ -184,19 +201,37 @@ class LockManager:
     def release_all(self, txn_id: int) -> None:
         """Release every lock and queued request of ``txn_id`` (commit or
         abort)."""
+        dequeued: List[Resource] = []
         for resource, queue in self._waiting.items():
-            self._waiting[resource] = [r for r in queue if r.txn_id != txn_id]
+            filtered = [r for r in queue if r.txn_id != txn_id]
+            if len(filtered) != len(queue):
+                self._waiting[resource] = filtered
+                dequeued.append(resource)
         for resource in list(self._granted):
             held = self._granted[resource]
             if txn_id in held:
                 del held[txn_id]
                 self._grant_waiters(resource)
+        # removing a queued request can expose a grantable head on a
+        # resource this txn never held — those queues must progress too,
+        # or the sessions behind them stall forever
+        for resource in dequeued:
+            self._grant_waiters(resource)
 
     def held_mode(self, txn_id: int, resource: Resource) -> Optional[LockMode]:
         return self._granted.get(resource, {}).get(txn_id)
 
     def is_waiting(self, txn_id: int, resource: Resource) -> bool:
         return any(r.txn_id == txn_id for r in self._waiting.get(resource, []))
+
+    def waiting_resources(self, txn_id: int) -> List[Resource]:
+        """Every resource ``txn_id`` has a queued request on (the
+        scheduler resumes a suspended session once this is empty)."""
+        return [
+            resource
+            for resource, queue in self._waiting.items()
+            if any(r.txn_id == txn_id for r in queue)
+        ]
 
     def holders(self, resource: Resource) -> Dict[int, LockMode]:
         return dict(self._granted.get(resource, {}))
@@ -225,18 +260,28 @@ class LockManager:
                 progressed = True
 
     def _has_deadlock(self, start_txn: int) -> bool:
-        """DFS over the wait-for graph: waiter -> holders blocking it."""
+        """DFS over the wait-for graph.
+
+        A queued request waits on (a) every holder whose mode is
+        incompatible with it, and (b) every *earlier* queued stranger on
+        the same resource — the FIFO discipline only ever grants the
+        head, so queue position is a real wait dependency, and omitting
+        those edges lets fairness-induced cycles stall the scheduler
+        undetected."""
         edges: Dict[int, Set[int]] = {}
         for resource, queue in self._waiting.items():
             held = self._granted.get(resource, {})
+            earlier: List[int] = []
             for request in queue:
                 blockers = {
                     t
                     for t, m in held.items()
                     if t != request.txn_id and not compatible(m, request.mode)
                 }
+                blockers.update(t for t in earlier if t != request.txn_id)
                 if blockers:
                     edges.setdefault(request.txn_id, set()).update(blockers)
+                earlier.append(request.txn_id)
         seen: Set[int] = set()
         stack = [start_txn]
         while stack:

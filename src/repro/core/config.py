@@ -205,6 +205,31 @@ class StoreConfig:
     #: are suppressed (a rotting device must not dump bundles forever).
     recorder_incident_limit: int = 16
 
+    #: Serving layer (:mod:`repro.server`): logical sessions allowed to
+    #: run concurrently under the cooperative scheduler.
+    server_max_sessions: int = 8
+
+    #: Sessions allowed to wait in the admission backlog once every slot
+    #: is taken; beyond this, submissions are shed deterministically with
+    #: :class:`repro.errors.SessionLimitError` (counted in
+    #: ``repro_server_sessions_shed_total``).
+    server_max_queue_depth: int = 16
+
+    #: Group-commit WAL batching: committing transactions defer their
+    #: frame's sync and share one barrier per batch.  False reverts to
+    #: the per-commit discipline (every commit pays its own barrier) —
+    #: the baseline the group-commit bench compares against.
+    server_group_commit: bool = True
+
+    #: Commits absorbed into one batch before the group flushes eagerly
+    #: (it also flushes whenever no session is runnable).
+    server_group_commit_max_batch: int = 8
+
+    #: Read-only sessions pin lock-free snapshot views instead of taking
+    #: S locks (see :mod:`repro.server.snapshot`).  False makes them
+    #: ordinary transactions that queue behind writers.
+    server_snapshot_reads: bool = True
+
     def __post_init__(self) -> None:
         if self.page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
@@ -234,3 +259,9 @@ class StoreConfig:
             raise ValueError("recorder_interval must be at least 1")
         if self.recorder_incident_limit < 1:
             raise ValueError("recorder_incident_limit must be at least 1")
+        if self.server_max_sessions < 1:
+            raise ValueError("server_max_sessions must be at least 1")
+        if self.server_max_queue_depth < 0:
+            raise ValueError("server_max_queue_depth must be >= 0")
+        if self.server_group_commit_max_batch < 1:
+            raise ValueError("server_group_commit_max_batch must be at least 1")

@@ -222,6 +222,9 @@ class XMLStore:
         self.telemetry.preregister_spans(TABLE1_SPANS)
         self.locator.attach_telemetry(self.telemetry)
         self.wal.telemetry = self.telemetry
+        # the cost model prices sync barriers (0.0 by default, so the
+        # committed baselines are untouched); the WAL charges it per flush
+        self.wal.sync_cost = self.config.cost_model.sync_seconds
         self.event_log = create_event_log(
             self.config.events_enabled,
             capacity=self.config.events_capacity,
@@ -531,6 +534,7 @@ class XMLStore:
         disk_seconds = disk.simulated_seconds if disk is not None else 0.0
         return (
             disk_seconds
+            + self.wal.simulated_sync_seconds
             + self.tokens_emitted * self.config.cpu_cost_per_token
             + self.locator.stats.tokens_scanned * self.config.cpu_cost_per_scan_token
             + self.index_entries_loaded * self.config.cpu_cost_per_index_entry

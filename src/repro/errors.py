@@ -212,6 +212,31 @@ class DeadlockError(ConcurrencyError):
     """A lock request would create a wait-for cycle."""
 
 
+class LockWaitError(ConcurrencyError):
+    """A lock request was queued; the transaction must suspend.
+
+    Raised by the queued-wait discipline (``wait_on_conflict=True``)
+    instead of failing fast: the request stays in the lock manager's
+    FIFO queue, and the caller — typically a server session driven by
+    the cooperative scheduler — retries the operation once the grant
+    arrives.  ``resource`` names what the transaction is waiting for.
+    """
+
+    def __init__(self, message: str, resource: tuple = ()) -> None:
+        super().__init__(message)
+        self.resource = resource
+
+
+class SessionLimitError(ConcurrencyError):
+    """Admission control rejected a new session or queued request.
+
+    The server sheds load deterministically: opening a session beyond
+    ``server_max_sessions`` or queueing an operation beyond
+    ``server_max_queue_depth`` raises this instead of degrading every
+    other session.  Counted in ``repro_server_sessions_shed_total``.
+    """
+
+
 class LockTimeoutError(ConcurrencyError):
     """A lock could not be granted within the configured bound."""
 

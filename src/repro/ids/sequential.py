@@ -43,6 +43,19 @@ class SequentialIdScheme(StoreIdScheme[int]):
         self._next += count
         return first, first + count - 1
 
+    def seek(self, next_id: int) -> None:
+        """Move the allocation cursor.
+
+        Transaction-commit replay pins each op's recorded pre-op cursor
+        before re-executing it, so the op allocates exactly the ids it
+        allocated live even when interleaved transactions (committed in a
+        different order, or never committed) consumed ids in between.
+        The caller restores the high-water mark afterwards.
+        """
+        if next_id < 1:
+            raise IdSchemeError("sequential ids start at 1")
+        self._next = next_id
+
     def next_id(self, current: int, token: Token) -> int:
         # The token argument is part of the idFactory signature
         # (``{ID} x {token} -> {ID}``); sequential ids do not depend on it.

@@ -370,6 +370,15 @@ def default_rules() -> Tuple[AlertRule, ...]:
             metric="repro_storage_scrub_completions_total",
             min_operations=100_000,
         ),
+        AlertRule(
+            "session-shedding",
+            "warning",
+            "threshold",
+            "the serving layer is shedding sessions (admission overload)",
+            metric="repro_server_sessions_shed_total",
+            op=">",
+            bound=0,
+        ),
     )
 
 

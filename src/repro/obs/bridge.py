@@ -47,6 +47,22 @@ def store_registry(store) -> MetricsRegistry:
         "repro_wal_fsyncs_total", "fsync calls issued by the write-ahead log."
     )
     wal_fsyncs.inc(store.wal.fsyncs)
+    registry.counter(
+        "repro_wal_sync_barriers_total",
+        "Durability barriers (flushes) issued by the write-ahead log.",
+    ).inc(store.wal.sync_barriers)
+    registry.counter(
+        "repro_wal_group_commits_total",
+        "Group-commit batches drained (many commits, one sync barrier).",
+    ).inc(store.wal.group_commits)
+    if store.wal.group_commit_batches:
+        batch_sizes = registry.histogram(
+            "repro_wal_group_commit_batch_size",
+            "Frames drained per group-commit barrier.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+        )
+        for batch in store.wal.group_commit_batches:
+            batch_sizes.observe(float(batch))
 
     registry.gauge(
         "repro_store_simulated_seconds",
@@ -104,6 +120,23 @@ def store_registry(store) -> MetricsRegistry:
             "repro_recorder_dropped_total",
             "Flight-recorder entries evicted from the bounded ring.",
         ).inc(store.recorder.dropped)
+    server = getattr(store, "server", None)
+    if server is not None:
+        # the serving layer's deterministic counters (admission,
+        # shedding, conflict handling, snapshot reads)
+        for name, value in sorted(server.stats.to_dict().items()):
+            registry.counter(
+                f"repro_server_{name}_total",
+                f"Serving layer: {name.replace('_', ' ')}.",
+            ).inc(value)
+        registry.gauge(
+            "repro_server_backlog_sessions",
+            "Sessions waiting in the admission backlog.",
+        ).set(float(len(server.backlog)))
+        registry.counter(
+            "repro_server_snapshot_materializations_total",
+            "Snapshot views materialized (lazy promotions + eager opens).",
+        ).inc(server.snapshots.materializations)
     if store.incidents.enabled:
         incidents_total = registry.counter(
             "repro_incidents_total",

@@ -1,0 +1,113 @@
+"""Deterministic cooperative scheduler.
+
+No threads, no wall clock: sessions are generators, and this scheduler
+decides — from a seed or an explicit schedule script — which runnable
+session advances next.  Time is the store's *simulated* clock, so a
+trace is replayable bit-for-bit: the same seed over the same programs
+yields the same interleaving, the same WAL bytes, and the same event
+log (the byte-determinism CI gate pins exactly this).
+
+Scheduling policy:
+
+* a session is runnable unless it finished, is suspended on a queued
+  lock request that has not been granted, or is parked awaiting the
+  group-commit barrier;
+* when the batch reaches ``server_group_commit_max_batch`` the group
+  flushes eagerly;
+* when *nothing* is runnable but committers are parked, the group
+  flushes — the classic policy: absorb commits while other work exists,
+  pay one barrier when the pipeline drains;
+* no runnable session, nothing to flush, unfinished sessions left ⇒
+  a stall, raised loudly (deadlocks are detected at enqueue time, so a
+  stall is a scheduler/lock bug, never an expected state).
+
+The ``script`` form drives the interleaving test harness: a list of
+integers, each choosing (mod the runnable count) which session steps
+next.  Scripts shrink well — any prefix or subsequence is still a
+valid schedule, with exhausted scripts falling back to "first runnable".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConcurrencyError
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One trace entry: which session advanced, to what status, when."""
+
+    step: int
+    session_id: int
+    status: str
+    clock: float
+
+
+class CooperativeScheduler:
+    """Advances sessions one step at a time, deterministically."""
+
+    def __init__(self, server, seed: int = 0, script: Optional[Sequence[int]] = None) -> None:
+        self.server = server
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.script = None if script is None else list(script)
+        self._cursor = 0
+        self.steps = 0
+        self.trace: List[ScheduleStep] = []
+        #: The choices actually made (session ids, in order) — feed this
+        #: back as a script to replay the exact interleaving.
+        self.choices: List[int] = []
+
+    def _pick(self, runnable):
+        if self.script is not None:
+            if self._cursor < len(self.script):
+                index = self.script[self._cursor] % len(runnable)
+            else:
+                index = 0
+            self._cursor += 1
+            return runnable[index]
+        return runnable[self.rng.randrange(len(runnable))]
+
+    def run(self, max_steps: int = 100_000) -> None:
+        server = self.server
+        while True:
+            server.admit_from_backlog()
+            runnable = [s for s in server.sessions if s.runnable()]
+            if not runnable:
+                if server.group_commit.waiting:
+                    server.group_commit.flush(reason="idle")
+                    continue
+                if any(not s.finished for s in server.sessions):
+                    blocked = [
+                        (s.session_id, s.blocked_on)
+                        for s in server.sessions
+                        if not s.finished
+                    ]
+                    raise ConcurrencyError(
+                        f"scheduler stall: no runnable session, nothing to "
+                        f"flush; blocked={blocked!r}"
+                    )
+                break
+            if server.group_commit.should_flush:
+                server.group_commit.flush(reason="batch-full")
+            session = self._pick(runnable)
+            status = session.step()
+            self.choices.append(session.session_id)
+            self.trace.append(
+                ScheduleStep(
+                    self.steps,
+                    session.session_id,
+                    status,
+                    server.store.simulated_seconds,
+                )
+            )
+            self.steps += 1
+            if self.steps >= max_steps:
+                raise ConcurrencyError(
+                    f"scheduler exceeded {max_steps} steps without quiescing"
+                )
+        # drain: aborted transactions' frames (and stragglers) hit disk
+        server.group_commit.flush(reason="drain")

@@ -280,6 +280,11 @@ class DiskCostModel:
     seek_seconds: float = 0.0085
     transfer_seconds_per_block: float = 4096 / (55 * 1024 * 1024)
     write_penalty: float = 1.0  # multiplier applied to write transfers
+    #: Simulated seconds charged per sync barrier (device ``sync()`` and
+    #: WAL flush).  Zero by default so the committed Table-5 baselines
+    #: are untouched; the serving layer sets it so group commit's
+    #: one-barrier-per-batch saving shows up in simulated cost.
+    sync_seconds: float = 0.0
 
     def cost(self, sequential: bool, is_write: bool) -> float:
         cost = self.transfer_seconds_per_block
@@ -462,6 +467,7 @@ class InstrumentedDevice(BlockDevice):
     def sync(self) -> None:
         self.backend.sync()
         self.stats.syncs += 1
+        self.stats.simulated_seconds += self.cost_model.sync_seconds
 
     def close(self) -> None:
         self.backend.close()

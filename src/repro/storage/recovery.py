@@ -74,7 +74,14 @@ def replay_record(store: ReplayableStore, record: LogRecord) -> None:
     rt = record.record_type
     if rt == RecordType.CHECKPOINT:
         return
-    id_bytes, xml_text = decode_op_payload(record.payload)
+    if rt == RecordType.TXN_COMMIT:
+        _replay_commit(store, record.payload)
+        return
+    _replay_op(store, rt, record.payload)
+
+
+def _replay_op(store: ReplayableStore, rt: int, payload: bytes) -> None:
+    id_bytes, xml_text = decode_op_payload(payload)
     if rt == RecordType.LOAD_DOCUMENT:
         store.load_document(xml_text, log=False)
         return
@@ -95,6 +102,33 @@ def replay_record(store: ReplayableStore, record: LogRecord) -> None:
         store.replace_content(node_id, xml_text, log=False)
     else:
         raise WALError(f"unknown log record type {rt}")
+
+
+def _replay_commit(store: ReplayableStore, payload: bytes) -> None:
+    """Re-execute one committed transaction (a ``TXN_COMMIT`` frame).
+
+    Each operation pins the id allocator to the cursor it observed live
+    (see :mod:`repro.storage.txnlog`), so re-execution assigns identical
+    node ids regardless of how the committing transactions interleaved;
+    afterwards the allocator is restored to its high-water mark so later
+    records never re-allocate an id the transaction consumed.
+    """
+    from repro.storage.txnlog import decode_commit
+
+    commit = decode_commit(payload)
+    scheme = getattr(store, "id_scheme", None)
+    seek = getattr(scheme, "seek", None)
+    high_water = scheme.high_water_mark if seek is not None else 0
+    for op in commit.ops:
+        if seek is not None and op.id_cursor_before >= 1:
+            seek(op.id_cursor_before)
+        _replay_op(store, op.record_type, op.payload)
+        if seek is not None:
+            high_water = max(
+                high_water, op.id_cursor_after, scheme.high_water_mark
+            )
+    if seek is not None:
+        seek(max(high_water, 1))
 
 
 def replay(store: ReplayableStore, wal: WriteAheadLog) -> List[LogRecord]:

@@ -1,0 +1,94 @@
+"""Transaction commit records: one WAL frame per committed transaction.
+
+The serving layer's group commit defers the WAL barrier, which makes the
+per-operation logging discipline unsound: a crash between the barriers
+could persist *some* operations of an uncommitted transaction.  Instead,
+a transaction executed under redo buffering logs nothing while active;
+at commit all of its operations are packed into a single
+``RecordType.TXN_COMMIT`` frame.  The frame CRC then gives transaction
+durability for free — recovery replays a commit record completely or
+discards it completely (a torn group-commit tail), never a partial
+transaction.
+
+Each operation carries the id-allocation cursor observed immediately
+before it executed.  Replay pins the sequential id scheme to that cursor
+before re-executing the operation, so re-execution allocates exactly the
+node ids the operation allocated live — even when interleaved
+transactions (committed in a different order, or aborted and therefore
+absent from the log) consumed ids in between.  ``id_cursor_after`` lets
+replay restore the allocator's high-water mark once the record is done.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import WALError
+
+_HEADER = struct.Struct("<QI")  # txn_id, op count
+_OP = struct.Struct("<HqqI")  # record_type, cursor before, cursor after, length
+
+
+@dataclass(frozen=True)
+class CommitOp:
+    """One logical operation inside a commit record."""
+
+    record_type: int
+    #: The regular per-op payload (see ``encode_op_payload``).
+    payload: bytes
+    #: Id-scheme cursor (next id to allocate) observed immediately
+    #: before / after the operation ran live; -1 = unknown (no pinning).
+    id_cursor_before: int = -1
+    id_cursor_after: int = -1
+
+
+@dataclass(frozen=True)
+class TxnCommit:
+    """A decoded commit record."""
+
+    txn_id: int
+    ops: Tuple[CommitOp, ...]
+
+
+def encode_commit(txn_id: int, ops: List[CommitOp]) -> bytes:
+    parts = [_HEADER.pack(txn_id, len(ops))]
+    for op in ops:
+        parts.append(
+            _OP.pack(
+                op.record_type,
+                op.id_cursor_before,
+                op.id_cursor_after,
+                len(op.payload),
+            )
+        )
+        parts.append(op.payload)
+    return b"".join(parts)
+
+
+def decode_commit(payload: bytes) -> TxnCommit:
+    if len(payload) < _HEADER.size:
+        raise WALError("truncated transaction commit record")
+    txn_id, count = _HEADER.unpack_from(payload, 0)
+    offset = _HEADER.size
+    ops: List[CommitOp] = []
+    for _ in range(count):
+        if len(payload) < offset + _OP.size:
+            raise WALError("truncated operation header in commit record")
+        record_type, before, after, length = _OP.unpack_from(payload, offset)
+        offset += _OP.size
+        if len(payload) < offset + length:
+            raise WALError("truncated operation payload in commit record")
+        ops.append(
+            CommitOp(
+                record_type=record_type,
+                payload=payload[offset : offset + length],
+                id_cursor_before=before,
+                id_cursor_after=after,
+            )
+        )
+        offset += length
+    if offset != len(payload):
+        raise WALError("trailing bytes in transaction commit record")
+    return TxnCommit(txn_id=txn_id, ops=tuple(ops))

@@ -46,6 +46,12 @@ class RecordType:
     DELETE_NODE = 6
     REPLACE_NODE = 7
     REPLACE_CONTENT = 8
+    #: One committed transaction as a single frame: the ops of the
+    #: transaction are encoded *inside* the payload (see
+    #: :mod:`repro.storage.txnlog`), so the frame CRC makes transaction
+    #: durability all-or-nothing — a torn group commit can only lose
+    #: whole transactions, never replay a partial one.
+    TXN_COMMIT = 9
 
     NAMES = {
         CHECKPOINT: "checkpoint",
@@ -57,6 +63,7 @@ class RecordType:
         DELETE_NODE: "delete_node",
         REPLACE_NODE: "replace_node",
         REPLACE_CONTENT: "replace_content",
+        TXN_COMMIT: "txn_commit",
     }
 
 
@@ -92,6 +99,21 @@ class WriteAheadLog:
         #: simulated crash can persist a torn record prefix.  None in
         #: normal operation — appends take one attribute check.
         self.fault_adapter = None
+        #: Sync barriers issued (every flush, fsync-backed or not) and
+        #: group commits (sync calls that drained a deferred batch), with
+        #: the drained batch sizes for the histogram export.
+        self.sync_barriers = 0
+        self.group_commits = 0
+        self.group_commit_batches: List[int] = []
+        #: Simulated seconds charged per sync barrier (the cost model's
+        #: ``sync_seconds``; the owning store wires it).  Zero keeps every
+        #: pre-server benchmark byte-identical.
+        self.sync_cost = 0.0
+        self.simulated_sync_seconds = 0.0
+        #: Frames appended with ``sync=False``: written only at the next
+        #: :meth:`sync`, so they are *volatile* — a crash before the
+        #: barrier loses them entirely (never partially).
+        self._pending: List[bytes] = []
         if path is None:
             self._stream: BinaryIO = io.BytesIO()
         else:
@@ -102,8 +124,15 @@ class WriteAheadLog:
 
     # -- appending ------------------------------------------------------------
 
-    def append(self, record_type: int, payload: bytes = b"") -> int:
-        """Append a record; returns its LSN.  The record is flushed."""
+    def append(self, record_type: int, payload: bytes = b"", sync: bool = True) -> int:
+        """Append a record; returns its LSN.
+
+        With ``sync=True`` (the default) the record is flushed — and
+        fsynced on a durable log — before returning.  With ``sync=False``
+        the frame is only queued in a volatile buffer; it reaches the
+        stream (and stable storage) at the next :meth:`sync`, which lets
+        a group commit amortize one barrier over many transactions.
+        """
         with self.telemetry.span(
             "wal.append", type=RecordType.NAMES.get(record_type, record_type)
         ):
@@ -111,26 +140,59 @@ class WriteAheadLog:
             self._next_lsn += 1
             body = _FRAME.pack(0, len(payload), record_type, lsn)[4:] + payload
             crc = zlib.crc32(body)
-            self._stream.seek(0, os.SEEK_END)
             frame = struct.pack("<I", crc) + body
-            if self.fault_adapter is not None:
-                self.fault_adapter.append_frame(self._stream, frame)
+            if sync:
+                self._stream.seek(0, os.SEEK_END)
+                self._write_frame(frame)
+                self.appends += 1
+                self.flush()
             else:
-                self._stream.write(frame)
-            self.appends += 1
-            self.flush()
+                self._pending.append(frame)
+                self.appends += 1
         if self.event_log.enabled:
             self.event_log.emit(
                 "wal", "append",
                 lsn=lsn,
                 type=RecordType.NAMES.get(record_type, record_type),
                 bytes=len(payload),
+                deferred=not sync,
             )
         return lsn
+
+    def sync(self) -> int:
+        """Write every deferred frame and pay one shared barrier.
+
+        Returns the number of frames made durable.  A no-op (no barrier
+        charged) when nothing is pending.  Frames reach the stream one at
+        a time through the fault adapter, so a simulated crash mid-batch
+        persists a prefix of whole frames plus at most one torn frame —
+        which the CRC scan discards.
+        """
+        if not self._pending:
+            return 0
+        batch = len(self._pending)
+        self._stream.seek(0, os.SEEK_END)
+        for frame in self._pending:
+            # a simulated crash here abandons the WAL object: the batch
+            # stays pending and the group is not counted as committed
+            self._write_frame(frame)
+        self._pending.clear()
+        self.group_commits += 1
+        self.group_commit_batches.append(batch)
+        self.flush()
+        if self.event_log.enabled:
+            self.event_log.emit("wal", "group_commit", frames=batch)
+        return batch
+
+    @property
+    def pending_frames(self) -> int:
+        """Deferred frames not yet made durable by :meth:`sync`."""
+        return len(self._pending)
 
     def checkpoint(self) -> int:
         """Write a checkpoint marker; recovery replays only records after
         the last checkpoint."""
+        self.sync()
         return self.append(RecordType.CHECKPOINT)
 
     def flush(self) -> None:
@@ -139,6 +201,14 @@ class WriteAheadLog:
             with self.telemetry.span("wal.fsync"):
                 os.fsync(self._stream.fileno())
             self.fsyncs += 1
+        self.sync_barriers += 1
+        self.simulated_sync_seconds += self.sync_cost
+
+    def _write_frame(self, frame: bytes) -> None:
+        if self.fault_adapter is not None:
+            self.fault_adapter.append_frame(self._stream, frame)
+        else:
+            self._stream.write(frame)
 
     # -- snapshots --------------------------------------------------------------
 
@@ -214,6 +284,7 @@ class WriteAheadLog:
     def truncate(self) -> None:
         """Discard the whole log (after a checkpoint has made it redundant)."""
         _log.info("truncating WAL (%d records appended so far)", self.appends)
+        self._pending.clear()
         self._stream.seek(0)
         self._stream.truncate()
         self.flush()

@@ -105,6 +105,22 @@ class ReferenceStore:
         del self.ids[start:end]
         self._splice(start, tokenize_fragment(xml))
 
+    def replace_content(self, node_id: int, xml: str) -> None:
+        start, end = self._subtree_span(self._find(node_id))
+        content_start = start + 1
+        while (
+            content_start < end - 1
+            and self.tokens[content_start].kind in _ATTRIBUTE_KINDS
+        ):
+            content_start += 1
+        del self.tokens[content_start : end - 1]
+        del self.ids[content_start : end - 1]
+        if xml:
+            self._splice(content_start, tokenize_fragment(xml))
+
+    def exists(self, node_id: int) -> bool:
+        return node_id in self.ids
+
     # -- inspection ---------------------------------------------------------------
 
     def is_attribute(self, node_id: int) -> bool:

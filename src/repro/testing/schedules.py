@@ -1,0 +1,431 @@
+"""Deterministic interleaving harness: serializability as a property.
+
+The server's cooperative scheduler takes an explicit *schedule script*
+— a list of integers, each choosing (mod the runnable count) which
+session advances next — so every interleaving of N concurrent sessions
+is a first-class, replayable value.  This module generates seeded
+workloads of 2–4 sessions over a shared base document, samples seeded
+schedule scripts, runs each through a fresh store + server, and checks
+the fundamental property strict 2PL promises:
+
+    every committed outcome equals the outcome of SOME serial order of
+    the committed transactions,
+
+with the committed outcome checked as document *content* (node ids are
+allocation-order artifacts; the paper's contract is about content and
+id stability, not id equality across interleavings).  Snapshot readers
+are checked too: every full-document read a read-only session returned
+must equal a commit-consistent state — the base document, or the state
+after some serial prefix of committed writers.
+
+Failures shrink like :mod:`repro.testing.torture` workloads do: the
+script is greedily minimized (chunk deletion, then entry zeroing) while
+the run still violates serializability, and the report carries the
+shrunk script so a CI failure is a one-line reproducer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import StoreConfig
+from repro.core.store import XMLStore
+from repro.errors import NodeNotFoundError, ReproError, StoreError
+from repro.server.sessions import SessionOp, XMLServer
+from repro.testing.reference import ReferenceStore
+
+MIXES = ("disjoint", "hotspot", "mixed")
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """One harness invocation: a workload mix and a batch of schedules."""
+
+    seed: int = 0
+    sessions: int = 3
+    ops_per_session: int = 3
+    mix: str = "mixed"
+    schedules: int = 20
+    script_length: int = 96
+    group_commit_max_batch: int = 4
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.sessions <= 4:
+            raise ReproError("sessions must be in [2, 4] (serial orders are enumerated)")
+        if self.mix not in MIXES:
+            raise ReproError(f"unknown mix {self.mix!r}; use one of {MIXES}")
+        if self.ops_per_session < 1 or self.schedules < 1 or self.script_length < 1:
+            raise ReproError("ops_per_session, schedules, script_length must be >= 1")
+
+
+@dataclass(frozen=True)
+class SessionProgram:
+    """One session's ops, plus whether it runs as a snapshot reader."""
+
+    ops: Tuple[SessionOp, ...]
+    read_only: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Workload generation
+# ---------------------------------------------------------------------------
+
+def _base_document(sessions: int) -> str:
+    parts = "".join(
+        f"<s{i}><item>seed{i}</item><item>base{i}</item></s{i}>"
+        for i in range(1, sessions + 1)
+    )
+    return f"<lib>{parts}</lib>"
+
+
+def generate_workload(config: ScheduleConfig) -> Tuple[str, List[SessionProgram]]:
+    """Seeded programs over base-document ids only.
+
+    Targets are restricted to ids assigned by the base load — which both
+    the live store and the reference model assign identically (dense,
+    document order) — so a program means the same thing under every
+    interleaving and every serial replay order.
+    """
+    rng = random.Random(config.seed)
+    base = _base_document(config.sessions)
+    model = ReferenceStore()
+    model.load_document(base)
+    element_ids = model.element_ids()
+    root_id = element_ids[0]
+    # subtree roots s1..sN in document order, one per writer
+    subtree_roots = [
+        node_id
+        for node_id in element_ids
+        if model.read(node_id).startswith("<s")
+    ]
+
+    def writer(index: int, targets: Sequence[int]) -> SessionProgram:
+        ops: List[SessionOp] = []
+        for op_index in range(config.ops_per_session):
+            target = targets[rng.randrange(len(targets))]
+            kind = rng.randrange(3)
+            text = f"w{index}op{op_index}"
+            if kind == 0:
+                ops.append(SessionOp("replace_content", target, text))
+            elif kind == 1:
+                ops.append(SessionOp("insert_into_last", target, f"<x>{text}</x>"))
+            else:
+                ops.append(SessionOp("read", target))
+        return SessionProgram(tuple(ops))
+
+    programs: List[SessionProgram] = []
+    if config.mix == "disjoint":
+        for index in range(config.sessions):
+            programs.append(writer(index, [subtree_roots[index]]))
+    elif config.mix == "hotspot":
+        hot = [root_id, subtree_roots[0]]
+        for index in range(config.sessions):
+            programs.append(writer(index, hot))
+    else:  # mixed: disjoint writers + one hotspot writer + one reader
+        for index in range(config.sessions - 1):
+            targets = [subtree_roots[index]]
+            if index == 0:
+                targets.append(root_id)
+            programs.append(writer(index, targets))
+        reads = tuple(
+            SessionOp("read") for _ in range(max(2, config.ops_per_session))
+        )
+        programs.append(SessionProgram(reads, read_only=True))
+    return base, programs
+
+
+# ---------------------------------------------------------------------------
+# One schedule, end to end
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScheduleOutcome:
+    """What one scripted run produced and whether it was serializable."""
+
+    script: Tuple[int, ...]
+    outcomes: Dict[int, str]
+    observed: str
+    serializable: bool
+    reason: str = ""
+    matching_order: Optional[Tuple[int, ...]] = None
+    reader_views: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.serializable
+
+
+def _store_config(config: ScheduleConfig) -> StoreConfig:
+    return StoreConfig(
+        server_group_commit_max_batch=config.group_commit_max_batch,
+        server_max_sessions=config.sessions,
+    )
+
+
+def run_schedule(
+    base: str,
+    programs: Sequence[SessionProgram],
+    script: Sequence[int],
+    config: ScheduleConfig,
+) -> ScheduleOutcome:
+    """Run one scripted interleaving and check serializability."""
+    store = XMLStore.open(config=_store_config(config))
+    store.load_document(base)
+    server = XMLServer(store)
+    sessions = [
+        server.submit(list(program.ops), read_only=program.read_only)
+        for program in programs
+    ]
+    server.run(script=list(script))
+    outcomes = {s.session_id: s.outcome or "unfinished" for s in sessions}
+    observed = store.read()
+    committed_writers = [
+        (index, program)
+        for index, (session, program) in enumerate(zip(sessions, programs))
+        if not program.read_only and session.outcome == "committed"
+    ]
+    serializable, reason, matching = _check_serializable(
+        base, committed_writers, observed
+    )
+    reader_views: List[str] = []
+    if serializable:
+        for session, program in zip(sessions, programs):
+            if not program.read_only:
+                continue
+            views = [r for r in session.results if isinstance(r, str)]
+            reader_views.extend(views)
+            bad = _check_reader_views(base, committed_writers, views)
+            if bad is not None:
+                serializable = False
+                reason = (
+                    f"reader view is not commit-consistent: {bad[:120]!r}"
+                )
+    return ScheduleOutcome(
+        script=tuple(script),
+        outcomes=outcomes,
+        observed=observed,
+        serializable=serializable,
+        reason=reason,
+        matching_order=matching,
+        reader_views=reader_views,
+    )
+
+
+def _apply_serially(
+    base: str, order: Sequence[Tuple[int, SessionProgram]]
+) -> Optional[str]:
+    """Replay committed programs in ``order`` on a fresh reference model;
+    None when the order is infeasible (an op's target does not exist)."""
+    model = ReferenceStore()
+    model.load_document(base)
+    try:
+        for _, program in order:
+            for op in program.ops:
+                if op.op == "read":
+                    continue
+                getattr(model, op.op)(op.node_id, op.xml)
+    except (NodeNotFoundError, StoreError):
+        return None
+    return model.read()
+
+
+def _check_serializable(
+    base: str,
+    committed: Sequence[Tuple[int, SessionProgram]],
+    observed: str,
+) -> Tuple[bool, str, Optional[Tuple[int, ...]]]:
+    for order in itertools.permutations(committed):
+        if _apply_serially(base, order) == observed:
+            return True, "", tuple(index for index, _ in order)
+    return (
+        False,
+        f"no serial order of {len(committed)} committed transaction(s) "
+        f"produces the observed content",
+        None,
+    )
+
+
+def _commit_consistent_states(
+    base: str, committed: Sequence[Tuple[int, SessionProgram]]
+) -> Set[str]:
+    """Every content reachable by some serial prefix of committed writers
+    (a snapshot must have pinned one of these)."""
+    states: Set[str] = set()
+    for order in itertools.permutations(committed):
+        for length in range(len(order) + 1):
+            state = _apply_serially(base, order[:length])
+            if state is not None:
+                states.add(state)
+    return states
+
+
+def _check_reader_views(
+    base: str,
+    committed: Sequence[Tuple[int, SessionProgram]],
+    views: Sequence[str],
+) -> Optional[str]:
+    if not views:
+        return None
+    states = _commit_consistent_states(base, committed)
+    for view in views:
+        if view not in states:
+            return view
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Batch runs, shrinking, reporting
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScheduleFailure:
+    index: int
+    script: Tuple[int, ...]
+    shrunk_script: Tuple[int, ...]
+    reason: str
+    outcomes: Dict[int, str]
+    observed: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "script": list(self.script),
+            "shrunk_script": list(self.shrunk_script),
+            "reason": self.reason,
+            "outcomes": {str(k): v for k, v in self.outcomes.items()},
+            "observed": self.observed,
+        }
+
+
+@dataclass
+class ScheduleReport:
+    config: ScheduleConfig
+    schedules_run: int = 0
+    serializable: int = 0
+    committed_sessions: int = 0
+    aborted_sessions: int = 0
+    deadlock_sessions: int = 0
+    failures: List[ScheduleFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, object]:
+        from repro.obs.schema import stamp
+
+        return stamp(
+            {
+                "schema": "repro.testing.schedules/v1",
+                "seed": self.config.seed,
+                "sessions": self.config.sessions,
+                "ops_per_session": self.config.ops_per_session,
+                "mix": self.config.mix,
+                "schedules_run": self.schedules_run,
+                "serializable": self.serializable,
+                "committed_sessions": self.committed_sessions,
+                "aborted_sessions": self.aborted_sessions,
+                "deadlock_sessions": self.deadlock_sessions,
+                "ok": self.ok,
+                "failures": [failure.to_dict() for failure in self.failures],
+            }
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"interleavings: mix={self.config.mix} sessions={self.config.sessions} "
+            f"seed={self.config.seed}",
+            f"  schedules run      {self.schedules_run}",
+            f"  serializable       {self.serializable}",
+            f"  sessions committed {self.committed_sessions}",
+            f"  sessions aborted   {self.aborted_sessions} "
+            f"(deadlock victims {self.deadlock_sessions})",
+            f"  verdict            {'OK' if self.ok else 'FAIL'}",
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  FAIL schedule #{failure.index}: {failure.reason}"
+            )
+            lines.append(f"    script  {list(failure.script)}")
+            lines.append(f"    shrunk  {list(failure.shrunk_script)}")
+        return "\n".join(lines)
+
+
+def _random_script(rng: random.Random, config: ScheduleConfig) -> List[int]:
+    return [rng.randrange(config.sessions * 4) for _ in range(config.script_length)]
+
+
+def shrink_script(
+    base: str,
+    programs: Sequence[SessionProgram],
+    script: Sequence[int],
+    config: ScheduleConfig,
+    rounds: int = 8,
+) -> Tuple[int, ...]:
+    """Greedy minimization: drop chunks, then zero entries, while the
+    schedule still fails the serializability check."""
+
+    def fails(candidate: Sequence[int]) -> bool:
+        return not run_schedule(base, programs, candidate, config).ok
+
+    best = list(script)
+    if not fails(best):
+        return tuple(best)
+    chunk = max(1, len(best) // 2)
+    for _ in range(rounds):
+        progressed = False
+        start = 0
+        while start < len(best):
+            candidate = best[:start] + best[start + chunk :]
+            if candidate and fails(candidate):
+                best = candidate
+                progressed = True
+            else:
+                start += chunk
+        if chunk == 1 and not progressed:
+            break
+        chunk = max(1, chunk // 2)
+    for index in range(len(best)):
+        if best[index] == 0:
+            continue
+        candidate = list(best)
+        candidate[index] = 0
+        if fails(candidate):
+            best = candidate
+    return tuple(best)
+
+
+def run_schedules(config: ScheduleConfig) -> ScheduleReport:
+    """Sample ``config.schedules`` seeded scripts and check every one."""
+    base, programs = generate_workload(config)
+    rng = random.Random(config.seed ^ 0x5EED)
+    report = ScheduleReport(config=config)
+    for index in range(config.schedules):
+        script = _random_script(rng, config)
+        outcome = run_schedule(base, programs, script, config)
+        report.schedules_run += 1
+        for status in outcome.outcomes.values():
+            if status == "committed":
+                report.committed_sessions += 1
+            else:
+                report.aborted_sessions += 1
+                if status == "deadlock":
+                    report.deadlock_sessions += 1
+        if outcome.ok:
+            report.serializable += 1
+        else:
+            shrunk = shrink_script(base, programs, script, config)
+            report.failures.append(
+                ScheduleFailure(
+                    index=index,
+                    script=tuple(script),
+                    shrunk_script=shrunk,
+                    reason=outcome.reason,
+                    outcomes=outcome.outcomes,
+                    observed=outcome.observed,
+                )
+            )
+    return report

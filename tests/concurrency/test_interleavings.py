@@ -1,0 +1,148 @@
+"""Deterministic interleaving harness (repro.testing.schedules).
+
+The CI ``concurrency`` job runs this module across its mix × seed
+matrix (REPRO_INTERLEAVING_SEEDS selects the seeds; the default keeps
+local runs fast).  Every sampled schedule must be serializable; a
+failure ships its shrunk schedule script as a one-line reproducer.
+"""
+
+import os
+
+import pytest
+
+from repro.core.store import XMLStore
+from repro.errors import ReproError
+from repro.server.sessions import XMLServer
+from repro.testing import schedules as schedules_module
+from repro.testing.schedules import (
+    MIXES,
+    ScheduleConfig,
+    generate_workload,
+    run_schedule,
+    run_schedules,
+    shrink_script,
+    _store_config,
+)
+
+
+def _seeds():
+    raw = os.environ.get("REPRO_INTERLEAVING_SEEDS", "0,7")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+class TestSerializability:
+    @pytest.mark.parametrize("mix", MIXES)
+    @pytest.mark.parametrize("seed", _seeds())
+    def test_sampled_schedules_are_serializable(self, mix, seed):
+        config = ScheduleConfig(
+            seed=seed, sessions=3, ops_per_session=3, mix=mix, schedules=4
+        )
+        report = run_schedules(config)
+        assert report.schedules_run == 4
+        assert report.ok, "\n" + report.render()
+        assert report.serializable == report.schedules_run
+
+    @pytest.mark.parametrize("sessions", [2, 4])
+    def test_session_count_extremes(self, sessions):
+        config = ScheduleConfig(
+            seed=42, sessions=sessions, ops_per_session=2, mix="hotspot", schedules=3
+        )
+        report = run_schedules(config)
+        assert report.ok, "\n" + report.render()
+
+    def test_reader_views_are_commit_consistent(self):
+        # the mixed workload carries a snapshot reader; its full-document
+        # views must all have matched a serial-prefix state to pass
+        config = ScheduleConfig(seed=7, sessions=3, mix="mixed", schedules=3)
+        base, programs = generate_workload(config)
+        assert any(program.read_only for program in programs)
+        report = run_schedules(config)
+        assert report.ok, "\n" + report.render()
+
+
+class TestDeterminism:
+    def test_same_script_replays_byte_identically(self):
+        config = ScheduleConfig(seed=3, sessions=3, mix="hotspot", schedules=1)
+        base, programs = generate_workload(config)
+        script = list(range(24))
+
+        def run_once():
+            store = XMLStore.open(config=_store_config(config))
+            store.load_document(base)
+            server = XMLServer(store)
+            for program in programs:
+                server.submit(list(program.ops), read_only=program.read_only)
+            report = server.run(script=script)
+            return report, store.wal.to_bytes(), store.read()
+
+        first_report, first_wal, first_doc = run_once()
+        second_report, second_wal, second_doc = run_once()
+        assert first_wal == second_wal
+        assert first_doc == second_doc
+        assert first_report.trace == second_report.trace
+        assert first_report.outcomes == second_report.outcomes
+        assert first_report.group_commit_batches == second_report.group_commit_batches
+
+    def test_same_seed_produces_identical_reports(self):
+        config = ScheduleConfig(seed=11, sessions=3, mix="mixed", schedules=3)
+        first = run_schedules(config)
+        second = run_schedules(config)
+        assert first.to_dict() == second.to_dict()
+
+    def test_outcome_object_is_replayable(self):
+        config = ScheduleConfig(seed=5, sessions=2, mix="disjoint", schedules=1)
+        base, programs = generate_workload(config)
+        script = [1, 0, 1, 1, 0, 0, 1, 0] * 6
+        outcome = run_schedule(base, programs, script, config)
+        replayed = run_schedule(base, programs, list(outcome.script), config)
+        assert replayed.observed == outcome.observed
+        assert replayed.outcomes == outcome.outcomes
+
+
+class TestShrinker:
+    def test_passing_script_is_returned_unchanged(self):
+        config = ScheduleConfig(seed=0, sessions=2, mix="disjoint", schedules=1)
+        base, programs = generate_workload(config)
+        script = [0, 1, 2, 3] * 8
+        assert shrink_script(base, programs, script, config) == tuple(script)
+
+    def test_failing_script_shrinks_to_the_culprit(self, monkeypatch):
+        # substitute the schedule runner with a fake whose failure is
+        # "script contains a 7": shrinking must keep a 7 and drop the rest
+        config = ScheduleConfig(seed=0, sessions=2, mix="disjoint", schedules=1)
+        base, programs = generate_workload(config)
+
+        class FakeOutcome:
+            def __init__(self, ok):
+                self.ok = ok
+
+        def fake_run(base_, programs_, script, config_):
+            return FakeOutcome(ok=7 not in list(script))
+
+        monkeypatch.setattr(schedules_module, "run_schedule", fake_run)
+        script = [3, 1, 7, 0, 5, 2, 7, 4, 6, 1, 3, 0]
+        shrunk = shrink_script(base, programs, script, config)
+        assert 7 in shrunk
+        assert len(shrunk) < len(script)
+        # every surviving non-culprit entry was zeroed
+        assert all(entry in (0, 7) for entry in shrunk)
+
+
+class TestConfigValidation:
+    def test_session_bounds_are_enforced(self):
+        with pytest.raises(ReproError):
+            ScheduleConfig(sessions=1)
+        with pytest.raises(ReproError):
+            ScheduleConfig(sessions=5)
+
+    def test_unknown_mix_is_rejected(self):
+        with pytest.raises(ReproError):
+            ScheduleConfig(mix="chaotic")
+
+    def test_report_dict_is_schema_stamped(self):
+        report = run_schedules(
+            ScheduleConfig(seed=1, sessions=2, mix="disjoint", schedules=1)
+        )
+        data = report.to_dict()
+        assert data["schema"] == "repro.testing.schedules/v1"
+        assert data["ok"] is True

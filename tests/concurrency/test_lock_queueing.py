@@ -1,0 +1,141 @@
+"""Queued-wait regressions (repro.concurrency.locks, wait=True path).
+
+The fail-fast (``wait=False``) discipline was well covered; these pin
+the queueing discipline the serving layer depends on: FIFO grant order,
+no overtaking, deterministic deadlock victims, wait-for edges induced by
+queue position, and queue cleanup on release_all.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.concurrency.locks import LockManager, LockMode
+
+R1 = ("store", "range", 1)
+R2 = ("store", "range", 2)
+
+
+class TestFifoGrantOrder:
+    def test_waiters_granted_in_arrival_order(self):
+        locks = LockManager()
+        assert locks.acquire(1, R1, LockMode.X)
+        assert not locks.acquire(2, R1, LockMode.X)
+        assert not locks.acquire(3, R1, LockMode.X)
+        locks.release_all(1)
+        # strict FIFO: txn 2 (first in line) holds, txn 3 still queued
+        assert locks.held_mode(2, R1) is LockMode.X
+        assert locks.held_mode(3, R1) is None
+        assert locks.is_waiting(3, R1)
+        locks.release_all(2)
+        assert locks.held_mode(3, R1) is LockMode.X
+
+    def test_compatible_waiters_drain_together(self):
+        locks = LockManager()
+        assert locks.acquire(1, R1, LockMode.X)
+        assert not locks.acquire(2, R1, LockMode.S)
+        assert not locks.acquire(3, R1, LockMode.S)
+        locks.release_all(1)
+        # the grant loop walks the queue head-first; both S fit at once
+        assert locks.held_mode(2, R1) is LockMode.S
+        assert locks.held_mode(3, R1) is LockMode.S
+
+    def test_no_overtaking_a_queued_stranger(self):
+        locks = LockManager()
+        assert locks.acquire(1, R1, LockMode.S)
+        assert not locks.acquire(2, R1, LockMode.X)
+        # S is compatible with the holder, but granting it would starve
+        # the queued X writer — it must wait its turn
+        assert not locks.acquire(3, R1, LockMode.S)
+        locks.release_all(1)
+        assert locks.held_mode(2, R1) is LockMode.X
+        assert locks.held_mode(3, R1) is None
+        locks.release_all(2)
+        assert locks.held_mode(3, R1) is LockMode.S
+
+    def test_requeue_while_suspended_keeps_position(self):
+        locks = LockManager()
+        assert locks.acquire(1, R1, LockMode.X)
+        assert not locks.acquire(2, R1, LockMode.S)
+        assert not locks.acquire(3, R1, LockMode.S)
+        # txn 2 retries (a suspended session re-running its op): no
+        # duplicate entry, original FIFO position kept
+        assert not locks.acquire(2, R1, LockMode.S)
+        locks.release_all(1)
+        assert locks.held_mode(2, R1) is LockMode.S
+        assert locks.held_mode(3, R1) is LockMode.S
+
+
+class TestDeadlockDetection:
+    def test_victim_is_the_requester_closing_the_cycle(self):
+        locks = LockManager()
+        assert locks.acquire(1, R1, LockMode.X)
+        assert locks.acquire(2, R2, LockMode.X)
+        assert not locks.acquire(2, R1, LockMode.X)
+        with pytest.raises(DeadlockError):
+            locks.acquire(1, R2, LockMode.X)
+        # determinism: the requester dies, the earlier waiter survives
+        assert locks.is_waiting(2, R1)
+        assert not locks.is_waiting(1, R2)
+
+    def test_queue_position_edges_are_part_of_the_wait_graph(self):
+        # FIFO means a queued request waits on every earlier queued
+        # stranger; omitting those edges let this 3-txn shape stall the
+        # scheduler forever (the interleaving harness found it):
+        #   txn1 holds R1; txn2 queues on R1; txn3 holds R2, queues on R1
+        #   *behind* txn2; then txn2 requests R2 -> txn2 waits txn3 waits
+        #   (queue) txn2
+        locks = LockManager()
+        assert locks.acquire(1, R1, LockMode.X)
+        assert not locks.acquire(2, R1, LockMode.X)
+        assert locks.acquire(3, R2, LockMode.X)
+        assert not locks.acquire(3, R1, LockMode.X)
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, R2, LockMode.X)
+
+    def test_mode_widening_that_closes_a_cycle_is_refused(self):
+        locks = LockManager()
+        assert locks.acquire(1, R1, LockMode.X)
+        assert locks.acquire(2, R2, LockMode.S)
+        assert not locks.acquire(2, R1, LockMode.S)
+        # txn1 queues an S on R2 — compatible with txn2's S hold... but
+        # blocked behind nothing; grantable, so acquire succeeds
+        assert locks.acquire(1, R2, LockMode.S)
+        # widening txn1's interest to X on R2 must now wait on txn2,
+        # which waits on txn1: refused as a deadlock
+        with pytest.raises(DeadlockError):
+            locks.acquire(1, R2, LockMode.X)
+
+
+class TestReleaseAllQueueCleanup:
+    def test_dequeue_exposes_grantable_head(self):
+        # txn2's queued X blocks txn3's compatible S behind it; when txn2
+        # aborts (never having held R1), txn3 must be granted — formerly
+        # release_all only re-examined resources the txn *held*
+        locks = LockManager()
+        assert locks.acquire(1, R1, LockMode.S)
+        assert not locks.acquire(2, R1, LockMode.X)
+        assert not locks.acquire(3, R1, LockMode.S)
+        locks.release_all(2)
+        assert locks.held_mode(3, R1) is LockMode.S
+        assert not locks.is_waiting(3, R1)
+
+    def test_release_all_drops_all_queued_requests(self):
+        locks = LockManager()
+        assert locks.acquire(1, R1, LockMode.X)
+        assert locks.acquire(1, R2, LockMode.X)
+        assert not locks.acquire(2, R1, LockMode.X)
+        assert not locks.acquire(2, R2, LockMode.X)
+        locks.release_all(2)
+        assert locks.waiting_resources(2) == []
+        locks.release_all(1)
+        # nobody left to grant; both resources are free
+        assert locks.acquire(3, R1, LockMode.X)
+        assert locks.acquire(3, R2, LockMode.X)
+
+    def test_waiting_resources_reports_queued_requests(self):
+        locks = LockManager()
+        assert locks.acquire(1, R1, LockMode.X)
+        assert not locks.acquire(2, R1, LockMode.S)
+        assert locks.waiting_resources(2) == [R1]
+        locks.release_all(1)
+        assert locks.waiting_resources(2) == []

@@ -1,0 +1,175 @@
+"""Undo composition (repro.concurrency.transactions._subtree_at_start).
+
+A transaction that mutates *inside* a subtree and then runs a subtree
+operation over it (delete / replace_node / replace_content) folds the
+earlier undo entries into one transaction-start image.  Without the
+fold, abort restored the outer image (re-allocating ids) and the older
+entries then addressed dead ids — the interleaving harness caught a
+session abort crashing exactly that way.
+"""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.concurrency.transactions import TransactionManager
+from repro.core.store import XMLStore
+
+BASE = "<lib><s1><item>seed</item></s1><s2><item>base</item></s2></lib>"
+# ids: 1=lib, 2=s1, 3=item, 4=text, 5=s2, 6=item, 7=text
+
+
+@pytest.fixture
+def store():
+    s = XMLStore.open()
+    s.load_document(BASE)
+    return s
+
+
+@pytest.fixture
+def manager(store):
+    return TransactionManager(store)
+
+
+class TestInsertThenSubtreeOp:
+    def test_abort_after_insert_then_replace_content_of_ancestor(self, store, manager):
+        txn = manager.begin()
+        txn.insert_into_last(2, "<x>mine</x>")
+        txn.replace_content(1, "FLAT")
+        txn.abort()
+        assert store.read() == BASE
+
+    def test_abort_after_insert_then_replace_content_of_same_node(self, store, manager):
+        txn = manager.begin()
+        txn.insert_into_last(2, "<x>mine</x>")
+        txn.replace_content(2, "FLAT")
+        txn.abort()
+        assert store.read() == BASE
+
+    def test_abort_after_insert_then_delete_of_ancestor(self, store, manager):
+        txn = manager.begin()
+        txn.insert_into_last(2, "<x>mine</x>")
+        txn.delete_node(2)
+        txn.abort()
+        assert store.read() == BASE
+
+    def test_commit_keeps_the_composed_result(self, store, manager):
+        txn = manager.begin()
+        txn.insert_into_last(2, "<x>mine</x>")
+        txn.replace_content(1, "FLAT")
+        txn.commit()
+        assert store.read() == "<lib>FLAT</lib>"
+
+
+class TestOwnInsertions:
+    def test_insert_then_delete_is_a_net_noop_on_abort(self, store, manager):
+        txn = manager.begin()
+        new_id = txn.insert_into_last(1, "<x>gone</x>")
+        txn.delete_node(new_id)
+        txn.abort()
+        assert store.read() == BASE
+
+    def test_insert_then_delete_is_a_net_noop_on_commit(self, store, manager):
+        txn = manager.begin()
+        new_id = txn.insert_into_last(1, "<x>gone</x>")
+        txn.delete_node(new_id)
+        txn.commit()
+        assert store.read() == BASE
+
+    def test_replace_content_of_own_insert_aborts_clean(self, store, manager):
+        txn = manager.begin()
+        new_id = txn.insert_into_last(1, "<x>orig</x>")
+        txn.replace_content(new_id, "CHANGED")
+        txn.abort()
+        assert store.read() == BASE
+
+    def test_replace_node_of_own_insert_aborts_clean(self, store, manager):
+        txn = manager.begin()
+        new_id = txn.insert_into_last(1, "<x>orig</x>")
+        txn.replace_node(new_id, "<y>other</y>")
+        txn.abort()
+        assert store.read() == BASE
+
+
+class TestIdentityChanges:
+    def test_replace_node_then_replace_content_aborts_to_original_node(
+        self, store, manager
+    ):
+        txn = manager.begin()
+        new_id = txn.replace_node(2, "<s1b>swapped</s1b>")
+        txn.replace_content(new_id, "FLAT")
+        txn.abort()
+        assert store.read() == BASE
+
+    def test_replace_node_then_delete_aborts_to_original_node(self, store, manager):
+        txn = manager.begin()
+        new_id = txn.replace_node(2, "<s1b>swapped</s1b>")
+        txn.delete_node(new_id)
+        txn.abort()
+        assert store.read() == BASE
+
+
+class TestDeepCompositions:
+    def test_delete_inside_then_replace_content_of_ancestor(self, store, manager):
+        txn = manager.begin()
+        txn.delete_node(3)  # <item>seed</item> inside s1
+        txn.replace_content(1, "FLAT")
+        txn.abort()
+        assert store.read() == BASE
+
+    def test_three_level_fold(self, store, manager):
+        # insert inside s1, flatten s1, then flatten lib: the outermost
+        # fold must consume the (already folded) middle entry
+        txn = manager.begin()
+        txn.insert_into_last(2, "<x>mine</x>")
+        txn.replace_content(2, "MID")
+        txn.replace_content(1, "OUTER")
+        assert len(txn.undo_entries) == 1
+        txn.abort()
+        assert store.read() == BASE
+
+    def test_fold_preserves_entries_outside_the_subtree(self, store, manager):
+        txn = manager.begin()
+        txn.insert_into_last(5, "<x>other-subtree</x>")  # outside s1
+        txn.insert_into_last(2, "<x>mine</x>")  # inside s1
+        txn.replace_content(2, "FLAT")  # folds only the s1 insert
+        assert len(txn.undo_entries) == 2
+        txn.abort()
+        assert store.read() == BASE
+
+    def test_sibling_reinsert_anchored_before_subtree_root_is_not_folded(
+        self, store, manager
+    ):
+        # deleting s1 records "reinsert before s2"; a later subtree op on
+        # s2 must NOT fold that entry — the content belongs outside s2
+        txn = manager.begin()
+        txn.delete_node(2)
+        txn.replace_content(5, "FLAT")
+        assert len(txn.undo_entries) == 2
+        txn.abort()
+        assert store.read() == BASE
+
+
+class TestRecordedIds:
+    def test_reinsert_entry_records_subtree_ids(self, store, manager):
+        txn = manager.begin()
+        txn.delete_node(2)
+        [entry] = txn.undo_entries
+        assert entry.kind == "reinsert"
+        assert entry.args[3] == (2, 3, 4)  # s1, item, text — document order
+
+    def test_restore_content_entry_records_content_ids(self, store, manager):
+        txn = manager.begin()
+        txn.replace_content(2, "FLAT")
+        [entry] = txn.undo_entries
+        assert entry.kind == "restore_content"
+        assert entry.args[2] == (3, 4)  # the <item> element and its text
+
+    def test_abort_still_reallocates_live_ids(self, store, manager):
+        # recorded ids serve models (snapshots, composition); the live
+        # store's contract is unchanged — content restored, ids fresh
+        txn = manager.begin()
+        txn.delete_node(3)
+        txn.abort()
+        assert store.read() == BASE
+        with pytest.raises(NodeNotFoundError):
+            store.read(3)
