@@ -68,10 +68,26 @@ Commands:
                                pack every observability artifact plus a
                                fresh diagnosis into one portable,
                                deterministic support tarball
+    serve [--host H] [--port N] [--seed N]
+                               serve the store to concurrent clients
+                               over TCP (newline-delimited JSON)
+    client --port N [--retries N] [--retry-backoff F] [PROGRAM]
+                               submit one session (or --ping/--stats/
+                               --shutdown) to a running server, with
+                               capped reconnect on dropped connections
+    replicate <replica-dir> [--channel-faults CLASSES] [--seed N]
+                               catch a read replica up to this store's
+                               change stream: idempotent resumable
+                               apply, seeded channel faults, bounded
+                               retry/backoff, digest-checked with
+                               auto-resync on divergence
+    lag [--json]               per-replica lag from the registry and
+                               checkpoints (files only; stale exits 1)
 
 ``trace``, ``explain``, ``profile``, ``heatmap``, ``verify``, ``scrub``,
-``repair``, ``monitor``, ``advise``, ``alerts``, ``health`` and
-``diagnose`` accept ``--output FILE`` to write the report to a file
+``repair``, ``monitor``, ``advise``, ``alerts``, ``health``,
+``diagnose``, ``replicate`` and ``lag`` accept ``--output FILE`` to
+write the report to a file
 instead of stdout; an unwritable path exits non-zero.  The global
 ``--verbose`` flag turns on the ``repro.*`` log hierarchy on stderr.
 
@@ -662,11 +678,132 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true", help="ask the server to stop"
     )
     client.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "reconnect attempts after a refused/dropped connection "
+            "(default 0 = fail on the first); exhaustion exits 1 with a "
+            "typed server-unavailable error"
+        ),
+    )
+    client.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        help=(
+            "base seconds between reconnect attempts, doubled each retry "
+            "(default 0.1)"
+        ),
+    )
+    client.add_argument(
         "program",
         nargs="?",
         default=None,
         help="session program: JSON list of {op, node_id, xml} objects",
     )
+
+    from repro.replication.channel import channel_fault_classes_help
+
+    replicate = commands.add_parser(
+        "replicate",
+        help="catch a read replica up to this store's change stream",
+        description=(
+            "Tails the primary's WAL as a logical change stream and "
+            "applies it onto the replica directory (created on demand; "
+            "a standard store directory afterwards, so read/xpath/serve/"
+            "health all work on it).  Apply is idempotent and resumes "
+            "from the replica's durable checkpoint; a seeded hostile "
+            "channel (--channel-faults) and deterministic retry/backoff "
+            "exercise the convergence machinery; divergence is detected "
+            "by state digest and healed by auto-resync.  The primary is "
+            "only ever read."
+        ),
+        epilog=(
+            "exit codes: 0 = replica converged (digest verified); 1 = "
+            "the retry budget ran out (checkpoint committed — rerun to "
+            "resume); 2 = the replica diverges and resync is disabled or "
+            "failed.  See the canonical exit-code table in README.md."
+        ),
+    )
+    replicate.add_argument("replica", help="replica directory (created on demand)")
+    replicate.add_argument(
+        "--name", default="replica", help="replica name in the registry"
+    )
+    replicate.add_argument(
+        "--channel-faults",
+        default="none",
+        help=channel_fault_classes_help(),
+    )
+    replicate.add_argument(
+        "--seed", type=int, default=0, help="channel fault seed (default 0)"
+    )
+    replicate.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.5,
+        help="per-fetch probability of injecting one enabled fault",
+    )
+    replicate.add_argument(
+        "--max-faults",
+        type=int,
+        default=16,
+        help="fault injections before the channel turns honest",
+    )
+    replicate.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        help="change records per channel fetch (default from config)",
+    )
+    replicate.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=None,
+        help="fetch attempts per batch before giving up (default from config)",
+    )
+    replicate.add_argument(
+        "--no-resync",
+        action="store_true",
+        help="report divergence as an error instead of auto-resyncing",
+    )
+    replicate.add_argument(
+        "--force-diverge",
+        action="store_true",
+        help=(
+            "write directly to the replica before catch-up (a split-brain "
+            "drill: the digest check must detect it and resync heal it)"
+        ),
+    )
+    replicate.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    replicate.add_argument("--output", default=None, help="write the report to a file")
+
+    lag = commands.add_parser(
+        "lag",
+        help="show replica lag against this store's change stream",
+        description=(
+            "Reads the primary's WAL, the replica registry "
+            "(store.replicas.json) and each replica's persisted "
+            "replication checkpoint — files only, the store is never "
+            "opened — and reports per-replica lag in committed "
+            "operations."
+        ),
+        epilog=(
+            "exit codes: 0 = every replica is fresh (or none configured); "
+            "1 = a replica's checkpoint is stale (no recent apply "
+            "progress).  See the canonical exit-code table in README.md."
+        ),
+    )
+    lag.add_argument(
+        "--stale-after",
+        type=_positive_int,
+        default=None,
+        help="staleness bound in operations (default from config)",
+    )
+    lag.add_argument("--json", action="store_true", help="machine-readable report")
+    lag.add_argument("--output", default=None, help="write the report to a file")
     return parser
 
 
@@ -706,6 +843,14 @@ def run(argv: Optional[List[str]] = None, stdin=None) -> str:
     if arguments.command == "client":
         # client talks to a running server: never touches the store files
         return _run_client(arguments)
+    if arguments.command == "replicate":
+        # replicate reads the primary's WAL bytes and owns the replica
+        # directory's lifecycle; the primary's files are never written
+        return _run_replicate(arguments)
+    if arguments.command == "lag":
+        # lag reads the registry, checkpoints and WAL bytes only: it can
+        # run beside a live primary without opening the store
+        return _run_lag(arguments)
     if arguments.command == "health":
         # health must not crash on the stores it exists to diagnose: a
         # normal open walks every chain block and dies on the first
@@ -796,12 +941,13 @@ def _run_client(arguments) -> str:
             "read_only": arguments.read_only,
             "ops": ops,
         }
-    try:
-        response = client_request(arguments.host, arguments.port, payload)
-    except (ConnectionError, OSError) as exc:
-        raise ReproError(
-            f"cannot reach server at {arguments.host}:{arguments.port}: {exc}"
-        )
+    response = client_request(
+        arguments.host,
+        arguments.port,
+        payload,
+        retries=arguments.retries,
+        retry_backoff=arguments.retry_backoff,
+    )
     text = json.dumps(response, indent=2, sort_keys=True)
     if not response.get("ok", False):
         # session aborted/shed or server refused: print the response and
@@ -813,6 +959,177 @@ def _run_client(arguments) -> str:
         error.exit_code = 1
         raise error
     return text
+
+
+def _primary_stream_image(primary_dir: str) -> bytes:
+    """The primary's durable WAL bytes — replication's only input."""
+    import os
+
+    from repro.core.filestore import WAL_FILE
+
+    wal_path = os.path.join(primary_dir, WAL_FILE)
+    if not os.path.exists(wal_path):
+        raise ReproError(f"{primary_dir}: not a store directory (no WAL)")
+    with open(wal_path, "rb") as handle:
+        return handle.read()
+
+
+def _run_replicate(arguments) -> str:
+    import os
+
+    from repro.core.store import XMLStore
+    from repro.replication.changestream import ChangeStream
+    from repro.replication.channel import (
+        ChannelFaultConfig,
+        ReplicationChannel,
+        RetryPolicy,
+    )
+    from repro.replication.replica import Replica
+    from repro.replication.service import catch_up, register_replica
+    from repro.storage.wal import WriteAheadLog
+
+    primary_dir = arguments.store
+    replica_dir = arguments.replica
+    if os.path.abspath(primary_dir) == os.path.abspath(replica_dir):
+        raise ReproError("the replica directory must differ from the primary's")
+    image = _primary_stream_image(primary_dir)
+    # the primary's committed state, reconstructed from its durable log
+    # alone (full restore is always sound) — the primary's files are
+    # never opened for writing
+    primary_wal = WriteAheadLog.from_bytes(image)
+    primary_state = XMLStore.recover(WriteAheadLog.from_bytes(image))
+    stream = ChangeStream(primary_wal)
+    config = StoreConfig()
+    faults = ChannelFaultConfig.from_classes(
+        arguments.channel_faults,
+        seed=arguments.seed,
+        fault_rate=arguments.fault_rate,
+        max_faults=arguments.max_faults,
+    )
+    channel = ReplicationChannel(stream, faults)
+    retry = RetryPolicy(
+        max_attempts=(
+            arguments.max_attempts
+            if arguments.max_attempts is not None
+            else config.replication_max_attempts
+        ),
+        base_delay=config.replication_backoff_base,
+        max_delay=config.replication_backoff_max,
+    )
+    store = open_directory(replica_dir, config=_cli_store_config())
+    replica = None
+    try:
+        replica = Replica(store, directory=replica_dir, name=arguments.name)
+        if arguments.force_diverge:
+            if replica.cursor == 0:
+                raise ReproError(
+                    "--force-diverge needs a replica with applied state "
+                    "(run replicate once first)"
+                )
+            # a split-brain drill: write around the stream, directly on
+            # the replica — the digest check must catch it
+            store.insert_into_last(1, "<diverged>forced</diverged>")
+        register_replica(
+            primary_dir, arguments.name, os.path.abspath(replica_dir)
+        )
+        report = catch_up(
+            channel,
+            replica,
+            primary_store=primary_state,
+            batch_size=(
+                arguments.batch_size
+                if arguments.batch_size is not None
+                else config.replication_batch_size
+            ),
+            retry=retry,
+            auto_resync=not arguments.no_resync,
+            source=os.path.abspath(primary_dir),
+        )
+    finally:
+        # a resync swaps the replica's store object wholesale — close
+        # whichever store is live now, not the one opened above
+        close_directory(
+            replica_dir, replica.store if replica is not None else store
+        )
+    if arguments.json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = (
+            f"replica {report.replica!r} caught up: cursor "
+            f"{report.started_cursor} -> {report.final_cursor} of "
+            f"{report.head} (applied {report.applied}, "
+            f"{report.duplicates_skipped} duplicate(s) skipped, "
+            f"{report.gaps_detected} gap(s), {report.retries} retrie(s), "
+            f"{report.faults_injected} channel fault(s), "
+            f"{report.resyncs} resync(s); digest "
+            f"{'ok' if report.digest_match else 'MISMATCH'})"
+        )
+    return _deliver(text, arguments.output)
+
+
+def _run_lag(arguments) -> str:
+    from repro.obs.schema import stamp
+    from repro.replication.replica import read_checkpoint
+    from repro.replication.service import list_replicas, stream_head_of
+
+    replicas = list_replicas(arguments.store)
+    head = stream_head_of(arguments.store)
+    if head is None:
+        raise ReproError(
+            f"{arguments.store}: not a store directory (no WAL)"
+        )
+    stale_after = (
+        arguments.stale_after
+        if arguments.stale_after is not None
+        else StoreConfig().replication_stale_after_ops
+    )
+    rows = []
+    for entry in replicas:
+        checkpoint = read_checkpoint(entry.get("path", ""))
+        cursor = int(checkpoint["cursor"]) if checkpoint else 0
+        lag = max(0, head - cursor)
+        rows.append(
+            {
+                "name": entry.get("name", "?"),
+                "path": entry.get("path", ""),
+                "cursor": cursor,
+                "lag": lag,
+                "stale": lag > stale_after,
+                "has_checkpoint": checkpoint is not None,
+            }
+        )
+    stale = [row for row in rows if row["stale"]]
+    if arguments.json:
+        text = json.dumps(
+            stamp(
+                {
+                    "head": head,
+                    "stale_after_ops": stale_after,
+                    "replicas": rows,
+                    "stale_count": len(stale),
+                }
+            ),
+            indent=2,
+            sort_keys=True,
+        )
+    else:
+        lines = [f"stream head: {head} committed operation(s)"]
+        if not rows:
+            lines.append("no replicas configured")
+        for row in rows:
+            status = "STALE" if row["stale"] else "fresh"
+            lines.append(
+                f"  {row['name']:<12} cursor {row['cursor']:>6} "
+                f"lag {row['lag']:>6}  [{status}]"
+            )
+        text = "\n".join(lines)
+    delivered = _deliver(text, arguments.output)
+    if stale:
+        raise StoreDegradedError(
+            f"{len(stale)} replica(s) stale (lag > {stale_after} ops): "
+            + ", ".join(row["name"] for row in stale)
+        )
+    return delivered
 
 
 def _run_health(arguments, stdin) -> str:
@@ -1094,6 +1411,12 @@ def _run_diagnose(arguments) -> str:
         raise StoreDegradedError(
             f"{len(report.incidents)} incident(s) occurred; a later "
             "repair came back clean"
+        )
+    if report.verdict == "degraded":
+        stale = (report.replication or {}).get("stale_replicas") or []
+        raise StoreDegradedError(
+            f"replication stale: {len(stale)} configured replica(s) "
+            "show no recent apply progress (see the report)"
         )
     return delivered
 

@@ -230,6 +230,38 @@ class StoreConfig:
     #: ordinary transactions that queue behind writers.
     server_snapshot_reads: bool = True
 
+    #: Replication (:mod:`repro.replication`): tail this store's WAL as
+    #: a logical change stream and keep read replicas caught up.  Off by
+    #: default under the zero-cost contract — a store that never
+    #: replicates pays nothing and stays byte-identical
+    #: (``tests/bench/test_replication_bench.py``).
+    replication_enabled: bool = False
+
+    #: Change records fetched per channel round trip during catch-up.
+    replication_batch_size: int = 64
+
+    #: Verify the primary-vs-replica state digest every this many applied
+    #: change records (and always once at the end of catch-up).
+    replication_digest_interval: int = 256
+
+    #: A configured replica whose checkpoint trails the primary's stream
+    #: by more than this many operations with no apply progress is
+    #: *stale* — the absence alert ``replication-stale`` and the health
+    #: component flag it.
+    replication_stale_after_ops: int = 128
+
+    #: Channel fetch attempts per batch before catch-up gives up with a
+    #: typed :class:`repro.errors.ReplicationChannelError`.
+    replication_max_attempts: int = 8
+
+    #: Deterministic exponential backoff between channel retries,
+    #: accumulated on the *simulated* clock: ``base * 2**(attempt-1)``
+    #: capped at ``max`` (seconds).  Never a wall-clock sleep.
+    replication_backoff_base: float = 0.01
+
+    #: Upper bound on a single backoff interval (seconds).
+    replication_backoff_max: float = 1.0
+
     def __post_init__(self) -> None:
         if self.page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
@@ -265,3 +297,17 @@ class StoreConfig:
             raise ValueError("server_max_queue_depth must be >= 0")
         if self.server_group_commit_max_batch < 1:
             raise ValueError("server_group_commit_max_batch must be at least 1")
+        if self.replication_batch_size < 1:
+            raise ValueError("replication_batch_size must be at least 1")
+        if self.replication_digest_interval < 1:
+            raise ValueError("replication_digest_interval must be at least 1")
+        if self.replication_stale_after_ops < 1:
+            raise ValueError("replication_stale_after_ops must be at least 1")
+        if self.replication_max_attempts < 1:
+            raise ValueError("replication_max_attempts must be at least 1")
+        if self.replication_backoff_base < 0:
+            raise ValueError("replication_backoff_base must be >= 0")
+        if self.replication_backoff_max < self.replication_backoff_base:
+            raise ValueError(
+                "replication_backoff_max must be >= replication_backoff_base"
+            )

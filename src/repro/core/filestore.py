@@ -83,6 +83,7 @@ def open_directory(path: str, config: Optional[StoreConfig] = None) -> XMLStore:
         with store.telemetry.span("store.open", path=path, fresh=True):
             # make the empty store immediately reopenable
             _write_catalog(catalog_path, store.checkpoint())
+        _attach_replication(store, path)
         return store
     with open(catalog_path, "rb") as handle:
         catalog = handle.read()
@@ -90,7 +91,19 @@ def open_directory(path: str, config: Optional[StoreConfig] = None) -> XMLStore:
     store = XMLStore.from_catalog(device, catalog, config=config, wal=wal)
     with store.telemetry.span("store.open", path=path, fresh=False):
         replay(store, wal)
+    _attach_replication(store, path)
     return store
+
+
+def _attach_replication(store: XMLStore, path: str) -> None:
+    """Hang the replication monitor off a primary that has replicas
+    configured (same pattern as the serving layer's ``store.server``),
+    so bridge/alerts/health see the lag gauges.  A store without a
+    replica registry pays nothing — not even an attribute."""
+    from repro.replication.service import REPLICAS_FILE, ReplicationMonitor
+
+    if os.path.exists(os.path.join(path, REPLICAS_FILE)):
+        store.replication = ReplicationMonitor(store, path)
 
 
 def close_directory(path: str, store: XMLStore) -> None:

@@ -251,3 +251,58 @@ class TransactionStateError(ConcurrencyError):
 
 class ObservabilityError(ReproError):
     """A metric or tracer was registered or used inconsistently."""
+
+
+# ---------------------------------------------------------------------------
+# Replication
+# ---------------------------------------------------------------------------
+
+class ReplicationError(ReproError):
+    """Base class for change-data-capture and replica errors."""
+
+
+class ChangeStreamError(ReplicationError):
+    """A change-stream frame is malformed beyond transport recovery
+    (bad schema version, impossible record type, decoder misuse)."""
+
+
+class ReplicationChannelError(ReplicationError):
+    """The replication channel failed and its retry budget is spent.
+
+    Raised by :class:`repro.replication.channel.ReplicationChannel` when
+    the bounded retry/backoff policy gives up — the replica's checkpoint
+    is intact, so a later ``repro replicate`` resumes cleanly.
+    """
+
+
+class ReplicationGapError(ReplicationChannelError):
+    """The channel delivered a batch that does not start at the replica's
+    cursor (dropped or reordered frames).  Retriable: re-fetch from the
+    cursor; escalates to :class:`ReplicationChannelError` only when the
+    retry budget runs out."""
+
+
+class ReplicationTimeoutError(ReplicationChannelError):
+    """Catch-up exceeded the configured attempt budget without the
+    replica reaching the primary's stream head."""
+
+
+class ReplicaDivergenceError(ReplicationError):
+    """The replica's state digest does not match the primary's committed
+    state and auto-resync was disabled or failed — the replica must not
+    serve reads until re-seeded."""
+
+    exit_code = 2
+
+
+class ServerUnavailableError(ReproError):
+    """The server could not be reached within the client's retry budget.
+
+    Raised by :func:`repro.server.netadapter.client_request` after the
+    capped reconnect/backoff loop is exhausted; carries ``attempts`` so
+    operators can tell one refused connection from a flapping server.
+    """
+
+    def __init__(self, message: str, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.attempts = attempts

@@ -379,6 +379,28 @@ def default_rules() -> Tuple[AlertRule, ...]:
             op=">",
             bound=0,
         ),
+        AlertRule(
+            "replication-lag",
+            "warning",
+            "threshold",
+            "a replica lags the primary's change stream",
+            metric="repro_replication_lag_ops",
+            op=">",
+            bound=256,
+        ),
+        AlertRule(
+            "replication-stale",
+            "warning",
+            "absence",
+            "a configured replica's checkpoint shows no apply progress",
+            # the liveness gauge is absent (reads 0) on stores without
+            # replicas, -1 when a configured replica's checkpoint is
+            # stale, and >= 1 while replicas make progress — so only the
+            # stale state can reach the bound
+            metric="repro_replication_apply_progress",
+            bound=-1.0,
+            min_operations=1,
+        ),
     )
 
 

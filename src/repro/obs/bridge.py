@@ -137,6 +137,31 @@ def store_registry(store) -> MetricsRegistry:
             "repro_server_snapshot_materializations_total",
             "Snapshot views materialized (lazy promotions + eager opens).",
         ).inc(server.snapshots.materializations)
+    replication = getattr(store, "replication", None)
+    if replication is not None:
+        # primary-side replication projection (registry + replica
+        # checkpoints); the gauges exist only on stores with replicas
+        # configured, so the absence rule reads 0 everywhere else
+        view = replication.snapshot()
+        registry.gauge(
+            "repro_replication_replicas",
+            "Replicas registered on this primary.",
+        ).set(float(view["replicas"]))
+        registry.gauge(
+            "repro_replication_lag_ops",
+            "Largest replica lag behind the primary's change stream, "
+            "in committed operations.",
+        ).set(float(view["lag_ops"]))
+        registry.counter(
+            "repro_replication_applied_total",
+            "Change records applied across every registered replica "
+            "(sum of checkpoint cursors).",
+        ).inc(view["applied_total"])
+        registry.gauge(
+            "repro_replication_apply_progress",
+            "Replication liveness: -1 when a configured replica's "
+            "checkpoint is stale, 1 + applied records otherwise.",
+        ).set(float(view["apply_progress"]))
     if store.incidents.enabled:
         incidents_total = registry.counter(
             "repro_incidents_total",

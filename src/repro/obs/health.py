@@ -299,6 +299,52 @@ def _slo_component(store) -> HealthComponent:
     )
 
 
+def _replication_component(store, store_path: Optional[str]) -> HealthComponent:
+    from repro.replication.service import ReplicationMonitor, list_replicas
+
+    if store_path is None or not list_replicas(store_path):
+        return HealthComponent(
+            "replication",
+            HEALTHY,
+            "no replicas configured",
+            {"replicas": []},
+        )
+    monitor = getattr(store, "replication", None)
+    if monitor is None:
+        monitor = ReplicationMonitor(store, store_path)
+    lags = monitor.replica_lags()
+    detail = {
+        "head": monitor.head(),
+        "stale_after_ops": store.config.replication_stale_after_ops,
+        "replicas": [
+            {
+                "name": lag.name,
+                "cursor": lag.cursor,
+                "lag": lag.lag,
+                "stale": lag.stale,
+                "has_checkpoint": lag.has_checkpoint,
+            }
+            for lag in lags
+        ],
+    }
+    stale = [lag for lag in lags if lag.stale]
+    if stale:
+        return HealthComponent(
+            "replication",
+            DEGRADED,
+            f"{len(stale)} of {len(lags)} replica(s) stale: "
+            + ", ".join(f"{lag.name} (lag {lag.lag})" for lag in stale),
+            detail,
+        )
+    max_lag = max((lag.lag for lag in lags), default=0)
+    return HealthComponent(
+        "replication",
+        HEALTHY,
+        f"{len(lags)} replica(s), max lag {max_lag} op(s)",
+        detail,
+    )
+
+
 def health_report(
     store,
     store_path: Optional[str] = None,
@@ -322,5 +368,6 @@ def health_report(
             _wal_component(store, wal_pending_bound),
             _drift_component(store, drift_bound),
             _slo_component(store),
+            _replication_component(store, store_path),
         ]
     )

@@ -19,6 +19,8 @@ inside bundles beat alert transitions, which beat incident records),
 and a verdict mapped onto the CLI's canonical exit-code scheme —
 
 * ``clean`` / exit 0: no incidents, no fault evidence;
+* ``degraded`` / exit 1: no incidents, but a configured replica's
+  replication checkpoint is stale (no recent apply progress);
 * ``resolved`` / exit 1: incidents occurred but a later repair left the
   store integrity-clean (degraded-but-diagnosed);
 * ``unresolved`` / exit 2: incidents with no clean repair after them.
@@ -29,8 +31,9 @@ deterministically (plain ``w`` mode — gzip embeds an mtime — zeroed
 member metadata, sorted order), so two identical seeded runs produce
 byte-identical support bundles; CI relies on this.
 
-Everything here is read-only with respect to the store: no pages, no
-WAL, no catalog are ever touched.
+Everything here is read-only with respect to the store: pages, WAL and
+catalog are never modified (the replication-staleness check reads the
+primary's WAL bytes to find the stream head, but only ever reads).
 """
 
 from __future__ import annotations
@@ -385,24 +388,72 @@ def _resolution(
     return ("unresolved", detail)
 
 
+def _replication_staleness(store_path: str) -> Optional[Dict[str, object]]:
+    """Stale-replica evidence from files alone, or None when healthy.
+
+    A store with a replica registry whose replicas' persisted
+    checkpoints trail the primary's stream head beyond the configured
+    staleness bound has silently stopped replicating — ``diagnose`` must
+    not call that clean (the absence-rule alert fires on the live store;
+    this is the post-mortem, file-only view of the same condition).
+    """
+    from repro.core.config import StoreConfig
+    from repro.replication.replica import read_checkpoint
+    from repro.replication.service import list_replicas, stream_head_of
+
+    replicas = list_replicas(store_path)
+    if not replicas:
+        return None
+    head = stream_head_of(store_path)
+    if head is None:
+        return None
+    stale_after = StoreConfig().replication_stale_after_ops
+    stale = []
+    for entry in replicas:
+        checkpoint = read_checkpoint(entry.get("path", ""))
+        cursor = int(checkpoint["cursor"]) if checkpoint else 0
+        lag = max(0, head - cursor)
+        if lag > stale_after:
+            stale.append(
+                {
+                    "name": entry.get("name", "?"),
+                    "cursor": cursor,
+                    "lag": lag,
+                    "has_checkpoint": checkpoint is not None,
+                }
+            )
+    if not stale:
+        return None
+    return {
+        "head": head,
+        "stale_after_ops": stale_after,
+        "stale_replicas": stale,
+        "configured_replicas": len(replicas),
+    }
+
+
 @dataclass
 class DiagnosisReport:
     """What happened to this store, reconstructed from artifacts alone."""
 
     store_path: str
-    verdict: str  # "clean" | "resolved" | "unresolved"
+    verdict: str  # "clean" | "degraded" | "resolved" | "unresolved"
     timeline: List[TimelineEntry]
     incidents: List[Dict[str, object]]
     root_cause: Optional[Dict[str, object]] = None
     resolution: Optional[Dict[str, object]] = None
     #: bundle the diagnosis focused on (``--incident``), if any
     focus: Optional[str] = None
+    #: stale-replication evidence (None when replicas are healthy or
+    #: none are configured)
+    replication: Optional[Dict[str, object]] = None
 
     @property
     def exit_code(self) -> int:
         """The canonical CLI scheme (see README): 0 clean, 1 incidents
-        resolved by a clean repair (degraded history), 2 unresolved."""
-        return {"clean": 0, "resolved": 1}.get(self.verdict, 2)
+        resolved by a clean repair or replication gone stale (degraded),
+        2 unresolved."""
+        return {"clean": 0, "degraded": 1, "resolved": 1}.get(self.verdict, 2)
 
     def to_dict(self) -> Dict[str, object]:
         from repro.obs.schema import stamp
@@ -417,6 +468,7 @@ class DiagnosisReport:
                 "root_cause": self.root_cause,
                 "resolution": self.resolution,
                 "focus": self.focus,
+                "replication": self.replication,
                 "timeline": [entry.to_dict() for entry in self.timeline],
             }
         )
@@ -439,6 +491,14 @@ class DiagnosisReport:
             )
         if self.resolution is not None:
             lines.append(f"  resolution: repair ({self.verdict})")
+        if self.replication is not None:
+            stale = self.replication.get("stale_replicas") or []
+            names = ", ".join(
+                f"{r.get('name')} (lag {r.get('lag')})" for r in stale
+            )
+            lines.append(
+                f"  replication: {len(stale)} stale replica(s): {names}"
+            )
         lines.append("")
         lines.append("timeline (causal order):")
         if not self.timeline:
@@ -479,6 +539,11 @@ def diagnose(
     timeline = build_timeline(store_path, bundles=timeline_bundles)
     sidecar = _read_json(os.path.join(store_path, SIDECAR_ARTIFACT))
     verdict, resolution = _resolution(bundles, sidecar)
+    replication = _replication_staleness(store_path)
+    if verdict == "clean" and replication is not None:
+        # replicas configured but none keeping up: not clean — an
+        # operator pointed here must see the stalled replication
+        verdict = "degraded"
     return DiagnosisReport(
         store_path=store_path,
         verdict=verdict,
@@ -487,6 +552,7 @@ def diagnose(
         root_cause=_root_cause(timeline, timeline_bundles),
         resolution=resolution,
         focus=focus,
+        replication=replication,
     )
 
 

@@ -1,0 +1,61 @@
+"""Change-data-capture and read replicas.
+
+The WAL already records every mutating operation with its arguments
+(repair's full-log rebuild proved the log replays deterministically);
+this package exposes it as a logical change stream and keeps read
+replicas caught up over a hostile channel:
+
+``changestream``
+    Tails the primary's WAL — committed, durable frames only — into
+    CRC-framed, schema-stamped change records with a dense cursor.
+``channel``
+    Transport between stream and replica with seeded fault injection
+    (drop/duplicate/reorder/truncate/delay/disconnect) and a bounded,
+    deterministic retry/backoff policy.
+``replica``
+    Applies the stream onto its own store directory, write-ahead and
+    idempotent, with an atomically committed checkpoint sidecar so
+    apply is resumable after a crash at any point.
+``digest``
+    Merkle-style state digests for divergence detection.
+``service``
+    The catch-up driver: retry loop, lag trace, divergence check and
+    automatic resync; plus the primary-side replica registry and the
+    observability monitor.
+
+Determinism contract: same primary WAL + same channel seed ⇒ same
+stream bytes, same replica state, same lag trace.
+"""
+
+from repro.replication.changestream import ChangeRecord, ChangeStream
+from repro.replication.channel import (
+    CHANNEL_FAULT_CLASSES,
+    ChannelFaultConfig,
+    ReplicationChannel,
+    RetryPolicy,
+)
+from repro.replication.digest import state_digest
+from repro.replication.replica import Replica
+from repro.replication.service import (
+    CatchUpReport,
+    ReplicationMonitor,
+    catch_up,
+    list_replicas,
+    register_replica,
+)
+
+__all__ = [
+    "CHANNEL_FAULT_CLASSES",
+    "CatchUpReport",
+    "ChangeRecord",
+    "ChangeStream",
+    "ChannelFaultConfig",
+    "Replica",
+    "ReplicationChannel",
+    "ReplicationMonitor",
+    "RetryPolicy",
+    "catch_up",
+    "list_replicas",
+    "register_replica",
+    "state_digest",
+]

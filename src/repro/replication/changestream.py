@@ -1,0 +1,186 @@
+"""Logical decoding: the WAL as a stream of committed change records.
+
+The stream tails :meth:`repro.storage.wal.WriteAheadLog.records`, which
+by construction yields only the *durable prefix* of the log: deferred
+group-commit frames sit in a volatile buffer until their shared sync
+barrier, and a torn tail fails its CRC — so a transaction whose
+``TXN_COMMIT`` frame has not reached its barrier can never be emitted
+(the durable-prefix-only guarantee the replication torture pins).
+
+One change record corresponds to one non-checkpoint WAL frame.  A
+``TXN_COMMIT`` frame stays whole — its payload already encodes every
+operation of the transaction with pinned id cursors (see
+:mod:`repro.storage.txnlog`), so shipping it intact preserves both
+transaction atomicity and deterministic id reallocation on the replica.
+Checkpoint markers are primary-local bookkeeping and are skipped, which
+makes the stream cursor (``seq``) dense: record *n* is always the *n*-th
+committed change since the store was created, independent of how many
+checkpoints the primary took.
+
+Wire format (little endian)::
+
+    u32 crc32 | u32 length | u16 schema_version | u64 seq | u64 lsn |
+    u16 record_type | i64 txn_id | payload
+
+The CRC covers everything after itself, so a truncated or bit-flipped
+frame is detected at the replica and treated as a *transport* fault
+(re-fetch), not corruption of the replica.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import ChangeStreamError
+from repro.obs.schema import SCHEMA_VERSION
+from repro.storage.txnlog import decode_commit
+from repro.storage.wal import LogRecord, RecordType, WriteAheadLog
+
+_WIRE = struct.Struct("<IIHQQHq")
+
+#: ``txn_id`` for change records outside any transaction (direct ops).
+NO_TXN = -1
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One committed change, positioned in the stream.
+
+    ``seq`` is the dense stream cursor (0-based count of committed
+    non-checkpoint frames before this one); ``lsn`` is the frame's
+    position in the primary's WAL (sparse — checkpoints consume LSNs).
+    """
+
+    seq: int
+    lsn: int
+    record_type: int
+    payload: bytes
+    txn_id: int = NO_TXN
+
+    @property
+    def type_name(self) -> str:
+        return RecordType.NAMES.get(self.record_type, f"type#{self.record_type}")
+
+    @property
+    def op_count(self) -> int:
+        """Logical operations carried: >1 only for transaction commits."""
+        if self.record_type == RecordType.TXN_COMMIT:
+            return len(decode_commit(self.payload).ops)
+        return 1
+
+    def encode(self) -> bytes:
+        header = _WIRE.pack(
+            0,
+            len(self.payload),
+            SCHEMA_VERSION,
+            self.seq,
+            self.lsn,
+            self.record_type,
+            self.txn_id,
+        )
+        body = header[4:] + self.payload
+        return struct.pack("<I", zlib.crc32(body)) + body
+
+
+def _record_txn_id(record: LogRecord) -> int:
+    if record.record_type == RecordType.TXN_COMMIT:
+        return decode_commit(record.payload).txn_id
+    return NO_TXN
+
+
+class ChangeStream:
+    """Read-only logical view over a primary's WAL."""
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self.wal = wal
+
+    def records(self, start_seq: int = 0) -> Iterator[ChangeRecord]:
+        """Committed change records from ``start_seq`` onward.
+
+        Re-scans the log from the start on every call; the WAL has no
+        random access by design, and the stream must observe exactly the
+        durable prefix at call time.
+        """
+        if start_seq < 0:
+            raise ChangeStreamError(f"stream cursor must be >= 0, got {start_seq}")
+        seq = 0
+        for record in self.wal.records():
+            if record.record_type == RecordType.CHECKPOINT:
+                continue
+            if seq >= start_seq:
+                yield ChangeRecord(
+                    seq=seq,
+                    lsn=record.lsn,
+                    record_type=record.record_type,
+                    payload=record.payload,
+                    txn_id=_record_txn_id(record),
+                )
+            seq += 1
+
+    def length(self) -> int:
+        """Committed change records available (the stream head cursor)."""
+        return sum(
+            1
+            for record in self.wal.records()
+            if record.record_type != RecordType.CHECKPOINT
+        )
+
+    def batch(self, start_seq: int, limit: int) -> List[ChangeRecord]:
+        """At most ``limit`` records starting at ``start_seq``."""
+        out: List[ChangeRecord] = []
+        for record in self.records(start_seq):
+            out.append(record)
+            if len(out) >= limit:
+                break
+        return out
+
+
+def encode_batch(records: Sequence[ChangeRecord]) -> bytes:
+    """Concatenated wire frames — what the channel ships."""
+    return b"".join(record.encode() for record in records)
+
+
+def decode_frames(data: bytes) -> Tuple[List[ChangeRecord], bool]:
+    """Decode a wire batch, tolerating a damaged tail.
+
+    Returns ``(records, clean)``.  ``clean`` is False when the batch
+    ended in a truncated or checksum-failing frame — a *transport*
+    condition (the channel's truncate fault, a torn read): the intact
+    prefix is still usable and the caller re-fetches the rest.  A frame
+    that is intact but semantically impossible (wrong schema version)
+    raises :class:`repro.errors.ChangeStreamError` instead — retrying
+    cannot fix a speaker of the wrong protocol.
+    """
+    records: List[ChangeRecord] = []
+    offset = 0
+    while offset < len(data):
+        if len(data) - offset < _WIRE.size:
+            return records, False
+        crc, length, version, seq, lsn, record_type, txn_id = _WIRE.unpack_from(
+            data, offset
+        )
+        end = offset + _WIRE.size + length
+        if len(data) < end:
+            return records, False
+        body = data[offset + 4 : end]
+        if zlib.crc32(body) != crc:
+            return records, False
+        if version != SCHEMA_VERSION:
+            raise ChangeStreamError(
+                f"change record seq={seq} has schema_version={version}, "
+                f"this build speaks {SCHEMA_VERSION}"
+            )
+        records.append(
+            ChangeRecord(
+                seq=seq,
+                lsn=lsn,
+                record_type=record_type,
+                payload=data[end - length : end],
+                txn_id=txn_id,
+            )
+        )
+        offset = end
+    return records, True

@@ -1,0 +1,213 @@
+"""The replication transport, and the hostility it must survive.
+
+:class:`ReplicationChannel` is the only path between a primary's change
+stream and a replica.  A real network loses, duplicates, reorders,
+truncates, delays and disconnects; the channel injects exactly those six
+fault classes from a seeded generator, with a *bounded* budget — once
+``max_faults`` injections have fired the channel turns honest, so every
+seeded run provably converges (or the retry policy's bound fires first
+with a typed error).
+
+Retry backoff is deterministic and *simulated*: attempts accumulate
+``base * 2**(attempt-1)`` (capped) into the report's ``backoff_seconds``
+instead of sleeping, keeping the whole replication core wall-clock free
+and byte-reproducible — the same discipline as the disk cost model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ReplicationChannelError, ReplicationError
+from repro.replication.changestream import ChangeStream, encode_batch
+
+#: Registry of channel fault classes — the CLI ``replicate
+#: --channel-faults`` parser, its help text, and the CI matrix values
+#: all derive from this tuple (same single-source rule as
+#: :data:`repro.storage.faults.FAULT_CLASSES`).
+CHANNEL_FAULT_CLASSES = (
+    ("drop", "silently drop records from a fetched batch (a gap the replica must detect)"),
+    ("duplicate", "re-deliver records the replica already applied"),
+    ("reorder", "shuffle the records inside a batch"),
+    ("truncate", "cut the batch's byte stream mid-frame (fails the frame CRC)"),
+    ("delay", "return an empty batch although records are available"),
+    ("disconnect", "drop the connection mid-fetch (a typed transport error)"),
+)
+
+CHANNEL_FAULT_NAMES = tuple(name for name, _ in CHANNEL_FAULT_CLASSES)
+
+
+def channel_fault_classes_help() -> str:
+    """One-line help text for ``--channel-faults``, registry-derived."""
+    return (
+        "comma list of channel fault classes — "
+        + ", ".join(CHANNEL_FAULT_NAMES)
+        + "; or all / none"
+    )
+
+
+@dataclass
+class ChannelFaultConfig:
+    """Which faults the channel may inject, from a seeded stream."""
+
+    seed: int = 0
+    drop: bool = False
+    duplicate: bool = False
+    reorder: bool = False
+    truncate: bool = False
+    delay: bool = False
+    disconnect: bool = False
+    #: Per-fetch probability of injecting one enabled fault.
+    fault_rate: float = 0.5
+    #: Total injections allowed before the channel turns honest; the
+    #: bound is what makes seeded convergence provable.
+    max_faults: int = 16
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(
+            (self.drop, self.duplicate, self.reorder,
+             self.truncate, self.delay, self.disconnect)
+        )
+
+    @classmethod
+    def from_classes(
+        cls,
+        classes: str,
+        seed: int = 0,
+        fault_rate: Optional[float] = None,
+        max_faults: Optional[int] = None,
+    ) -> "ChannelFaultConfig":
+        """Build a config from a comma-separated class list.
+
+        ``all`` enables every class, ``none`` (or an empty string) none.
+        """
+        overrides = {}
+        if fault_rate is not None:
+            overrides["fault_rate"] = fault_rate
+        if max_faults is not None:
+            overrides["max_faults"] = max_faults
+        if classes in ("", "none"):
+            return cls(seed=seed, **overrides)
+        if classes == "all":
+            return cls(
+                seed=seed,
+                **{name.replace("-", "_"): True for name in CHANNEL_FAULT_NAMES},
+                **overrides,
+            )
+        wanted = {token.strip() for token in classes.split(",") if token.strip()}
+        wanted.discard("none")
+        unknown = wanted - set(CHANNEL_FAULT_NAMES)
+        if unknown:
+            raise ReplicationError(
+                f"unknown channel fault class(es) {sorted(unknown)}; "
+                f"known: {sorted(CHANNEL_FAULT_NAMES)}"
+            )
+        return cls(seed=seed, **{name: True for name in wanted}, **overrides)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic exponential backoff."""
+
+    max_attempts: int = 8
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def delay(self, attempt: int) -> float:
+        """Simulated backoff before retry number ``attempt`` (1-based)."""
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+
+
+class ReplicationChannel:
+    """Fetches wire batches from a change stream, faults included.
+
+    ``fetch(cursor, limit)`` returns the encoded batch starting at the
+    stream cursor — possibly mangled by one injected fault.  Counters
+    record every injection by class so torture reports and tests can
+    assert the hostility actually happened.
+    """
+
+    def __init__(
+        self,
+        stream: ChangeStream,
+        faults: Optional[ChannelFaultConfig] = None,
+    ) -> None:
+        self.stream = stream
+        self.faults = faults or ChannelFaultConfig()
+        self._rng = random.Random(self.faults.seed)
+        self.fetches = 0
+        self.faults_injected = 0
+        self.injected_by_class = {name: 0 for name in CHANNEL_FAULT_NAMES}
+
+    # -- transport ------------------------------------------------------------
+
+    def fetch(self, cursor: int, limit: int) -> bytes:
+        """The wire bytes for ``limit`` records starting at ``cursor``.
+
+        May raise :class:`repro.errors.ReplicationChannelError` (the
+        ``disconnect`` fault); every other fault shows up in the bytes.
+        """
+        self.fetches += 1
+        records = self.stream.batch(cursor, limit)
+        fault = self._pick_fault()
+        if fault is None:
+            return encode_batch(records)
+        self.faults_injected += 1
+        self.injected_by_class[fault] += 1
+        if fault == "disconnect":
+            raise ReplicationChannelError(
+                f"channel disconnected during fetch at cursor {cursor}"
+            )
+        if fault == "delay":
+            return b""
+        if fault == "drop" and records:
+            victim = self._rng.randrange(len(records))
+            records = records[:victim] + records[victim + 1 :]
+            return encode_batch(records)
+        if fault == "duplicate" and records:
+            victim = self._rng.randrange(len(records))
+            records = records[: victim + 1] + records[victim:]
+            return encode_batch(records)
+        if fault == "reorder" and len(records) > 1:
+            shuffled = list(records)
+            self._rng.shuffle(shuffled)
+            return encode_batch(shuffled)
+        if fault == "truncate" and records:
+            data = encode_batch(records)
+            cut = self._rng.randrange(1, len(data))
+            return data[:cut]
+        # the drawn fault had nothing to chew on (empty batch): honest
+        return encode_batch(records)
+
+    def head(self) -> int:
+        """The primary's stream head (committed record count)."""
+        return self.stream.length()
+
+    # -- fault drawing ----------------------------------------------------------
+
+    def _enabled_classes(self) -> List[str]:
+        config = self.faults
+        return [
+            name
+            for name, flag in (
+                ("drop", config.drop),
+                ("duplicate", config.duplicate),
+                ("reorder", config.reorder),
+                ("truncate", config.truncate),
+                ("delay", config.delay),
+                ("disconnect", config.disconnect),
+            )
+            if flag
+        ]
+
+    def _pick_fault(self) -> Optional[str]:
+        enabled = self._enabled_classes()
+        if not enabled or self.faults_injected >= self.faults.max_faults:
+            return None
+        if self._rng.random() >= self.faults.fault_rate:
+            return None
+        return enabled[self._rng.randrange(len(enabled))]

@@ -25,7 +25,7 @@ import json
 import socket
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ReproError, SessionLimitError
+from repro.errors import ReproError, ServerUnavailableError, SessionLimitError
 from repro.server.sessions import SessionOp, XMLServer
 
 
@@ -186,8 +186,8 @@ class AsyncXMLServer:
         return {"ok": False, "error": f"unknown cmd {command!r}"}
 
 
-def client_request(host: str, port: int, payload: dict, timeout: float = 10.0) -> dict:
-    """Blocking one-shot client: send one request line, read one response."""
+def _attempt_request(host: str, port: int, payload: dict, timeout: float) -> dict:
+    """One connection, one request line, one response line."""
     with socket.create_connection((host, port), timeout=timeout) as conn:
         conn.sendall((json.dumps(payload) + "\n").encode())
         chunks: List[bytes] = []
@@ -200,5 +200,46 @@ def client_request(host: str, port: int, payload: dict, timeout: float = 10.0) -
                 break
     raw = b"".join(chunks)
     if not raw:
-        raise ReproError("server closed the connection without responding")
+        # the server died between accept and respond: surface it as a
+        # connection-class failure so the retry loop reconnects
+        raise ConnectionError("server closed the connection without responding")
     return json.loads(raw.decode())
+
+
+def client_request(
+    host: str,
+    port: int,
+    payload: dict,
+    timeout: float = 10.0,
+    retries: int = 0,
+    retry_backoff: float = 0.1,
+) -> dict:
+    """Blocking one-shot client with capped reconnect.
+
+    A refused, dropped or half-finished connection is retried up to
+    ``retries`` times on a fresh socket, backing off ``retry_backoff *
+    2**(attempt-1)`` wall seconds between attempts (via the sanctioned
+    :func:`repro.obs.clock.sleep` — the server being restarted really
+    does take wall time to come back).  Requests are whole lines over
+    fresh connections, so a retry can at worst re-submit an idempotent
+    read or re-run a session the server never acknowledged — the same
+    at-least-once contract every line-oriented retrying client has.
+    Exhausting the budget raises the typed
+    :class:`repro.errors.ServerUnavailableError` (exit 1).
+    """
+    from repro.obs.clock import sleep
+
+    attempts = max(1, retries + 1)
+    failure: Optional[Exception] = None
+    for attempt in range(1, attempts + 1):
+        try:
+            return _attempt_request(host, port, payload, timeout)
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            failure = exc
+            if attempt < attempts:
+                sleep(retry_backoff * 2 ** (attempt - 1))
+    raise ServerUnavailableError(
+        f"server {host}:{port} unreachable after {attempts} attempt(s): "
+        f"{failure}",
+        attempts=attempts,
+    )

@@ -1,0 +1,610 @@
+"""Replication torture: every fault class, every crash point, one verdict.
+
+The harness answers the replication analogue of the crash-torture
+question: *is there any channel fault, apply-time crash, or divergent
+write after which the replica silently disagrees with the primary?*
+Five legs, all derived from one seed:
+
+1. **Oracle** — a deterministic primary workload (reusing the
+   crash-torture generator) plus redo-buffered transactions, so the
+   change stream carries both per-operation frames and ``TXN_COMMIT``
+   frames.  The primary's serialized document and state digest are the
+   ground truth every other leg is verified against.
+2. **Byte-determinism gate** — two catch-up runs with the same seed
+   must produce identical stream bytes, an identical replica document,
+   and an identical lag-trace JSON (CI diffs all three).
+3. **Fault matrix** — for each channel fault class (and all at once) a
+   fresh replica catches up through a seeded lossy channel: it either
+   converges digest-verified, or raises the typed retry-exhaustion
+   error and then *resumes cleanly* from its durable cursor — never a
+   silent divergence.
+4. **Crash matrix** — the converged replica's WAL image is truncated
+   at every frame boundary and mid-frame; recovery must rebuild
+   exactly the durable apply prefix (torn tails discarded by the CRC
+   scan), and a resumed catch-up through each enabled fault class must
+   converge byte-identically.
+5. **Divergence drill** — a write *around* the stream, directly on the
+   replica, must be caught by the digest check: typed error when
+   resync is disabled, detected-and-healed when it is not.
+
+Every decision derives from ``ReplicationTortureConfig.seed``, so a
+failure report is a replayable recipe.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import StoreConfig
+from repro.core.store import XMLStore
+from repro.errors import ReplicaDivergenceError, ReplicationTimeoutError, StoreError
+from repro.log import get_logger
+from repro.replication.changestream import ChangeStream, encode_batch
+from repro.replication.channel import (
+    CHANNEL_FAULT_NAMES,
+    ChannelFaultConfig,
+    ReplicationChannel,
+    RetryPolicy,
+)
+from repro.replication.digest import state_digest
+from repro.replication.replica import Replica
+from repro.replication.service import catch_up
+from repro.storage.wal import _FRAME, RecordType, WriteAheadLog
+from repro.testing.torture import TortureConfig, apply_op, generate_workload
+
+_log = get_logger("testing.repltorture")
+
+
+@dataclass
+class ReplicationTortureConfig:
+    """Everything that determines a replication torture run, seed first."""
+
+    seed: int = 0
+    #: primary workload operations (crash-torture generator)
+    ops: int = 10
+    workload: str = "mixed"
+    #: redo-buffered transactions appended after the workload, so the
+    #: stream carries TXN_COMMIT frames with id-cursor pinning
+    txns: int = 2
+    #: catch-up fetch size (small: many fetches = many fault chances)
+    batch_size: int = 4
+    fault_rate: float = 0.6
+    max_faults: int = 12
+    max_attempts: int = 6
+    #: fault-matrix classes (leg 3)
+    fault_classes: Tuple[str, ...] = tuple(CHANNEL_FAULT_NAMES) + ("all",)
+    #: channel behavior during crash-matrix resume (leg 4)
+    crash_fault_classes: Tuple[str, ...] = ("none",) + tuple(CHANNEL_FAULT_NAMES)
+    #: test at most this many truncation points (seeded sample); None = all
+    crash_points: Optional[int] = None
+
+    def store_config(self) -> StoreConfig:
+        return StoreConfig(page_size=512, buffer_pool_capacity=8)
+
+    def torture_config(self) -> TortureConfig:
+        # no compaction (pure workload stream) and periodic checkpoints,
+        # so the stream's CHECKPOINT-skipping is always exercised
+        return TortureConfig(
+            seed=self.seed,
+            ops=self.ops,
+            workload=self.workload,
+            checkpoint_every=4,
+            compact_every=None,
+        )
+
+
+# ====================================================================== oracle ==
+
+
+def build_primary(config: ReplicationTortureConfig) -> XMLStore:
+    """The oracle: a deterministic primary with ops + transactions."""
+    store = XMLStore.open(config.store_config())
+    for op in generate_workload(config.torture_config()):
+        apply_op(store, op)
+    if config.txns:
+        from repro.concurrency.transactions import TransactionManager
+
+        anchor = store.load_document("<txns/>")
+        manager = TransactionManager(store, redo_buffering=True)
+        for index in range(config.txns):
+            txn = manager.begin()
+            txn.insert_into_last(anchor, f"<t>{index}</t>")
+            txn.commit()
+    return store
+
+
+def _fresh_replica(config: ReplicationTortureConfig, name: str) -> Replica:
+    return Replica(XMLStore.open(config.store_config()), name=name)
+
+
+def _channel(
+    config: ReplicationTortureConfig,
+    image: bytes,
+    classes: str,
+    seed: int,
+) -> ReplicationChannel:
+    stream = ChangeStream(WriteAheadLog.from_bytes(image))
+    faults = ChannelFaultConfig.from_classes(
+        classes,
+        seed=seed,
+        fault_rate=config.fault_rate,
+        max_faults=config.max_faults,
+    )
+    return ReplicationChannel(stream, faults)
+
+
+def _verify_converged(
+    replica: Replica, primary: XMLStore, where: str
+) -> Optional[str]:
+    if state_digest(replica.store) != state_digest(primary):
+        return f"{where}: digests disagree after convergence"
+    actual = replica.store.read()
+    expected = primary.read()
+    if actual != expected:
+        return (
+            f"{where}: replica document diverges from primary "
+            f"(expected {len(expected)} chars, got {len(actual)})"
+        )
+    return None
+
+
+# ================================================================= fault matrix ==
+
+
+@dataclass
+class FaultClassResult:
+    """Verdict for one channel fault class (leg 3)."""
+
+    classes: str
+    converged: bool
+    timed_out: bool
+    resumed: bool
+    retries: int
+    faults_injected: int
+    applied: int
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "classes": self.classes,
+            "ok": self.ok,
+            "converged": self.converged,
+            "timed_out": self.timed_out,
+            "resumed": self.resumed,
+            "retries": self.retries,
+            "faults_injected": self.faults_injected,
+            "applied": self.applied,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def run_fault_class(
+    config: ReplicationTortureConfig,
+    classes: str,
+    primary: XMLStore,
+    image: bytes,
+) -> FaultClassResult:
+    """One lossy catch-up: converge, or typed error + clean resume."""
+    replica = _fresh_replica(config, f"fault-{classes}")
+    channel = _channel(config, image, classes, seed=config.seed)
+    retry = RetryPolicy(max_attempts=config.max_attempts)
+    timed_out = resumed = False
+    try:
+        report = catch_up(
+            channel,
+            replica,
+            primary_store=primary,
+            batch_size=config.batch_size,
+            retry=retry,
+        )
+    except ReplicationTimeoutError as exc:
+        # the typed-error arm: the budget ran out, the checkpointed
+        # cursor survives, and an honest channel must finish the job
+        timed_out = True
+        report = exc.report
+        honest = _channel(config, image, "none", seed=config.seed)
+        catch_up(
+            honest,
+            replica,
+            primary_store=primary,
+            batch_size=config.batch_size,
+            retry=RetryPolicy(max_attempts=config.max_attempts),
+        )
+        resumed = True
+    error = _verify_converged(replica, primary, f"fault-matrix[{classes}]")
+    return FaultClassResult(
+        classes=classes,
+        converged=not timed_out,
+        timed_out=timed_out,
+        resumed=resumed,
+        retries=report.retries,
+        faults_injected=report.faults_injected,
+        applied=report.applied,
+        error=error,
+    )
+
+
+# ================================================================= crash matrix ==
+
+
+@dataclass
+class CrashPointResult:
+    """Verdict for one replica-WAL truncation point (leg 4)."""
+
+    point: int
+    offset: int
+    #: "boundary" = clean frame edge; "torn" = mid-frame cut
+    kind: str
+    classes: str
+    expected_cursor: int
+    recovered_cursor: int
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "point": self.point,
+            "offset": self.offset,
+            "kind": self.kind,
+            "classes": self.classes,
+            "ok": self.ok,
+            "expected_cursor": self.expected_cursor,
+            "recovered_cursor": self.recovered_cursor,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def frame_layout(image: bytes) -> List[Tuple[int, int]]:
+    """``(offset, record_type)`` of each complete frame in ``image``."""
+    layout: List[Tuple[int, int]] = []
+    offset = 0
+    while offset + _FRAME.size <= len(image):
+        _, length, record_type, _ = _FRAME.unpack_from(image, offset)
+        end = offset + _FRAME.size + length
+        if end > len(image):
+            break
+        layout.append((offset, record_type))
+        offset = end
+    return layout
+
+
+def truncation_points(image: bytes) -> List[Tuple[int, str, int]]:
+    """``(offset, kind, durable_changes)`` for every frame boundary and
+    one mid-frame cut per frame — the crash-point enumeration."""
+    layout = frame_layout(image)
+    edges = [offset for offset, _ in layout] + [len(image)]
+    points: List[Tuple[int, str, int]] = []
+    durable = 0
+    for index, (start, record_type) in enumerate(layout):
+        points.append((start, "boundary", durable))
+        end = edges[index + 1]
+        middle = start + (end - start) // 2
+        if start < middle < end:
+            # a torn frame: the CRC scan must discard it wholesale
+            points.append((middle, "torn", durable))
+        if record_type != RecordType.CHECKPOINT:
+            durable += 1
+    points.append((len(image), "boundary", durable))
+    return points
+
+
+def run_crash_point(
+    config: ReplicationTortureConfig,
+    primary: XMLStore,
+    primary_image: bytes,
+    replica_image: bytes,
+    offset: int,
+    kind: str,
+    expected_cursor: int,
+    classes: str,
+    point: int,
+) -> CrashPointResult:
+    """Truncate the replica's WAL at ``offset``, recover, resume, verify."""
+    result = CrashPointResult(
+        point=point,
+        offset=offset,
+        kind=kind,
+        classes=classes,
+        expected_cursor=expected_cursor,
+        recovered_cursor=-1,
+    )
+    replica = Replica.recover_from_image(
+        replica_image[:offset],
+        config=config.store_config(),
+        name=f"crash-{point}",
+    )
+    result.recovered_cursor = replica.cursor
+    if replica.cursor != expected_cursor:
+        result.error = (
+            f"recovery rebuilt cursor {replica.cursor}, expected the "
+            f"durable prefix {expected_cursor}"
+        )
+        return result
+    channel = _channel(
+        config, primary_image, classes, seed=config.seed ^ (0x9E3779B9 + point)
+    )
+    try:
+        catch_up(
+            channel,
+            replica,
+            primary_store=primary,
+            batch_size=config.batch_size,
+            retry=RetryPolicy(max_attempts=config.max_attempts),
+        )
+    except ReplicationTimeoutError:
+        honest = _channel(config, primary_image, "none", seed=config.seed)
+        catch_up(
+            honest,
+            replica,
+            primary_store=primary,
+            batch_size=config.batch_size,
+            retry=RetryPolicy(max_attempts=config.max_attempts),
+        )
+    result.error = _verify_converged(
+        replica, primary, f"crash-matrix[{point}@{offset}:{kind}:{classes}]"
+    )
+    return result
+
+
+# ====================================================================== report ==
+
+
+@dataclass
+class ReplicationTortureReport:
+    """Outcome of a whole replication torture run."""
+
+    config: ReplicationTortureConfig
+    stream_length: int = 0
+    byte_deterministic: bool = True
+    fault_results: List[FaultClassResult] = field(default_factory=list)
+    crash_results: List[CrashPointResult] = field(default_factory=list)
+    crash_points_total: int = 0
+    divergence_typed: bool = False
+    divergence_healed: bool = False
+    divergence_error: Optional[str] = None
+
+    @property
+    def failures(self) -> List[object]:
+        failing: List[object] = [r for r in self.fault_results if not r.ok]
+        failing.extend(r for r in self.crash_results if not r.ok)
+        return failing
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.failures
+            and self.byte_deterministic
+            and self.divergence_typed
+            and self.divergence_healed
+            and self.divergence_error is None
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        from repro.obs.schema import stamp
+
+        return stamp(
+            {
+                "ok": self.ok,
+                "seed": self.config.seed,
+                "ops": self.config.ops,
+                "txns": self.config.txns,
+                "workload": self.config.workload,
+                "stream_length": self.stream_length,
+                "byte_deterministic": self.byte_deterministic,
+                "fault_classes": [r.to_dict() for r in self.fault_results],
+                "crash_points_total": self.crash_points_total,
+                "crash_points_tested": len(self.crash_results),
+                "crash_failures": [
+                    r.to_dict() for r in self.crash_results if not r.ok
+                ],
+                "divergence": {
+                    "typed": self.divergence_typed,
+                    "healed": self.divergence_healed,
+                    "error": self.divergence_error,
+                },
+            }
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"replication torture seed={self.config.seed} "
+            f"ops={self.config.ops} txns={self.config.txns} "
+            f"stream={self.stream_length} change(s)",
+            "byte determinism: "
+            + ("identical" if self.byte_deterministic else "DIVERGED"),
+        ]
+        for result in self.fault_results:
+            verdict = "ok" if result.ok else "FAILED"
+            outcome = (
+                "converged"
+                if result.converged
+                else "timed out (typed), resumed clean"
+            )
+            lines.append(
+                f"  [{verdict}] channel={result.classes}: {outcome}, "
+                f"{result.faults_injected} fault(s), {result.retries} "
+                f"retrie(s), {result.applied} applied"
+            )
+            if result.error:
+                lines.append(f"    {result.error}")
+        crash_failed = [r for r in self.crash_results if not r.ok]
+        lines.append(
+            f"crash matrix: {len(self.crash_results)} of "
+            f"{self.crash_points_total} point(s) tested, "
+            f"{len(crash_failed)} failing"
+        )
+        for result in crash_failed:
+            lines.append(
+                f"  point {result.point} offset={result.offset} "
+                f"[{result.kind}, channel={result.classes}]: {result.error}"
+            )
+        lines.append(
+            "divergence drill: "
+            + (
+                "typed when resync disabled, healed by auto-resync"
+                if self.divergence_typed and self.divergence_healed
+                else f"FAILED ({self.divergence_error})"
+            )
+        )
+        lines.append(
+            "no silently divergent replica"
+            if self.ok
+            else f"{len(self.failures)} FAILING leg(s)"
+        )
+        return "\n".join(lines)
+
+
+# ==================================================================== the legs ==
+
+
+def check_byte_determinism(
+    config: ReplicationTortureConfig, primary: XMLStore, image: bytes
+) -> bool:
+    """Leg 2: same seed ⇒ same stream bytes, state, and lag trace."""
+    outcomes = []
+    for _ in range(2):
+        stream = ChangeStream(WriteAheadLog.from_bytes(image))
+        stream_bytes = encode_batch(list(stream.records()))
+        replica = _fresh_replica(config, "determinism")
+        channel = _channel(config, image, "all", seed=config.seed)
+        report = catch_up(
+            channel,
+            replica,
+            primary_store=primary,
+            batch_size=config.batch_size,
+            # generous budget: the bounded fault allowance guarantees an
+            # eventually-honest channel, so this always converges
+            retry=RetryPolicy(max_attempts=4 * config.max_attempts),
+        )
+        trace = json.dumps(report.to_dict(), sort_keys=True)
+        outcomes.append((stream_bytes, replica.store.read(), trace))
+    return outcomes[0] == outcomes[1]
+
+
+def run_divergence_drill(
+    config: ReplicationTortureConfig, primary: XMLStore, image: bytes
+) -> Tuple[bool, bool, Optional[str]]:
+    """Leg 5: a write around the stream must never survive unnoticed."""
+    replica = _fresh_replica(config, "divergence")
+    honest = _channel(config, image, "none", seed=config.seed)
+    catch_up(
+        honest,
+        replica,
+        primary_store=primary,
+        batch_size=config.batch_size,
+        retry=RetryPolicy(max_attempts=config.max_attempts),
+    )
+    # split-brain: a local write the stream never carried
+    replica.store.load_document("<diverged/>")
+    if state_digest(replica.store) == state_digest(primary):
+        return False, False, "digest failed to distinguish a divergent replica"
+    typed = False
+    try:
+        catch_up(
+            _channel(config, image, "none", seed=config.seed),
+            replica,
+            primary_store=primary,
+            batch_size=config.batch_size,
+            retry=RetryPolicy(max_attempts=config.max_attempts),
+            auto_resync=False,
+        )
+    except ReplicaDivergenceError:
+        typed = True
+    if not typed:
+        return False, False, "divergence with resync disabled raised no typed error"
+    report = catch_up(
+        _channel(config, image, "none", seed=config.seed),
+        replica,
+        primary_store=primary,
+        batch_size=config.batch_size,
+        retry=RetryPolicy(max_attempts=config.max_attempts),
+        auto_resync=True,
+    )
+    if report.resyncs < 1:
+        return typed, False, "auto-resync never fired on a divergent replica"
+    error = _verify_converged(replica, primary, "divergence-drill")
+    return typed, error is None, error
+
+
+def run_replication_torture(
+    config: Optional[ReplicationTortureConfig] = None,
+) -> ReplicationTortureReport:
+    """All five legs for ``config``; see the module docstring."""
+    config = config if config is not None else ReplicationTortureConfig()
+    primary = build_primary(config)
+    primary_image = primary.wal.to_bytes()
+    report = ReplicationTortureReport(config=config)
+    report.stream_length = ChangeStream(
+        WriteAheadLog.from_bytes(primary_image)
+    ).length()
+    if report.stream_length == 0:
+        raise StoreError("replication torture needs a non-empty change stream")
+    # leg 2
+    report.byte_deterministic = check_byte_determinism(
+        config, primary, primary_image
+    )
+    # leg 3
+    for classes in config.fault_classes:
+        result = run_fault_class(config, classes, primary, primary_image)
+        report.fault_results.append(result)
+        if not result.ok:
+            _log.warning("fault class %s FAILED: %s", classes, result.error)
+    # leg 4: crash the *replica* at every point of a converged apply
+    oracle_replica = _fresh_replica(config, "oracle")
+    catch_up(
+        _channel(config, primary_image, "none", seed=config.seed),
+        oracle_replica,
+        primary_store=primary,
+        batch_size=config.batch_size,
+        retry=RetryPolicy(max_attempts=config.max_attempts),
+    )
+    replica_image = oracle_replica.store.wal.to_bytes()
+    points = truncation_points(replica_image)
+    cases = [
+        (index, offset, kind, durable, classes)
+        for index, (offset, kind, durable) in enumerate(points)
+        for classes in config.crash_fault_classes
+    ]
+    report.crash_points_total = len(cases)
+    if config.crash_points is not None and config.crash_points < len(cases):
+        rng = random.Random(config.seed ^ 0x5EED)
+        cases = sorted(rng.sample(cases, config.crash_points))
+    for index, offset, kind, durable, classes in cases:
+        result = run_crash_point(
+            config,
+            primary,
+            primary_image,
+            replica_image,
+            offset,
+            kind,
+            durable,
+            classes,
+            point=index,
+        )
+        report.crash_results.append(result)
+        if not result.ok:
+            _log.warning(
+                "crash point %d (%s@%d, %s) FAILED: %s",
+                index, kind, offset, classes, result.error,
+            )
+    # leg 5
+    (
+        report.divergence_typed,
+        report.divergence_healed,
+        report.divergence_error,
+    ) = run_divergence_drill(config, primary, primary_image)
+    return report

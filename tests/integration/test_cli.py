@@ -561,6 +561,7 @@ class TestJSONSchemaStamp:
         "torture": ["torture", "--ops", "4", "--json", "--crash-points", "2"],
         "diagnose": ["diagnose", "--json"],
         "bundle": ["bundle", "--json"],
+        "lag": ["lag", "--json"],
     }
 
     @pytest.mark.parametrize("command", sorted(CASES), ids=sorted(CASES))

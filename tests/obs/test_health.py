@@ -40,7 +40,7 @@ class TestVerdicts:
         names = [c.name for c in report.components]
         assert names == [
             "integrity", "quarantine", "checksum-errors", "repair",
-            "scrub", "wal", "drift", "slo",
+            "scrub", "wal", "drift", "slo", "replication",
         ]
 
     def test_quarantine_makes_the_store_unhealthy(self):
@@ -132,7 +132,7 @@ class TestReportShape:
         assert payload["schema_version"] == 1
         assert payload["verdict"] == HEALTHY
         assert payload["exit_code"] == 0
-        assert len(payload["components"]) == 8
+        assert len(payload["components"]) == 9
 
     def test_render_lists_components_with_markers(self):
         store = _store()

@@ -1,0 +1,174 @@
+"""Logical decoding (repro.replication.changestream): the WAL as a
+stream of committed change records, durable-prefix-only."""
+
+import pytest
+
+from repro.core.store import XMLStore
+from repro.errors import ChangeStreamError
+from repro.replication.changestream import (
+    NO_TXN,
+    ChangeStream,
+    decode_frames,
+    encode_batch,
+)
+from repro.storage.txnlog import CommitOp, decode_commit, encode_commit
+from repro.storage.wal import RecordType, WriteAheadLog
+from repro.testing.repltorture import frame_layout, truncation_points
+
+
+def _store_with_ops():
+    store = XMLStore.open()
+    store.load_document("<r><a>one</a></r>")
+    store.insert_into_last(1, "<b>two</b>")
+    store.checkpoint()
+    store.insert_into_last(1, "<c>three</c>")
+    return store
+
+
+def _commit_payload(txn_id=7):
+    ops = [
+        CommitOp(
+            record_type=RecordType.INSERT_INTO_LAST,
+            payload=b"\x00" * 8,
+            id_cursor_before=10,
+            id_cursor_after=12,
+        )
+    ]
+    return encode_commit(txn_id, ops)
+
+
+class TestStream:
+    def test_checkpoints_are_skipped_and_seq_is_dense(self):
+        store = _store_with_ops()
+        records = list(ChangeStream(store.wal).records())
+        assert [r.seq for r in records] == [0, 1, 2]
+        assert all(r.record_type != RecordType.CHECKPOINT for r in records)
+        # lsn stays sparse: the checkpoint consumed one
+        assert [r.lsn for r in records] == [0, 1, 3]
+
+    def test_length_and_batch(self):
+        store = _store_with_ops()
+        stream = ChangeStream(store.wal)
+        assert stream.length() == 3
+        assert [r.seq for r in stream.batch(1, 5)] == [1, 2]
+        assert stream.batch(3, 5) == []
+
+    def test_negative_cursor_is_typed(self):
+        store = _store_with_ops()
+        with pytest.raises(ChangeStreamError):
+            list(ChangeStream(store.wal).records(start_seq=-1))
+
+    def test_txn_commit_frames_stay_whole_with_txn_id(self):
+        store = _store_with_ops()
+        payload = _commit_payload(txn_id=7)
+        store.wal.append(RecordType.TXN_COMMIT, payload, sync=True)
+        record = list(ChangeStream(store.wal).records())[-1]
+        assert record.record_type == RecordType.TXN_COMMIT
+        assert record.txn_id == 7
+        assert record.op_count == 1
+        # id-cursor pinning rides along untouched
+        assert decode_commit(record.payload).ops[0].id_cursor_before == 10
+
+    def test_plain_records_carry_no_txn(self):
+        store = _store_with_ops()
+        assert all(
+            r.txn_id == NO_TXN for r in ChangeStream(store.wal).records()
+        )
+
+
+class TestWire:
+    def test_round_trip(self):
+        store = _store_with_ops()
+        records = list(ChangeStream(store.wal).records())
+        decoded, clean = decode_frames(encode_batch(records))
+        assert clean is True
+        assert decoded == records
+
+    def test_truncated_tail_is_a_transport_fault(self):
+        store = _store_with_ops()
+        records = list(ChangeStream(store.wal).records())
+        data = encode_batch(records)
+        decoded, clean = decode_frames(data[:-3])
+        assert clean is False
+        assert decoded == records[:-1]  # the intact prefix survives
+
+    def test_bit_flip_fails_the_crc(self):
+        store = _store_with_ops()
+        data = bytearray(encode_batch(list(ChangeStream(store.wal).records())))
+        data[10] ^= 0xFF
+        decoded, clean = decode_frames(bytes(data))
+        assert clean is False
+        assert decoded == []
+
+    def test_wrong_schema_version_is_unretriable(self):
+        store = _store_with_ops()
+        record = next(ChangeStream(store.wal).records())
+        import struct
+        import zlib
+
+        from repro.replication.changestream import _WIRE
+
+        header = _WIRE.pack(
+            0, len(record.payload), 999, record.seq, record.lsn,
+            record.record_type, record.txn_id,
+        )
+        body = header[4:] + record.payload
+        frame = struct.pack("<I", zlib.crc32(body)) + body
+        with pytest.raises(ChangeStreamError, match="schema_version=999"):
+            decode_frames(frame)
+
+
+class TestDurablePrefixOnly:
+    """A transaction whose commit frame has not reached its sync barrier
+    must never be emitted — under deferred group commit and across the
+    whole crash-point truncation matrix."""
+
+    def test_pending_group_commit_frames_are_invisible(self):
+        store = _store_with_ops()
+        stream = ChangeStream(store.wal)
+        head_before = stream.length()
+        # deferred commit: the frame sits in the volatile buffer until
+        # the shared barrier (the server's group-commit discipline)
+        store.wal.append(
+            RecordType.TXN_COMMIT, _commit_payload(txn_id=1), sync=False
+        )
+        store.wal.append(
+            RecordType.TXN_COMMIT, _commit_payload(txn_id=2), sync=False
+        )
+        assert store.wal.pending_frames == 2
+        assert stream.length() == head_before
+        assert all(r.txn_id == NO_TXN for r in stream.records())
+        # the captured durable image agrees: a crash here loses both
+        image_stream = ChangeStream(WriteAheadLog.from_bytes(store.wal.to_bytes()))
+        assert image_stream.length() == head_before
+        # the barrier lands: both commits appear, in order, at the head
+        store.wal.sync()
+        tail = list(stream.records(start_seq=head_before))
+        assert [r.txn_id for r in tail] == [1, 2]
+
+    def test_durable_prefix_pinned_across_every_truncation_point(self):
+        store = _store_with_ops()
+        store.wal.append(
+            RecordType.TXN_COMMIT, _commit_payload(txn_id=9), sync=True
+        )
+        image = store.wal.to_bytes()
+        full = list(ChangeStream(WriteAheadLog.from_bytes(image)).records())
+        for offset, kind, durable_changes in truncation_points(image):
+            truncated = image[:offset]
+            records = list(
+                ChangeStream(WriteAheadLog.from_bytes(truncated)).records()
+            )
+            # exactly the durable prefix — a torn frame never leaks
+            assert len(records) == durable_changes, (offset, kind)
+            assert records == full[:durable_changes], (offset, kind)
+            # every emitted commit frame is whole and decodable
+            for record in records:
+                if record.record_type == RecordType.TXN_COMMIT:
+                    assert decode_commit(record.payload).txn_id == 9
+
+    def test_frame_layout_walks_the_image_exactly(self):
+        store = _store_with_ops()
+        image = store.wal.to_bytes()
+        layout = frame_layout(image)
+        assert len(layout) == sum(1 for _ in store.wal.records())
+        assert layout[0][0] == 0

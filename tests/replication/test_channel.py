@@ -1,0 +1,133 @@
+"""The replication channel (repro.replication.channel): six seeded
+fault classes, a bounded budget, deterministic backoff."""
+
+import pytest
+
+from repro.core.store import XMLStore
+from repro.errors import ReplicationChannelError, ReplicationError
+from repro.replication.changestream import ChangeStream, decode_frames
+from repro.replication.channel import (
+    CHANNEL_FAULT_NAMES,
+    ChannelFaultConfig,
+    ReplicationChannel,
+    RetryPolicy,
+    channel_fault_classes_help,
+)
+
+
+def _stream(changes=6):
+    store = XMLStore.open()
+    store.load_document("<r/>")
+    for index in range(changes - 1):
+        store.insert_into_last(1, f"<c>{index}</c>")
+    return ChangeStream(store.wal)
+
+
+def _channel(classes, seed=0, fault_rate=1.0, max_faults=16):
+    return ReplicationChannel(
+        _stream(),
+        ChannelFaultConfig.from_classes(
+            classes, seed=seed, fault_rate=fault_rate, max_faults=max_faults
+        ),
+    )
+
+
+class TestFaultConfig:
+    def test_from_classes_all_none_and_unknown(self):
+        assert not ChannelFaultConfig.from_classes("none").any_enabled
+        assert not ChannelFaultConfig.from_classes("").any_enabled
+        every = ChannelFaultConfig.from_classes("all")
+        assert every.any_enabled
+        assert all(
+            getattr(every, name) for name in CHANNEL_FAULT_NAMES
+        )
+        picked = ChannelFaultConfig.from_classes("drop,delay")
+        assert picked.drop and picked.delay and not picked.reorder
+        with pytest.raises(ReplicationError, match="unknown channel fault"):
+            ChannelFaultConfig.from_classes("gremlins")
+
+    def test_help_text_derives_from_the_registry(self):
+        text = channel_fault_classes_help()
+        for name in CHANNEL_FAULT_NAMES:
+            assert name in text
+
+
+class TestRetryPolicy:
+    def test_deterministic_exponential_backoff_with_cap(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.01, multiplier=2.0, max_delay=0.05
+        )
+        delays = [policy.delay(attempt) for attempt in range(1, 6)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+
+class TestChannel:
+    def test_honest_channel_round_trips(self):
+        channel = _channel("none")
+        records, clean = decode_frames(channel.fetch(0, 10))
+        assert clean is True
+        assert [r.seq for r in records] == list(range(channel.head()))
+        assert channel.faults_injected == 0
+
+    def test_same_seed_same_bytes(self):
+        first = _channel("all", seed=3)
+        second = _channel("all", seed=3)
+        for cursor in (0, 2, 4):
+            try:
+                bytes_a = first.fetch(cursor, 3)
+            except ReplicationChannelError:
+                bytes_a = b"<disconnect>"
+            try:
+                bytes_b = second.fetch(cursor, 3)
+            except ReplicationChannelError:
+                bytes_b = b"<disconnect>"
+            assert bytes_a == bytes_b
+        assert first.injected_by_class == second.injected_by_class
+
+    def test_fault_budget_bounds_the_hostility(self):
+        channel = _channel("delay", fault_rate=1.0, max_faults=3)
+        for _ in range(3):
+            assert channel.fetch(0, 4) == b""
+        # the budget is spent: the channel turns honest forever
+        records, clean = decode_frames(channel.fetch(0, 4))
+        assert clean and len(records) == 4
+        assert channel.faults_injected == 3
+
+    def test_drop_removes_a_record(self):
+        records, clean = decode_frames(_channel("drop").fetch(0, 4))
+        assert clean is True
+        assert len(records) == 3
+
+    def test_duplicate_redelivers_a_record(self):
+        records, clean = decode_frames(_channel("duplicate").fetch(0, 4))
+        assert clean is True
+        assert len(records) == 5
+        assert len({r.seq for r in records}) == 4
+
+    def test_reorder_keeps_the_set(self):
+        channel = _channel("reorder", seed=1)
+        records, clean = decode_frames(channel.fetch(0, 6))
+        assert clean is True
+        assert sorted(r.seq for r in records) == list(range(6))
+
+    def test_truncate_fails_the_frame_crc(self):
+        records, clean = decode_frames(_channel("truncate").fetch(0, 4))
+        assert clean is False
+        assert len(records) < 4
+
+    def test_disconnect_is_typed(self):
+        with pytest.raises(ReplicationChannelError, match="disconnected"):
+            _channel("disconnect").fetch(0, 4)
+
+    def test_counters_attribute_the_injections(self):
+        channel = _channel("drop,delay", seed=5, max_faults=6)
+        for _ in range(6):
+            channel.fetch(0, 4)
+        assert channel.fetches == 6
+        assert channel.faults_injected == sum(
+            channel.injected_by_class.values()
+        )
+        assert channel.faults_injected == 6
+        assert set(
+            name for name, count in channel.injected_by_class.items() if count
+        ) <= {"drop", "delay"}

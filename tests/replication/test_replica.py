@@ -1,0 +1,196 @@
+"""The replica (repro.replication.replica): idempotent apply, durable
+checkpoints, crash recovery from the WAL image, resync."""
+
+import os
+
+import pytest
+
+from repro.core.filestore import close_directory, open_directory
+from repro.core.store import XMLStore
+from repro.errors import ReplicationGapError
+from repro.obs.schema import SCHEMA_VERSION
+from repro.replication.changestream import ChangeStream
+from repro.replication.channel import ChannelFaultConfig, ReplicationChannel
+from repro.replication.digest import (
+    digest_chunks,
+    first_divergent_chunk,
+    state_digest,
+)
+from repro.replication.replica import (
+    CHECKPOINT_FILE,
+    Replica,
+    read_checkpoint,
+    wal_change_count,
+)
+from repro.replication.service import catch_up
+from repro.storage.wal import WriteAheadLog
+from repro.testing.repltorture import truncation_points
+
+
+def _primary(changes=5):
+    store = XMLStore.open()
+    store.load_document("<r/>")
+    for index in range(changes - 1):
+        store.insert_into_last(1, f"<c>{index}</c>")
+    return store
+
+
+def _records(primary):
+    return list(ChangeStream(primary.wal).records())
+
+
+class TestApply:
+    def test_apply_advances_cursor_and_state(self):
+        primary = _primary()
+        replica = Replica(XMLStore.open())
+        for record in _records(primary):
+            assert replica.apply(record) is True
+        assert replica.cursor == 5
+        assert replica.applied == 5
+        assert replica.store.read() == primary.read()
+        assert state_digest(replica.store) == state_digest(primary)
+
+    def test_duplicates_are_skipped_idempotently(self):
+        primary = _primary()
+        replica = Replica(XMLStore.open())
+        records = _records(primary)
+        for record in records:
+            replica.apply(record)
+        before = replica.store.read()
+        assert replica.apply(records[1]) is False
+        assert replica.duplicates_skipped == 1
+        assert replica.store.read() == before
+        assert replica.cursor == 5
+
+    def test_a_gap_is_a_typed_retriable_error(self):
+        primary = _primary()
+        replica = Replica(XMLStore.open())
+        records = _records(primary)
+        replica.apply(records[0])
+        with pytest.raises(ReplicationGapError, match="1 record\\(s\\) missing"):
+            replica.apply(records[2])
+        # the gap did not corrupt the cursor: the right record still lands
+        assert replica.apply(records[1]) is True
+
+    def test_cursor_is_derived_from_the_wal(self):
+        primary = _primary()
+        replica = Replica(XMLStore.open())
+        for record in _records(primary)[:3]:
+            replica.apply(record)
+        assert wal_change_count(replica.store.wal) == 3
+        # a second Replica over the same store sees the same cursor
+        assert Replica(replica.store).cursor == 3
+
+
+class TestCheckpoint:
+    def test_checkpoint_is_stamped_and_atomic(self, tmp_path):
+        directory = str(tmp_path)
+        primary = _primary()
+        replica = Replica(XMLStore.open(), directory=directory, name="r1")
+        for record in _records(primary):
+            replica.apply(record)
+        payload = replica.write_checkpoint(source="prim")
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["cursor"] == 5
+        assert payload["digest"] == state_digest(replica.store)
+        on_disk = read_checkpoint(directory)
+        assert on_disk == payload
+        # tmp + rename: no temporary file survives the commit
+        assert os.listdir(directory) == [CHECKPOINT_FILE]
+
+    def test_read_checkpoint_tolerates_garbage(self, tmp_path):
+        assert read_checkpoint(str(tmp_path)) is None
+        (tmp_path / CHECKPOINT_FILE).write_text("not json {")
+        assert read_checkpoint(str(tmp_path)) is None
+
+
+class TestCrashRecovery:
+    """Crash at any apply point: the WAL image alone rebuilds exactly
+    the durable prefix, and catch-up resumes to byte identity."""
+
+    def test_every_truncation_point_recovers_the_durable_prefix(self):
+        primary = _primary(changes=6)
+        replica = Replica(XMLStore.open())
+        for record in _records(primary):
+            replica.apply(record)
+        image = replica.store.wal.to_bytes()
+        for offset, kind, durable in truncation_points(image):
+            recovered = Replica.recover_from_image(image[:offset])
+            assert recovered.cursor == durable, (offset, kind)
+            # resume over an honest channel: byte-identical convergence
+            channel = ReplicationChannel(
+                ChangeStream(WriteAheadLog.from_bytes(primary.wal.to_bytes())),
+                ChannelFaultConfig(),
+            )
+            report = catch_up(channel, recovered, primary_store=primary)
+            assert report.converged and report.digest_match
+            assert recovered.store.read() == primary.read()
+
+    def test_recovered_replica_skips_redelivered_records(self):
+        primary = _primary()
+        replica = Replica(XMLStore.open())
+        records = _records(primary)
+        for record in records[:3]:
+            replica.apply(record)
+        recovered = Replica.recover_from_image(replica.store.wal.to_bytes())
+        assert recovered.apply(records[0]) is False  # duplicate
+        assert recovered.apply(records[3]) is True  # next needed
+
+
+class TestReseed:
+    def test_in_memory_reseed_restores_byte_identity(self):
+        primary = _primary()
+        replica = Replica(XMLStore.open())
+        for record in _records(primary)[:2]:
+            replica.apply(record)
+        replica.store.load_document("<diverged/>")
+        assert state_digest(replica.store) != state_digest(primary)
+        replica.reseed(primary.wal.to_bytes())
+        assert replica.cursor == 5
+        assert replica.store.read() == primary.read()
+        assert state_digest(replica.store) == state_digest(primary)
+
+    def test_directory_reseed_leaves_a_reopenable_store(self, tmp_path):
+        # the regression the force-diverge drill caught: a resync must
+        # rebuild the catalog and device files too, not just the WAL
+        primary = _primary()
+        directory = str(tmp_path / "replica")
+        store = open_directory(directory)
+        replica = Replica(store, directory=directory, name="r1")
+        for record in _records(primary):
+            replica.apply(record)
+        replica.store.load_document("<diverged/>")
+        replica.reseed(primary.wal.to_bytes(), source="prim")
+        assert replica.store.read() == primary.read()
+        checkpoint = read_checkpoint(directory)
+        assert checkpoint["cursor"] == replica.cursor == 5
+        close_directory(directory, replica.store)
+        reopened = open_directory(directory)
+        try:
+            assert reopened.read() == primary.read()
+        finally:
+            close_directory(directory, reopened)
+
+
+class TestDigest:
+    def test_digest_is_chunked_and_localizes_divergence(self):
+        primary = _primary()
+        twin = XMLStore.recover(WriteAheadLog.from_bytes(primary.wal.to_bytes()))
+        assert state_digest(twin) == state_digest(primary)
+        assert first_divergent_chunk(primary, twin) is None
+        twin.load_document("<diverged/>")
+        assert state_digest(twin) != state_digest(primary)
+        assert first_divergent_chunk(primary, twin) is not None
+
+    def test_digest_covers_the_id_high_water_mark(self):
+        # two stores with equal text but different id cursors must differ:
+        # replayed inserts would allocate different ids
+        first = XMLStore.open()
+        first.load_document("<r/>")
+        second = XMLStore.open()
+        second.load_document("<r/>")
+        second.insert_into_last(1, "<x/>")
+        second.delete_node(2)
+        assert first.read() == second.read()
+        assert digest_chunks(first) == digest_chunks(second)
+        assert state_digest(first) != state_digest(second)

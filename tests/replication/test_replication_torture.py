@@ -1,0 +1,115 @@
+"""Replication torture (repro.testing.repltorture): every channel fault
+class and every enumerated crash point — converge byte-identical or
+fail typed, never a silently divergent replica."""
+
+import json
+
+import pytest
+
+from repro.obs.schema import SCHEMA_VERSION
+from repro.replication.channel import CHANNEL_FAULT_NAMES
+from repro.testing.repltorture import (
+    ReplicationTortureConfig,
+    build_primary,
+    run_fault_class,
+    run_replication_torture,
+    truncation_points,
+)
+
+#: Small but complete: every fault class, every truncation point.
+CONFIG = ReplicationTortureConfig(seed=0, ops=8, txns=1)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_replication_torture(CONFIG)
+
+
+class TestFullRun:
+    def test_no_silently_divergent_replica(self, report):
+        assert report.failures == []
+        assert report.ok, report.render()
+
+    def test_stream_carries_transactions(self, report):
+        assert report.stream_length > 0
+
+    def test_byte_determinism_gate(self, report):
+        assert report.byte_deterministic
+
+    def test_every_fault_class_was_exercised(self, report):
+        tested = {result.classes for result in report.fault_results}
+        assert tested == set(CHANNEL_FAULT_NAMES) | {"all"}
+        # hostility actually happened — this was not a friendly run
+        assert sum(r.faults_injected for r in report.fault_results) > 0
+
+    def test_crash_matrix_covers_boundaries_and_torn_frames(self, report):
+        kinds = {result.kind for result in report.crash_results}
+        assert kinds == {"boundary", "torn"}
+        assert len(report.crash_results) == report.crash_points_total
+        # every tested channel behavior appears in the matrix
+        assert {r.classes for r in report.crash_results} == set(
+            CONFIG.crash_fault_classes
+        )
+
+    def test_divergence_drill(self, report):
+        assert report.divergence_typed
+        assert report.divergence_healed
+        assert report.divergence_error is None
+
+    def test_report_is_stamped_and_json_clean(self, report):
+        payload = report.to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["ok"] is True
+        assert payload["crash_failures"] == []
+        json.dumps(payload)  # fully serializable
+        assert "no silently divergent replica" in report.render()
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        config = ReplicationTortureConfig(seed=3, ops=5, txns=1)
+        first = run_replication_torture(config).to_dict()
+        second = run_replication_torture(config).to_dict()
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+
+class TestPieces:
+    def test_primary_is_deterministic(self):
+        config = ReplicationTortureConfig(seed=5, ops=5, txns=2)
+        assert (
+            build_primary(config).wal.to_bytes()
+            == build_primary(config).wal.to_bytes()
+        )
+
+    def test_truncation_points_enumerate_every_frame(self):
+        config = ReplicationTortureConfig(seed=0, ops=4, txns=0)
+        image = build_primary(config).wal.to_bytes()
+        points = truncation_points(image)
+        offsets = [offset for offset, _, _ in points]
+        assert offsets[0] == 0
+        assert offsets[-1] == len(image)
+        assert offsets == sorted(offsets)
+        # durable counts are monotone and end at the stream length
+        durables = [durable for _, _, durable in points]
+        assert durables == sorted(durables)
+
+    def test_single_fault_class_verdict(self):
+        config = ReplicationTortureConfig(seed=2, ops=5, txns=1)
+        primary = build_primary(config)
+        result = run_fault_class(
+            config, "drop", primary, primary.wal.to_bytes()
+        )
+        assert result.ok, result.error
+        assert result.converged or result.resumed
+
+    def test_crash_point_sampling_cap(self):
+        config = ReplicationTortureConfig(
+            seed=1, ops=4, txns=0, crash_points=5,
+            crash_fault_classes=("none",),
+        )
+        report = run_replication_torture(config)
+        assert len(report.crash_results) == 5
+        assert report.crash_points_total > 5
+        assert report.ok, report.render()

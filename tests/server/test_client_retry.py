@@ -1,0 +1,130 @@
+"""Client reconnect (repro.server.netadapter.client_request): a real
+server killed and restarted mid-batch, the capped retry/backoff budget,
+and the typed exhaustion error — satellite of the replication PR's
+fault-tolerance contract."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.store import XMLStore
+from repro.errors import ServerUnavailableError
+from repro.server.netadapter import AsyncXMLServer, client_request
+from repro.server.sessions import XMLServer
+
+BASE = "<lib><a>one</a></lib>"
+
+
+def _free_port():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class RestartableServer:
+    """A server pinned to one port so a restart lands where the client
+    is already retrying."""
+
+    def __init__(self, port):
+        self.port = port
+        self.store = XMLStore.open()
+        self.store.load_document(BASE)
+        self._thread = None
+
+    def start(self):
+        import asyncio
+
+        adapter = AsyncXMLServer(XMLServer(self.store), port=self.port)
+        ready = threading.Event()
+
+        async def serve():
+            await adapter.start()
+            ready.set()
+            await adapter.serve_until_shutdown()
+
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(serve()), daemon=True
+        )
+        self._thread.start()
+        assert ready.wait(timeout=10), "server did not come up"
+
+    def stop(self):
+        if self._thread is None or not self._thread.is_alive():
+            return
+        try:
+            client_request("127.0.0.1", self.port, {"cmd": "shutdown"})
+        except OSError:  # pragma: no cover - already down
+            pass
+        self._thread.join(timeout=10)
+        assert not self._thread.is_alive()
+
+
+@pytest.fixture
+def server():
+    instance = RestartableServer(_free_port())
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+class TestReconnect:
+    def test_client_survives_a_server_restart_mid_batch(self, server):
+        # half the batch lands on the first incarnation
+        for index in range(3):
+            response = client_request(
+                "127.0.0.1", server.port,
+                {"cmd": "session", "ops": [
+                    {"op": "insert_into_last", "node_id": 1,
+                     "xml": f"<c>{index}</c>"},
+                ]},
+            )
+            assert response["outcome"] == "committed"
+        server.stop()
+
+        # the server comes back on the same port while the client is
+        # already inside its backoff loop
+        restarter = threading.Timer(0.4, server.start)
+        restarter.start()
+        try:
+            for index in range(3, 6):
+                response = client_request(
+                    "127.0.0.1", server.port,
+                    {"cmd": "session", "ops": [
+                        {"op": "insert_into_last", "node_id": 1,
+                         "xml": f"<c>{index}</c>"},
+                    ]},
+                    retries=6, retry_backoff=0.1,
+                )
+                assert response["outcome"] == "committed"
+        finally:
+            restarter.join()
+
+        # nothing was lost across the outage: the whole batch is there
+        text = client_request(
+            "127.0.0.1", server.port,
+            {"cmd": "session", "read_only": True, "ops": [{"op": "read"}]},
+        )["results"][0]
+        assert all(f"<c>{index}</c>" in text for index in range(6))
+
+    def test_exhausted_budget_is_typed_with_attempt_count(self):
+        dead_port = _free_port()
+        started = time.monotonic()
+        with pytest.raises(ServerUnavailableError) as failure:
+            client_request(
+                "127.0.0.1", dead_port, {"cmd": "ping"},
+                timeout=1.0, retries=3, retry_backoff=0.01,
+            )
+        assert failure.value.attempts == 4
+        assert failure.value.exit_code == 1
+        assert "4 attempt(s)" in str(failure.value)
+        # backoff is real wall time but bounded: 0.01+0.02+0.04 plus slack
+        assert time.monotonic() - started < 10
+
+    def test_default_client_fails_fast_without_retries(self):
+        with pytest.raises(ServerUnavailableError) as failure:
+            client_request("127.0.0.1", _free_port(), {"cmd": "ping"})
+        assert failure.value.attempts == 1
